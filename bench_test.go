@@ -1,0 +1,494 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// micro-benchmarks for the hot kernels and ablations of ACBM's design
+// choices. The macro benchmarks run reduced-size versions of the full
+// experiments (fewer frames/Qps than cmd/acbmbench) so `go test -bench .`
+// completes in minutes; the reported custom metrics — positions/MB,
+// PSNR, rate savings — are the quantities the paper tabulates.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dct"
+	"repro/internal/experiment"
+	"repro/internal/frame"
+	"repro/internal/hwmodel"
+	"repro/internal/metrics"
+	"repro/internal/ratedist"
+	"repro/internal/search"
+	"repro/internal/video"
+)
+
+// benchQps is the reduced quantiser sweep used by the macro benchmarks.
+var benchQps = []int{30, 24, 18}
+
+const benchFrames = 24 // at 30 fps
+
+// --- Table 1: ACBM complexity per sequence × frame rate × Qp ---------------
+
+func benchmarkTable1(b *testing.B, prof video.Profile, dec int) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTable1(experiment.Table1Config{
+			Profiles:    []video.Profile{prof},
+			Frames:      benchFrames,
+			Qps:         benchQps,
+			Decimations: []int{dec},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanPoints(prof, dec), "positions/MB")
+		lo, _ := res.Cell(prof, dec, benchQps[len(benchQps)-1])
+		b.ReportMetric(100*lo.FSBMRate, "critical%")
+	}
+}
+
+func BenchmarkTable1_Carphone_30fps(b *testing.B)    { benchmarkTable1(b, video.Carphone, 1) }
+func BenchmarkTable1_Carphone_10fps(b *testing.B)    { benchmarkTable1(b, video.Carphone, 3) }
+func BenchmarkTable1_Foreman_30fps(b *testing.B)     { benchmarkTable1(b, video.Foreman, 1) }
+func BenchmarkTable1_Foreman_10fps(b *testing.B)     { benchmarkTable1(b, video.Foreman, 3) }
+func BenchmarkTable1_MissAmerica_30fps(b *testing.B) { benchmarkTable1(b, video.MissAmerica, 1) }
+func BenchmarkTable1_MissAmerica_10fps(b *testing.B) { benchmarkTable1(b, video.MissAmerica, 3) }
+func BenchmarkTable1_Table_30fps(b *testing.B)       { benchmarkTable1(b, video.TableTennis, 1) }
+func BenchmarkTable1_Table_10fps(b *testing.B)       { benchmarkTable1(b, video.TableTennis, 3) }
+
+// --- Figures 5 and 6: rate-distortion curves -------------------------------
+
+func benchmarkRDFigure(b *testing.B, prof video.Profile, dec int) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.RDConfig{
+			Profile: prof, Frames: benchFrames, Decimation: dec, Qps: benchQps,
+		}
+		curves, err := experiment.RDSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acbm, _ := experiment.FindCurve(curves, "ACBM")
+		fsbm, _ := experiment.FindCurve(curves, "FSBM")
+		pbm, _ := experiment.FindCurve(curves, "PBM")
+		if s, err := ratedist.AvgRateSavings(acbm, fsbm); err == nil {
+			b.ReportMetric(100*s, "rate-savings-vs-FSBM%")
+		}
+		if s, err := ratedist.AvgRateSavings(acbm, pbm); err == nil {
+			b.ReportMetric(100*s, "rate-savings-vs-PBM%")
+		}
+		b.ReportMetric(acbm.Points[len(acbm.Points)-1].PSNR, "ACBM-maxPSNR-dB")
+	}
+}
+
+func BenchmarkFigure5_Carphone(b *testing.B)    { benchmarkRDFigure(b, video.Carphone, 1) }
+func BenchmarkFigure5_Foreman(b *testing.B)     { benchmarkRDFigure(b, video.Foreman, 1) }
+func BenchmarkFigure5_MissAmerica(b *testing.B) { benchmarkRDFigure(b, video.MissAmerica, 1) }
+func BenchmarkFigure5_Table(b *testing.B)       { benchmarkRDFigure(b, video.TableTennis, 1) }
+func BenchmarkFigure6_Carphone(b *testing.B)    { benchmarkRDFigure(b, video.Carphone, 3) }
+func BenchmarkFigure6_Foreman(b *testing.B)     { benchmarkRDFigure(b, video.Foreman, 3) }
+func BenchmarkFigure6_MissAmerica(b *testing.B) { benchmarkRDFigure(b, video.MissAmerica, 3) }
+func BenchmarkFigure6_Table(b *testing.B)       { benchmarkRDFigure(b, video.TableTennis, 3) }
+
+// --- Figure 4: the MV-error preliminary study ------------------------------
+
+func BenchmarkFigure4_MVStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMVStudy(experiment.MVStudyConfig{
+			Size: frame.QCIF,
+			MVs:  video.DefaultGlobalMVs[:4],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.TrueVectorRate(), "true-MV%")
+		high, low := res.HighTextureTrueRate()
+		b.ReportMetric(100*(high-low), "texture-gap-pp")
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---------------------
+
+// ablationEncode encodes a fixed hard sequence and reports complexity and
+// quality for one searcher configuration.
+func ablationEncode(b *testing.B, s func() search.Searcher) {
+	base := video.Generate(video.Foreman, frame.QCIF, benchFrames, experiment.DefaultSeed)
+	frames := video.Decimate(base, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := codec.EncodeSequence(codec.Config{Qp: 18, Searcher: s(), FPS: 10}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.AvgSearchPointsPerMB(), "positions/MB")
+		b.ReportMetric(stats.AvgPSNRY(), "PSNR-dB")
+		b.ReportMetric(stats.BitrateKbps(), "kbit/s")
+	}
+}
+
+func BenchmarkAblation_ACBM_BothConditions(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return core.New(core.DefaultParams) })
+}
+
+func BenchmarkAblation_ACBM_Condition1Only(b *testing.B) {
+	// γ=0 disables the texture-relative acceptance.
+	ablationEncode(b, func() search.Searcher {
+		return core.New(core.Params{Alpha: 1000, Beta: 8, GammaNum: 0, GammaDen: 1})
+	})
+}
+
+func BenchmarkAblation_ACBM_Condition2Only(b *testing.B) {
+	// α=β=0 disables the quantiser-dependent acceptance.
+	ablationEncode(b, func() search.Searcher {
+		return core.New(core.Params{Alpha: 0, Beta: 0, GammaNum: 1, GammaDen: 4})
+	})
+}
+
+func BenchmarkAblation_PBM_RefineBudget1(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.PBM{MaxRefineSteps: 1} })
+}
+
+func BenchmarkAblation_PBM_RefineBudget8(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.PBM{MaxRefineSteps: 8} })
+}
+
+func BenchmarkAblation_FSBM_NoHalfPel(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.FSBM{NoHalfPel: true} })
+}
+
+func BenchmarkAblation_FastSearch_TSS(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.TSS{} })
+}
+
+func BenchmarkAblation_FastSearch_Diamond(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.Diamond{} })
+}
+
+func BenchmarkAblation_FastSearch_CrossDiamond(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.CrossDiamond{} })
+}
+
+func BenchmarkAblation_FastSearch_FourStep(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.FSS{} })
+}
+
+// --- Micro-benchmarks: the hot kernels -------------------------------------
+
+func benchPlanes() (cur, ref *frame.Plane, ip *frame.Interpolated) {
+	f := video.Generate(video.Foreman, frame.QCIF, 2, 1)
+	cur, ref = f[1].Y, f[0].Y
+	return cur, ref, frame.Interpolate(ref)
+}
+
+func BenchmarkSAD16x16(b *testing.B) {
+	cur, ref, _ := benchPlanes()
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.SAD(cur, 80, 64, ref, 77+i%5, 66, 16, 16)
+	}
+}
+
+func BenchmarkSADHalfPel16x16(b *testing.B) {
+	cur, _, ip := benchPlanes()
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.SADHalfPel(cur, 80, 64, ip, 155+i%3, 131, 16, 16)
+	}
+}
+
+func BenchmarkIntraSAD16x16(b *testing.B) {
+	cur, _, _ := benchPlanes()
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.IntraSAD(cur, 80, 64, 16, 16)
+	}
+}
+
+func BenchmarkInterpolateQCIF(b *testing.B) {
+	_, ref, _ := benchPlanes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame.Interpolate(ref)
+	}
+}
+
+func BenchmarkDCT8x8Forward(b *testing.B) {
+	var src, dst dct.Block
+	for i := range src {
+		src[i] = int32(i*7%255 - 128)
+	}
+	for i := 0; i < b.N; i++ {
+		dct.Forward(&dst, &src)
+	}
+}
+
+func BenchmarkDCT8x8Inverse(b *testing.B) {
+	var src, dst dct.Block
+	for i := range src {
+		src[i] = int32(i*7%255 - 128)
+	}
+	for i := 0; i < b.N; i++ {
+		dct.Inverse(&dst, &src)
+	}
+}
+
+func benchSearchBlock(b *testing.B, s search.Searcher) {
+	cur, ref, ip := benchPlanes()
+	in := &search.Input{
+		Cur: cur, Ref: ref, RefI: ip,
+		BX: 80, BY: 64, W: 16, H: 16, Range: 15, Qp: 16,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(in)
+	}
+}
+
+func BenchmarkSearchBlock_FSBM(b *testing.B) { benchSearchBlock(b, &search.FSBM{}) }
+func BenchmarkSearchBlock_PBM(b *testing.B)  { benchSearchBlock(b, &search.PBM{}) }
+func BenchmarkSearchBlock_ACBM(b *testing.B) { benchSearchBlock(b, core.New(core.DefaultParams)) }
+func BenchmarkSearchBlock_TSS(b *testing.B)  { benchSearchBlock(b, &search.TSS{}) }
+
+func benchEncodeFrame(b *testing.B, s func() search.Searcher) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := codec.EncodeSequence(codec.Config{Qp: 16, Searcher: s()}, frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeFrame_FSBM(b *testing.B) {
+	benchEncodeFrame(b, func() search.Searcher { return &search.FSBM{} })
+}
+
+func BenchmarkEncodeFrame_ACBM(b *testing.B) {
+	benchEncodeFrame(b, func() search.Searcher { return core.New(core.DefaultParams) })
+}
+
+func BenchmarkEncodeFrame_PBM(b *testing.B) {
+	benchEncodeFrame(b, func() search.Searcher { return &search.PBM{} })
+}
+
+func BenchmarkDecodeSequence(b *testing.B) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 4, 1)
+	_, bs, err := codec.EncodeSequence(codec.Config{Qp: 16}, frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(bs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.Decode(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSceneRenderQCIF(b *testing.B) {
+	sc := video.Foreman.Scene(1)
+	for i := 0; i < b.N; i++ {
+		sc.Render(frame.QCIF, i)
+	}
+}
+
+// Example of regenerating a full paper artifact inside a test binary; kept
+// as a benchmark so its cost is opt-in.
+func BenchmarkHeadline_Foreman10fps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.RDConfig{
+			Profile: video.Foreman, Frames: benchFrames, Decimation: 3, Qps: benchQps,
+		}
+		curves, err := experiment.RDSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1, err := experiment.RunTable1(experiment.Table1Config{
+			Profiles: []video.Profile{video.Foreman},
+			Frames:   benchFrames, Qps: benchQps, Decimations: []int{3},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := experiment.ComputeHeadline(cfg, curves, t1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.AvgPoints, "positions/MB")
+		b.ReportMetric(100*h.Reduction, "reduction%")
+		if i == 0 {
+			b.Log(fmt.Sprint(h))
+		}
+	}
+}
+
+// --- Extension benchmarks: systems beyond the paper's core evaluation ------
+
+func BenchmarkAblation_RCFSBM(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.RCFSBM{} })
+}
+
+func BenchmarkAblation_FastSearch_NTSS(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.NTSS{} })
+}
+
+func BenchmarkAblation_FastSearch_HEXBS(b *testing.B) {
+	ablationEncode(b, func() search.Searcher { return &search.HEXBS{} })
+}
+
+func BenchmarkAblation_ACBM_Budgeted150(b *testing.B) {
+	ablationEncode(b, func() search.Searcher {
+		bd, err := core.NewBudgeted(150, core.DefaultParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return bd
+	})
+}
+
+// BenchmarkEntropyBackends compares stream sizes of the two entropy modes
+// on identical content.
+func benchmarkEntropy(b *testing.B, mode codec.EntropyMode) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, bs, err := codec.EncodeSequence(codec.Config{Qp: 12, Entropy: mode}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(bs)), "bytes")
+		b.ReportMetric(stats.AvgPSNRY(), "PSNR-dB")
+	}
+}
+
+func BenchmarkEntropy_ExpGolomb(b *testing.B)  { benchmarkEntropy(b, codec.EntropyExpGolomb) }
+func BenchmarkEntropy_Arithmetic(b *testing.B) { benchmarkEntropy(b, codec.EntropyArith) }
+
+func BenchmarkAblation_PixelDecimation(b *testing.B) {
+	base := video.Generate(video.Foreman, frame.QCIF, benchFrames, experiment.DefaultSeed)
+	frames := video.Decimate(base, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := codec.EncodeSequence(codec.Config{
+			Qp: 18, FPS: 10, PixelDecimation: true,
+		}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.AvgPSNRY(), "PSNR-dB")
+		b.ReportMetric(stats.BitrateKbps(), "kbit/s")
+	}
+}
+
+func BenchmarkAblation_SensorNoiseMissAmerica(b *testing.B) {
+	// The realism knob: camera noise raises the SAD floor and with it
+	// ACBM's complexity on easy content (toward the paper's numbers).
+	sc := video.WithSensorNoise(video.MissAmerica.Scene(experiment.DefaultSeed), 2.0, 3)
+	frames := make([]*frame.Frame, 16)
+	for t := range frames {
+		frames[t] = sc.Render(frame.QCIF, t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acbm := core.New(core.DefaultParams)
+		stats, _, err := codec.EncodeSequence(codec.Config{Qp: 16, Searcher: acbm}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.AvgSearchPointsPerMB(), "positions/MB")
+		b.ReportMetric(100*acbm.Stats().FSBMRate(), "critical%")
+	}
+}
+
+func BenchmarkSATD16x16(b *testing.B) {
+	cur, ref, _ := benchPlanes()
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.SATD(cur, 80, 64, ref, 77+i%5, 66, 16, 16)
+	}
+}
+
+func BenchmarkRateControlEncode(b *testing.B) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 12, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := codec.EncodeSequence(codec.Config{
+			Qp: 16, FPS: 30, TargetKbps: 48,
+		}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.BitrateKbps(), "kbit/s")
+	}
+}
+
+func BenchmarkHardwareModel(b *testing.B) {
+	w := hwmodel.Workload{MBsPerFrame: 99, FPS: 30, AvgPoints: 300, CriticalRate: 0.3, PBMPoints: 15}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hwmodel.Compare(w, hwmodel.DefaultTech, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParetoSweepMini(b *testing.B) {
+	grid := experiment.DefaultParamGrid()[:4]
+	for i := 0; i < b.N; i++ {
+		pts, err := experiment.RunPareto(experiment.ParetoConfig{
+			Profile: video.TableTennis, Size: frame.SQCIF, Frames: 8, Qp: 16, Grid: grid,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[0].AvgPoints, "cheapest-positions/MB")
+	}
+}
+
+func BenchmarkAblation_AdvancedPrediction(b *testing.B) {
+	// Four-vector prediction on the zoom/divergent-motion sequence.
+	frames := video.Generate(video.TableTennis, frame.QCIF, 12, experiment.DefaultSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := codec.EncodeSequence(codec.Config{
+			Qp: 10, AdvancedPrediction: true,
+		}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		used := 0
+		for _, f := range stats.Frames {
+			used += f.Inter4VMBs
+		}
+		b.ReportMetric(stats.AvgPSNRY(), "PSNR-dB")
+		b.ReportMetric(stats.BitrateKbps(), "kbit/s")
+		b.ReportMetric(float64(used), "4V-MBs")
+	}
+}
+
+func BenchmarkMultiSeedMissAmerica(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st, err := experiment.MultiSeedTable1(video.MissAmerica, 1, 16, 10, []uint64{1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.Mean, "mean-positions/MB")
+		b.ReportMetric(st.StdDev, "stddev")
+	}
+}
+
+func BenchmarkAblation_Deblocking(b *testing.B) {
+	frames := video.Generate(video.Foreman, frame.QCIF, 10, experiment.DefaultSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := codec.EncodeSequence(codec.Config{Qp: 24, Deblock: true}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.AvgPSNRY(), "PSNR-dB")
+	}
+}

@@ -1,0 +1,144 @@
+package repro
+
+// End-to-end tests of the command-line tools: each binary is built once
+// and driven through its primary flows against a temp directory.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd into a temp dir and returns the binary path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipelineSeqgenVcodec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seqgen := buildTool(t, "seqgen")
+	vcodec := buildTool(t, "vcodec")
+	dir := t.TempDir()
+	y4m := filepath.Join(dir, "clip.y4m")
+	acbm := filepath.Join(dir, "clip.acbm")
+	dec := filepath.Join(dir, "dec.y4m")
+
+	out := runTool(t, seqgen, "-profile", "foreman", "-frames", "8", "-size", "sqcif", "-o", y4m)
+	if !strings.Contains(out, "wrote 8 frames") {
+		t.Fatalf("seqgen output: %s", out)
+	}
+	out = runTool(t, vcodec, "encode", "-i", y4m, "-o", acbm, "-qp", "14", "-me", "acbm", "-entropy", "arith")
+	if !strings.Contains(out, "encoded 8 frames") || !strings.Contains(out, "ACBM/arith") {
+		t.Fatalf("vcodec encode output: %s", out)
+	}
+	out = runTool(t, vcodec, "info", "-i", acbm)
+	if !strings.Contains(out, "8 frames") || !strings.Contains(out, "arith") {
+		t.Fatalf("vcodec info output: %s", out)
+	}
+	out = runTool(t, vcodec, "decode", "-i", acbm, "-o", dec)
+	if !strings.Contains(out, "decoded 8 frames") {
+		t.Fatalf("vcodec decode output: %s", out)
+	}
+	// The decoded file must be a valid Y4M of the right size.
+	fi, err := os.Stat(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin := int64(8 * (128*96 + 2*64*48)) // raw 4:2:0 payload
+	if fi.Size() < wantMin {
+		t.Fatalf("decoded y4m only %d bytes, want > %d", fi.Size(), wantMin)
+	}
+}
+
+func TestCLISeqgenSingleFramePGM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seqgen := buildTool(t, "seqgen")
+	pgm := filepath.Join(t.TempDir(), "f.pgm")
+	runTool(t, seqgen, "-profile", "missamerica", "-frame", "3", "-size", "sqcif", "-o", pgm)
+	data, err := os.ReadFile(pgm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "P5\n128 96\n255\n") {
+		t.Fatalf("not a PGM header: %q", data[:20])
+	}
+}
+
+func TestCLIMvstudyCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	mvstudy := buildTool(t, "mvstudy")
+	csv := filepath.Join(t.TempDir(), "fig4.csv")
+	out := runTool(t, mvstudy, "-profile", "foreman", "-csv", csv)
+	if !strings.Contains(out, "Figure 4 study") {
+		t.Fatalf("mvstudy output: %s", out)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "profile,intra_sad,sad_deviation,sad_min,error" {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	if len(lines) < 100 {
+		t.Fatalf("csv has only %d rows", len(lines))
+	}
+}
+
+func TestCLIAcbmbenchMiniExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	acbmbench := buildTool(t, "acbmbench")
+	out := runTool(t, acbmbench, "-experiment", "table1", "-size", "sqcif", "-frames", "8", "-qps", "30,16")
+	for _, want := range []string{"Table 1", "Foreman", "reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	out = runTool(t, acbmbench, "-experiment", "map", "-size", "sqcif")
+	if !strings.Contains(out, "critical/FSBM") {
+		t.Fatalf("map output:\n%s", out)
+	}
+}
+
+func TestCLIRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	acbmbench := buildTool(t, "acbmbench")
+	if out, err := exec.Command(acbmbench, "-experiment", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+	if out, err := exec.Command(acbmbench, "-qps", "99").CombinedOutput(); err == nil {
+		t.Fatalf("illegal Qp accepted:\n%s", out)
+	}
+	vcodec := buildTool(t, "vcodec")
+	if out, err := exec.Command(vcodec, "encode").CombinedOutput(); err == nil {
+		t.Fatalf("missing -i/-o accepted:\n%s", out)
+	}
+}

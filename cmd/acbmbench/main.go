@@ -1,0 +1,232 @@
+// Command acbmbench regenerates the paper's evaluation artifacts: the
+// Fig. 4 preliminary study, the Figs. 5/6 rate-distortion curves and the
+// Table 1 complexity numbers, plus the §4 headline summary.
+//
+// Usage:
+//
+//	acbmbench -experiment all            # everything (a few minutes)
+//	acbmbench -experiment table1         # Table 1 only
+//	acbmbench -experiment fig5           # RD curves, QCIF@30fps
+//	acbmbench -experiment fig6           # RD curves, QCIF@10fps
+//	acbmbench -experiment fig4           # the MV-error study
+//	acbmbench -experiment headline       # §4 claims
+//	acbmbench -frames 30 -qps 30,24,18   # reduced sweep for quick runs
+//	acbmbench -alpha 2000 -beta 4        # explore the quality/cost knobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func main() {
+	var (
+		expName  = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|all")
+		frames   = flag.Int("frames", experiment.DefaultFrames, "sequence length at 30 fps")
+		sizeName = flag.String("size", "qcif", "frame format: sqcif|qcif|cif")
+		seed     = flag.Uint64("seed", experiment.DefaultSeed, "texture seed")
+		qpsArg   = flag.String("qps", "", "comma-separated Qp list (default 30,28,...,16)")
+		alpha    = flag.Int("alpha", core.DefaultParams.Alpha, "ACBM α parameter")
+		beta     = flag.Int("beta", core.DefaultParams.Beta, "ACBM β parameter")
+		gammaNum = flag.Int("gamma-num", core.DefaultParams.GammaNum, "ACBM γ numerator")
+		gammaDen = flag.Int("gamma-den", core.DefaultParams.GammaDen, "ACBM γ denominator")
+	)
+	flag.Parse()
+
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	qps, err := parseQps(*qpsArg)
+	if err != nil {
+		fatal(err)
+	}
+	params := core.Params{Alpha: *alpha, Beta: *beta, GammaNum: *gammaNum, GammaDen: *gammaDen}
+	if err := params.Validate(); err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *expName == "all" || *expName == name }
+	ran := false
+	if want("fig4") {
+		ran = true
+		run("Figure 4: MV-error study", func() error {
+			res, err := experiment.RunMVStudy(experiment.MVStudyConfig{Size: size, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatMVStudy(res))
+			fmt.Println()
+			fmt.Print(experiment.FormatMVStudyPanels(res, 56, 10))
+			return nil
+		})
+	}
+	if want("map") {
+		ran = true
+		run("ACBM decision maps (frame 50, Qp 16)", func() error {
+			for _, prof := range video.Profiles {
+				dm, err := experiment.RunDecisionMap(prof, size, 50, params, *seed)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%s ('.'=easy, 'g'=good-match, 'C'=critical/FSBM):\n%s\n", prof, dm)
+			}
+			return nil
+		})
+	}
+	var t1 *experiment.Table1Result
+	if want("table1") || want("headline") || want("hw") {
+		ran = true
+		run("Table 1: ACBM complexity", func() error {
+			t1, err = experiment.RunTable1(experiment.Table1Config{
+				Size: size, Frames: *frames, Qps: qps, Params: params, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatTable1(t1))
+			return nil
+		})
+	}
+	if want("pareto") {
+		ran = true
+		run("ACBM parameter sensitivity (Pareto sweep)", func() error {
+			for _, prof := range []video.Profile{video.Foreman, video.MissAmerica} {
+				cfg := experiment.ParetoConfig{
+					Profile: prof, Size: size, Frames: *frames, Qp: 16, Seed: *seed,
+				}
+				points, err := experiment.RunPareto(cfg)
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiment.FormatPareto(cfg, points))
+				fmt.Println()
+			}
+			return nil
+		})
+	}
+	if want("seeds") {
+		ran = true
+		run("Table 1 replication across texture seeds", func() error {
+			out, err := experiment.FormatMultiSeed(1, 16, *frames, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		})
+	}
+	if want("loss") {
+		ran = true
+		run("Loss resilience (packetized transport, temporal concealment)", func() error {
+			cfg := experiment.ResilienceConfig{
+				Profile: video.Foreman, Size: size, Frames: *frames, Seed: *seed,
+			}
+			points, err := experiment.RunResilience(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatResilience(cfg, points))
+			return nil
+		})
+	}
+	if want("hw") {
+		ran = true
+		run("§5 hardware architecture comparison", func() error {
+			hwQp := 16
+			if len(qps) > 0 {
+				hwQp = qps[len(qps)-1]
+			}
+			out, err := experiment.HardwareReport(t1, hwQp)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		})
+	}
+	for figName, dec := range map[string]int{"fig5": 1, "fig6": 3} {
+		if !want(figName) && !want("headline") {
+			continue
+		}
+		ran = true
+		label := map[int]string{1: "Figure 5: RD curves, QCIF@30fps", 3: "Figure 6: RD curves, QCIF@10fps"}[dec]
+		run(label, func() error {
+			for _, prof := range video.Profiles {
+				cfg := experiment.RDConfig{
+					Profile: prof, Size: size, Frames: *frames,
+					Decimation: dec, Qps: qps, Params: params, Seed: *seed,
+				}
+				curves, err := experiment.RDSweep(cfg, nil)
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiment.FormatRDCurves(experiment.ProfileTitle(prof, dec), curves))
+				fmt.Println()
+				if want("headline") || *expName == "all" {
+					if h, err := experiment.ComputeHeadline(cfg, curves, t1); err == nil {
+						fmt.Println("headline:", h)
+					} else {
+						fmt.Println("headline: n/a:", err)
+					}
+					fmt.Println()
+				}
+			}
+			return nil
+		})
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *expName))
+	}
+}
+
+func parseSize(name string) (frame.Size, error) {
+	switch strings.ToLower(name) {
+	case "sqcif":
+		return frame.SQCIF, nil
+	case "qcif":
+		return frame.QCIF, nil
+	case "cif":
+		return frame.CIF, nil
+	}
+	return frame.Size{}, fmt.Errorf("unknown size %q (want sqcif, qcif or cif)", name)
+}
+
+func parseQps(arg string) ([]int, error) {
+	if arg == "" {
+		return nil, nil // experiment defaults
+	}
+	var qps []int
+	for _, part := range strings.Split(arg, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad Qp %q: %w", part, err)
+		}
+		if v < 1 || v > 31 {
+			return nil, fmt.Errorf("Qp %d out of range 1..31", v)
+		}
+		qps = append(qps, v)
+	}
+	return qps, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "acbmbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command mvstudy runs the paper's Fig. 4 preliminary experiment and can
+// dump the raw (Intra_SAD, SAD_deviation, error) scatter points as CSV for
+// external plotting.
+//
+// Usage:
+//
+//	mvstudy                     # per-class summary, all profiles
+//	mvstudy -profile foreman    # one source sequence
+//	mvstudy -csv points.csv     # also write the raw scatter data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func main() {
+	var (
+		profName = flag.String("profile", "", "restrict to one sequence: carphone|foreman|missamerica|table")
+		csvPath  = flag.String("csv", "", "write raw scatter points to this CSV file")
+		seed     = flag.Uint64("seed", experiment.DefaultSeed, "texture seed")
+	)
+	flag.Parse()
+
+	cfg := experiment.MVStudyConfig{Size: frame.QCIF, Seed: *seed}
+	if *profName != "" {
+		p, err := parseProfile(*profName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Profiles = []video.Profile{p}
+	}
+	res, err := experiment.RunMVStudy(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatMVStudy(res))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "profile,intra_sad,sad_deviation,sad_min,error")
+		for _, s := range res.Samples {
+			fmt.Fprintf(f, "%s,%d,%d,%d,%d\n",
+				strings.ReplaceAll(s.Profile.String(), " ", ""), s.IntraSAD, s.Deviation, s.SADMin, s.Err)
+		}
+		fmt.Printf("\nwrote %d scatter points to %s\n", len(res.Samples), *csvPath)
+	}
+}
+
+func parseProfile(name string) (video.Profile, error) {
+	switch strings.ToLower(name) {
+	case "carphone":
+		return video.Carphone, nil
+	case "foreman":
+		return video.Foreman, nil
+	case "missamerica", "miss-america":
+		return video.MissAmerica, nil
+	case "table", "tabletennis":
+		return video.TableTennis, nil
+	}
+	return 0, fmt.Errorf("unknown profile %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mvstudy:", err)
+	os.Exit(1)
+}

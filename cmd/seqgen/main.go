@@ -1,0 +1,93 @@
+// Command seqgen renders the synthetic stand-in sequences to standard
+// formats (YUV4MPEG2 for playback, PGM for single frames) so the
+// substitution for the paper's test clips can be inspected visually.
+//
+// Usage:
+//
+//	seqgen -profile foreman -frames 90 -o foreman.y4m
+//	seqgen -profile missamerica -frame 0 -o miss.pgm   # single luma frame
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func main() {
+	var (
+		profName = flag.String("profile", "carphone", "carphone|foreman|missamerica|table")
+		frames   = flag.Int("frames", 90, "frames to render at 30 fps")
+		oneFrame = flag.Int("frame", -1, "render a single luma frame as PGM instead")
+		sizeName = flag.String("size", "qcif", "sqcif|qcif|cif")
+		seed     = flag.Uint64("seed", 2005, "texture seed")
+		out      = flag.String("o", "", "output path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-o output path is required"))
+	}
+	prof, err := parseProfile(*profName)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	if *oneFrame >= 0 {
+		sc := prof.Scene(*seed)
+		img := sc.Render(size, *oneFrame)
+		if err := frame.WritePGM(f, img.Y); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote frame %d of %v (%v) to %s\n", *oneFrame, prof, size, *out)
+		return
+	}
+	seq := video.Generate(prof, size, *frames, *seed)
+	if err := frame.WriteY4M(f, seq, 30, 1); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d frames of %v (%v) to %s\n", len(seq), prof, size, *out)
+}
+
+func parseProfile(name string) (video.Profile, error) {
+	switch strings.ToLower(name) {
+	case "carphone":
+		return video.Carphone, nil
+	case "foreman":
+		return video.Foreman, nil
+	case "missamerica", "miss-america":
+		return video.MissAmerica, nil
+	case "table", "tabletennis":
+		return video.TableTennis, nil
+	}
+	return 0, fmt.Errorf("unknown profile %q", name)
+}
+
+func parseSize(name string) (frame.Size, error) {
+	switch strings.ToLower(name) {
+	case "sqcif":
+		return frame.SQCIF, nil
+	case "qcif":
+		return frame.QCIF, nil
+	case "cif":
+		return frame.CIF, nil
+	}
+	return frame.Size{}, fmt.Errorf("unknown size %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,221 @@
+// Command vcodec is the end-user tool of the codec substrate: it encodes
+// YUV4MPEG2 video into the repository's bitstream format with a selectable
+// motion estimator (including ACBM), and decodes such streams back to
+// YUV4MPEG2.
+//
+// Usage:
+//
+//	vcodec encode -i in.y4m -o out.acbm -qp 16 -me acbm -entropy arith
+//	vcodec decode -i out.acbm -o roundtrip.y4m
+//	vcodec info   -i out.acbm
+//
+// Synthetic input for a self-contained demo:
+//
+//	go run ./cmd/seqgen -profile foreman -o f.y4m
+//	go run ./cmd/vcodec encode -i f.y4m -o f.acbm -qp 14 -me acbm
+//	go run ./cmd/vcodec decode -i f.acbm -o f_dec.y4m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/search"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal(fmt.Errorf("usage: vcodec encode|decode|info [flags]"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "encode":
+		err = runEncode(os.Args[2:])
+	case "decode":
+		err = runDecode(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want encode, decode or info)", os.Args[1])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func runEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	var (
+		in      = fs.String("i", "", "input .y4m path")
+		out     = fs.String("o", "", "output bitstream path")
+		qp      = fs.Int("qp", 16, "quantiser parameter (1..31)")
+		me      = fs.String("me", "acbm", "motion estimator: acbm|fsbm|pbm|rcfsbm|tss|ntss|4ss|ds|cds|hexbs")
+		rng     = fs.Int("range", 15, "search range p in full pels")
+		entropy = fs.String("entropy", "expgolomb", "entropy backend: expgolomb|arith")
+		gop     = fs.Int("gop", 0, "intra period (0 = first frame only)")
+		alpha   = fs.Int("alpha", core.DefaultParams.Alpha, "ACBM α")
+		beta    = fs.Int("beta", core.DefaultParams.Beta, "ACBM β")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("encode: -i and -o are required")
+	}
+	searcher, err := makeSearcher(*me, *alpha, *beta)
+	if err != nil {
+		return err
+	}
+	mode, err := parseEntropy(*entropy)
+	if err != nil {
+		return err
+	}
+
+	inF, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer inF.Close()
+	stream, err := frame.ReadY4M(inF)
+	if err != nil {
+		return err
+	}
+	if len(stream.Frames) == 0 {
+		return fmt.Errorf("encode: %s contains no frames", *in)
+	}
+	fps := stream.FPS()
+	if fps == 0 {
+		fps = 30
+	}
+	stats, bs, err := codec.EncodeSequence(codec.Config{
+		Qp: *qp, SearchRange: *rng, Searcher: searcher,
+		FPS: fps, IntraPeriod: *gop, Entropy: mode,
+	}, stream.Frames)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, bs, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d frames (%v) with %s/%s at Qp %d\n",
+		len(stream.Frames), stream.Frames[0].Size(), searcher.Name(), mode, *qp)
+	fmt.Printf("  %d bytes, %.1f kbit/s @ %.3g fps, PSNR-Y %.2f dB, %.0f search positions/MB\n",
+		len(bs), stats.BitrateKbps(), fps, stats.AvgPSNRY(), stats.AvgSearchPointsPerMB())
+	return nil
+}
+
+func runDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	var (
+		in  = fs.String("i", "", "input bitstream path")
+		out = fs.String("o", "", "output .y4m path")
+		fps = fs.Int("fps", 30, "frame rate tag for the output Y4M")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("decode: -i and -o are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	frames, err := codec.Decode(data)
+	if err != nil {
+		return err
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("decode: empty stream")
+	}
+	outF, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer outF.Close()
+	if err := frame.WriteY4M(outF, frames, *fps, 1); err != nil {
+		return err
+	}
+	fmt.Printf("decoded %d frames (%v) to %s\n", len(frames), frames[0].Size(), *out)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input bitstream path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("info: -i is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	d, err := codec.NewDecoder(data)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for d.More() {
+		if _, err := d.DecodeFrame(); err != nil {
+			return fmt.Errorf("info: frame %d: %w", n, err)
+		}
+		n++
+	}
+	fmt.Printf("%s: %v, entropy %v, %d frames, %d bytes\n",
+		*in, d.Size(), d.EntropyMode(), n, len(data))
+	return nil
+}
+
+func makeSearcher(name string, alpha, beta int) (search.Searcher, error) {
+	switch strings.ToLower(name) {
+	case "acbm":
+		p := core.DefaultParams
+		p.Alpha, p.Beta = alpha, beta
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		return core.New(p), nil
+	case "fsbm":
+		return &search.FSBM{}, nil
+	case "rcfsbm":
+		return &search.RCFSBM{}, nil
+	case "pbm":
+		return &search.PBM{}, nil
+	case "tss":
+		return &search.TSS{}, nil
+	case "ntss":
+		return &search.NTSS{}, nil
+	case "4ss", "fss":
+		return &search.FSS{}, nil
+	case "ds", "diamond":
+		return &search.Diamond{}, nil
+	case "cds":
+		return &search.CrossDiamond{}, nil
+	case "hexbs", "hex":
+		return &search.HEXBS{}, nil
+	}
+	return nil, fmt.Errorf("unknown motion estimator %q", name)
+}
+
+func parseEntropy(name string) (codec.EntropyMode, error) {
+	switch strings.ToLower(name) {
+	case "expgolomb", "eg", "":
+		return codec.EntropyExpGolomb, nil
+	case "arith", "arithmetic", "sac":
+		return codec.EntropyArith, nil
+	}
+	return 0, fmt.Errorf("unknown entropy backend %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcodec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "A High Quality/Low
+// Computational Cost Technique for Block Matching Motion Estimation"
+// (López, Callicó, López, Sarmiento — DATE 2005): the ACBM adaptive-cost
+// motion estimation algorithm, the full/predictive block-matching
+// algorithms it hybridises, an H.263-style codec substrate, synthetic
+// stand-ins for the paper's test sequences, and harnesses that regenerate
+// every table and figure of the evaluation.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are the examples/ programs and the
+// cmd/acbmbench, cmd/mvstudy and cmd/seqgen tools. The benchmarks in
+// bench_test.go regenerate the paper's Table 1 and Figures 4-6.
+package repro

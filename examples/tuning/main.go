@@ -1,0 +1,52 @@
+// Tuning: the α/β/γ knobs. The paper advertises ACBM as a flexible
+// quality/complexity dial; this example sweeps the parameters on one
+// sequence and prints the resulting operating points, from "always
+// predictive" to "always full search".
+//
+// Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func main() {
+	frames := video.Generate(video.TableTennis, frame.QCIF, 30, 11)
+
+	type point struct {
+		label  string
+		params core.Params
+	}
+	points := []point{
+		{"always-PBM (α→∞)", core.Params{Alpha: 1 << 30, Beta: 0, GammaNum: 0, GammaDen: 1}},
+		{"loose (α=4000 β=16 γ=1/2)", core.Params{Alpha: 4000, Beta: 16, GammaNum: 1, GammaDen: 2}},
+		{"paper (α=1000 β=8 γ=1/4)", core.DefaultParams},
+		{"tight (α=250 β=2 γ=1/8)", core.Params{Alpha: 250, Beta: 2, GammaNum: 1, GammaDen: 8}},
+		{"always-FSBM (all zero)", core.Params{Alpha: 0, Beta: 0, GammaNum: 0, GammaDen: 1}},
+	}
+
+	fmt.Println("Table stand-in, QCIF@30fps, Qp=16 — ACBM parameter sweep")
+	fmt.Printf("%-28s %12s %12s %14s %10s\n", "setting", "PSNR-Y (dB)", "kbit/s", "positions/MB", "critical")
+	for _, pt := range points {
+		acbm := core.New(pt.params)
+		stats, _, err := codec.EncodeSequence(codec.Config{
+			Qp: 16, Searcher: acbm, FPS: 30,
+		}, frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %12.2f %12.1f %14.0f %9.0f%%\n",
+			pt.label, stats.AvgPSNRY(), stats.BitrateKbps(),
+			stats.AvgSearchPointsPerMB(), 100*acbm.Stats().FSBMRate())
+	}
+	fmt.Println("\nTightening the thresholds trades search positions for quality;")
+	fmt.Println("the paper's values sit at the knee of that curve.")
+}

@@ -1,0 +1,228 @@
+// Package arith implements an adaptive binary arithmetic coder (an
+// LZMA-style range coder with 11-bit adaptive probabilities). It backs the
+// codec's optional arithmetic entropy mode, the counterpart of H.263's
+// Annex E syntax-based arithmetic coding: same syntax elements as the
+// baseline Exp-Golomb mode, coded with adaptive contexts instead of
+// static codes.
+//
+// Probabilities are stored per context as P(bit=0) in units of 1/2048 and
+// adapt with shift-5 exponential decay, the scheme used by LZMA and
+// similar coders. Encoder and decoder adapt identically, so streams are
+// self-describing given the same context allocation.
+package arith
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	probBits = 11
+	probOne  = 1 << probBits // 2048
+	probInit = probOne / 2
+	moveBits = 5
+	topValue = 1 << 24
+)
+
+// Model is one adaptive binary context. The zero value is invalid; use
+// NewModels or Reset.
+type Model struct {
+	p0 uint16 // probability of bit 0 in [1, 2047]
+}
+
+// Reset returns the model to the uninformed state.
+func (m *Model) Reset() { m.p0 = probInit }
+
+// NewModels allocates n freshly initialised contexts.
+func NewModels(n int) []Model {
+	ms := make([]Model, n)
+	for i := range ms {
+		ms[i].Reset()
+	}
+	return ms
+}
+
+func (m *Model) update(bit uint) {
+	if bit == 0 {
+		m.p0 += (probOne - m.p0) >> moveBits
+	} else {
+		m.p0 -= m.p0 >> moveBits
+	}
+}
+
+// Encoder is a range encoder. Create with NewEncoder; call Close before
+// reading Bytes.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+	closed    bool
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1}
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		c := e.cache
+		for {
+			e.out = append(e.out, c+byte(e.low>>32))
+			c = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+// EncodeBit codes bit with the adaptive context m.
+func (e *Encoder) EncodeBit(m *Model, bit uint) {
+	if e.closed {
+		panic("arith: EncodeBit after Close")
+	}
+	bound := (e.rng >> probBits) * uint32(m.p0)
+	if bit == 0 {
+		e.rng = bound
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+	}
+	m.update(bit)
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeBypass codes bit with a fixed 1/2 probability and no adaptation
+// (for near-uniform bits such as Exp-Golomb suffixes and signs).
+func (e *Encoder) EncodeBypass(bit uint) {
+	if e.closed {
+		panic("arith: EncodeBypass after Close")
+	}
+	e.rng >>= 1
+	if bit != 0 {
+		e.low += uint64(e.rng)
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// BitsEmitted returns (an upper bound on) the number of output bits
+// produced so far, including buffered renormalisation state. Used for
+// per-frame rate accounting.
+func (e *Encoder) BitsEmitted() int {
+	return 8 * (len(e.out) + int(e.cacheSize))
+}
+
+// Close flushes the final range state. The encoder cannot be used after.
+func (e *Encoder) Close() {
+	if e.closed {
+		return
+	}
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	e.closed = true
+}
+
+// Bytes returns the encoded stream. Close must have been called.
+func (e *Encoder) Bytes() []byte {
+	if !e.closed {
+		panic("arith: Bytes before Close")
+	}
+	return e.out
+}
+
+// ErrTruncated is returned when the decoder runs out of input.
+var ErrTruncated = errors.New("arith: truncated stream")
+
+// Decoder mirrors Encoder over a byte slice.
+type Decoder struct {
+	rng     uint32
+	code    uint32
+	in      []byte
+	pos     int
+	overrun int // bytes read past the end of the input
+}
+
+// NewDecoder primes a decoder with the first five bytes of the stream
+// (range-coder convention: the first byte is always zero).
+func NewDecoder(data []byte) (*Decoder, error) {
+	if len(data) < 5 {
+		return nil, fmt.Errorf("arith: stream too short (%d bytes)", len(data))
+	}
+	d := &Decoder{rng: 0xFFFFFFFF, in: data, pos: 1}
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.in[d.pos])
+		d.pos++
+	}
+	return d, nil
+}
+
+func (d *Decoder) nextByte() uint32 {
+	if d.pos >= len(d.in) {
+		// The encoder's Close pads with five flush bytes, so a few reads
+		// past the end are legal at the very end of a stream; count them
+		// so grossly truncated streams still fail via Err.
+		d.overrun++
+		return 0
+	}
+	b := d.in[d.pos]
+	d.pos++
+	return uint32(b)
+}
+
+// Err reports whether the decoder consumed more bytes than were present,
+// beyond the flush padding tolerance.
+func (d *Decoder) Err() error {
+	if d.overrun > 5 {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// DecodeBit decodes one bit with the adaptive context m.
+func (d *Decoder) DecodeBit(m *Model) uint {
+	bound := (d.rng >> probBits) * uint32(m.p0)
+	var bit uint
+	if d.code < bound {
+		d.rng = bound
+		bit = 0
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		bit = 1
+	}
+	m.update(bit)
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | d.nextByte()
+	}
+	return bit
+}
+
+// DecodeBypass decodes one fixed-probability bit.
+func (d *Decoder) DecodeBypass() uint {
+	d.rng >>= 1
+	var bit uint
+	if d.code >= d.rng {
+		d.code -= d.rng
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | d.nextByte()
+	}
+	return bit
+}

@@ -1,0 +1,219 @@
+package arith
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type xorshift struct{ s uint64 }
+
+func (r *xorshift) next() uint64 {
+	if r.s == 0 {
+		r.s = 1
+	}
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}
+
+func TestRoundTripUniformBits(t *testing.T) {
+	rng := &xorshift{7}
+	bits := make([]uint, 4096)
+	for i := range bits {
+		bits[i] = uint(rng.next() & 1)
+	}
+	enc := NewEncoder()
+	ms := NewModels(1)
+	for _, b := range bits {
+		enc.EncodeBit(&ms[0], b)
+	}
+	enc.Close()
+	dec, err := NewDecoder(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := NewModels(1)
+	for i, want := range bits {
+		if got := dec.DecodeBit(&md[0]); got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if dec.Err() != nil {
+		t.Fatal(dec.Err())
+	}
+}
+
+func TestRoundTripMixedContextsAndBypass(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		rng := &xorshift{seed}
+		count := int(n)%2000 + 10
+		type ev struct {
+			ctx int // -1 = bypass
+			bit uint
+		}
+		evs := make([]ev, count)
+		for i := range evs {
+			v := rng.next()
+			ctx := int(v % 8)
+			if v%16 >= 8 {
+				ctx = -1
+			}
+			// Skew bits per context so adaptation matters.
+			var bit uint
+			if ctx >= 0 {
+				if v>>16%uint64(ctx+2) == 0 {
+					bit = 1
+				}
+			} else {
+				bit = uint(v >> 17 & 1)
+			}
+			evs[i] = ev{ctx, bit}
+		}
+		enc := NewEncoder()
+		ms := NewModels(8)
+		for _, e := range evs {
+			if e.ctx < 0 {
+				enc.EncodeBypass(e.bit)
+			} else {
+				enc.EncodeBit(&ms[e.ctx], e.bit)
+			}
+		}
+		enc.Close()
+		dec, err := NewDecoder(enc.Bytes())
+		if err != nil {
+			return false
+		}
+		md := NewModels(8)
+		for _, e := range evs {
+			var got uint
+			if e.ctx < 0 {
+				got = dec.DecodeBypass()
+			} else {
+				got = dec.DecodeBit(&md[e.ctx])
+			}
+			if got != e.bit {
+				return false
+			}
+		}
+		return dec.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveCompressionOnSkewedData(t *testing.T) {
+	// 95% zero bits: an adaptive coder must compress well below 1
+	// bit/symbol; bypass coding cannot.
+	rng := &xorshift{42}
+	const n = 20000
+	enc := NewEncoder()
+	ms := NewModels(1)
+	for i := 0; i < n; i++ {
+		var bit uint
+		if rng.next()%100 < 5 {
+			bit = 1
+		}
+		enc.EncodeBit(&ms[0], bit)
+	}
+	enc.Close()
+	bits := 8 * len(enc.Bytes())
+	if bits > n/2 {
+		t.Fatalf("skewed data compressed to %d bits for %d symbols (> 0.5 b/sym)", bits, n)
+	}
+}
+
+func TestBypassCostsOneBitPerSymbol(t *testing.T) {
+	rng := &xorshift{13}
+	const n = 8000
+	enc := NewEncoder()
+	for i := 0; i < n; i++ {
+		enc.EncodeBypass(uint(rng.next() & 1))
+	}
+	enc.Close()
+	bits := 8 * len(enc.Bytes())
+	if bits < n-64 || bits > n+64 {
+		t.Fatalf("bypass coded %d bits for %d symbols", bits, n)
+	}
+}
+
+func TestBitsEmittedMonotone(t *testing.T) {
+	enc := NewEncoder()
+	ms := NewModels(1)
+	prev := enc.BitsEmitted()
+	for i := 0; i < 1000; i++ {
+		enc.EncodeBit(&ms[0], uint(i&1))
+		if got := enc.BitsEmitted(); got < prev {
+			t.Fatalf("BitsEmitted decreased: %d -> %d", prev, got)
+		} else {
+			prev = got
+		}
+	}
+}
+
+func TestEncoderMisuse(t *testing.T) {
+	enc := NewEncoder()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Bytes before Close did not panic")
+			}
+		}()
+		enc.Bytes()
+	}()
+	enc.Close()
+	enc.Close() // idempotent
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EncodeBit after Close did not panic")
+			}
+		}()
+		ms := NewModels(1)
+		enc.EncodeBit(&ms[0], 1)
+	}()
+}
+
+func TestDecoderRejectsShortStream(t *testing.T) {
+	if _, err := NewDecoder([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestDecoderTruncationDetected(t *testing.T) {
+	// Encode enough data that truncating the stream forces reads past the
+	// flush padding.
+	enc := NewEncoder()
+	ms := NewModels(1)
+	rng := &xorshift{3}
+	for i := 0; i < 4000; i++ {
+		enc.EncodeBit(&ms[0], uint(rng.next()&1))
+	}
+	enc.Close()
+	data := enc.Bytes()
+	dec, err := NewDecoder(data[:len(data)/4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := NewModels(1)
+	for i := 0; i < 4000; i++ {
+		dec.DecodeBit(&md[0])
+	}
+	if dec.Err() == nil {
+		t.Fatal("deep truncation not detected")
+	}
+}
+
+func TestModelReset(t *testing.T) {
+	ms := NewModels(2)
+	ms[0].update(1)
+	ms[0].update(1)
+	if ms[0].p0 == ms[1].p0 {
+		t.Fatal("update had no effect")
+	}
+	ms[0].Reset()
+	if ms[0].p0 != ms[1].p0 {
+		t.Fatal("Reset did not restore the initial state")
+	}
+}

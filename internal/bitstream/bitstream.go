@@ -1,0 +1,104 @@
+// Package bitstream provides MSB-first bit-level I/O used by the entropy
+// layer (internal/entropy) and the hybrid codec (internal/codec). Writers
+// accumulate into an internal buffer; readers consume a byte slice.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned when a reader runs past the end of its input.
+var ErrOutOfBits = errors.New("bitstream: out of bits")
+
+// Writer accumulates bits MSB-first. The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint8
+	nCur uint // bits currently held in cur (0..7)
+	n    int  // total bits written
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	w.n++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the n least-significant bits of v, most significant
+// first. n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// Len returns the total number of bits written so far.
+func (w *Writer) Len() int { return w.n }
+
+// Bytes returns the written bits padded with zero bits to a byte boundary.
+// The writer remains usable; Bytes may be called repeatedly.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nCur > 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// Reset discards all written bits.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur, w.n = 0, 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int // bit position
+}
+
+// NewReader returns a reader over data. The slice is not copied.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= 8*len(r.data) {
+		return 0, ErrOutOfBits
+	}
+	b := r.data[r.pos>>3] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer, MSB first.
+// n must be in [0, 64].
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits (including padding bits).
+func (r *Reader) Remaining() int { return 8*len(r.data) - r.pos }

@@ -1,0 +1,133 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	var w Writer
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	var w Writer
+	w.WriteBit(1)
+	out := w.Bytes()
+	if len(out) != 1 || out[0] != 0x80 {
+		t.Fatalf("Bytes = %v, want [0x80]", out)
+	}
+	// Writer must stay usable after Bytes.
+	w.WriteBits(0x7F, 7)
+	out = w.Bytes()
+	if len(out) != 1 || out[0] != 0xFF {
+		t.Fatalf("Bytes = %v, want [0xFF]", out)
+	}
+}
+
+func TestWriteBitsMSBFirst(t *testing.T) {
+	var w Writer
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0b0010, 4)
+	out := w.Bytes()
+	if len(out) != 1 || out[0] != 0b10110010 {
+		t.Fatalf("Bytes = %08b", out[0])
+	}
+}
+
+func TestReadBitsValue(t *testing.T) {
+	r := NewReader([]byte{0xA5, 0xF0})
+	v, err := r.ReadBits(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xA5F {
+		t.Fatalf("ReadBits(12) = %#x, want 0xa5f", v)
+	}
+	if r.Remaining() != 4 {
+		t.Fatalf("Remaining = %d, want 4", r.Remaining())
+	}
+}
+
+func TestReaderExhaustion(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+	if _, err := r.ReadBits(3); err != ErrOutOfBits {
+		t.Fatalf("err = %v, want ErrOutOfBits", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xDEAD, 16)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("Reset did not clear writer")
+	}
+	w.WriteBits(0b101, 3)
+	if w.Bytes()[0] != 0b10100000 {
+		t.Fatal("writer unusable after Reset")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []uint32, widthsRaw []uint8) bool {
+		if len(vals) > len(widthsRaw) {
+			vals = vals[:len(widthsRaw)]
+		} else {
+			widthsRaw = widthsRaw[:len(vals)]
+		}
+		var w Writer
+		widths := make([]uint, len(vals))
+		for i := range vals {
+			widths[i] = uint(widthsRaw[i])%32 + 1
+			w.WriteBits(uint64(vals[i]), widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil {
+				return false
+			}
+			mask := uint64(1)<<widths[i] - 1
+			if got != uint64(vals[i])&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBitsPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteBits(_, 65) did not panic")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 65)
+}

@@ -1,0 +1,196 @@
+// Package codec implements the hybrid DPCM/DCT video codec substrate the
+// paper's evaluation runs on: an H.263-style encoder (16×16 macroblocks,
+// 8×8 DCT, H.263 uniform quantiser, half-pel motion compensation, median
+// MV prediction, intra/inter/skip macroblock modes) with a pluggable
+// motion estimator, plus the matching decoder.
+//
+// The bitstream is a compact custom format over the internal/entropy
+// layer; it is fully decodable and the decoder's output is bit-identical
+// to the encoder's reconstruction loop, which the tests verify. Rates and
+// PSNRs measured here stand in for the paper's TMN5 (H.263) numbers — see
+// DESIGN.md for the substitution rationale.
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/search"
+)
+
+// Magic identifies the bitstream format ("AB01" = ACBM repro v1).
+const Magic = 0x41423031
+
+// DefaultIntraBias is the TMN-style margin used in the inter/intra mode
+// decision: intra wins when IntraSAD < interSAD − DefaultIntraBias.
+const DefaultIntraBias = 500
+
+// DefaultSearchRange is the paper's p=15.
+const DefaultSearchRange = 15
+
+// Config controls one encode.
+type Config struct {
+	// Qp is the H.263 quantiser parameter (1..31).
+	Qp int
+	// SearchRange is the motion search range p in full pels (default 15).
+	SearchRange int
+	// Searcher performs motion estimation (default: full search).
+	Searcher search.Searcher
+	// IntraBias is the inter/intra decision margin (default 500).
+	IntraBias int
+	// FPS is the source frame rate, used only for bitrate reporting.
+	FPS float64
+	// IntraPeriod, when positive, forces an I-frame every IntraPeriod
+	// frames (GOP structure for error resilience / channel adaptation).
+	// 0 means only the first frame is intra, as in the paper's setup.
+	IntraPeriod int
+	// Entropy selects the entropy backend: baseline Exp-Golomb codes
+	// (default) or adaptive binary arithmetic coding (the counterpart of
+	// H.263 Annex E).
+	Entropy EntropyMode
+	// AdvancedPrediction enables the four-vector inter mode (one motion
+	// vector per 8×8 luma block, as in H.263 Annex F without OBMC): the
+	// encoder refines four sub-block vectors around the macroblock vector
+	// and uses them when they beat the single vector by Inter4VBias.
+	AdvancedPrediction bool
+	// Inter4VBias is the SAD margin the four-vector mode must win by
+	// (default 300, covering the three extra MVD costs).
+	Inter4VBias int
+	// PixelDecimation evaluates motion search candidates on a 4:1
+	// subsampled grid (the fast-ME family of the paper's refs [6-8]);
+	// it composes with any Searcher.
+	PixelDecimation bool
+	// Deblock enables the in-loop deblocking filter (an H.263 Annex J
+	// counterpart) applied to every reconstruction before it becomes a
+	// reference. The flag is carried in each frame header, so the decoder
+	// follows automatically.
+	Deblock bool
+	// TargetKbps, when positive, enables frame-level rate control: the
+	// quantiser is servoed around Config.Qp so the output rate tracks
+	// this target at Config.FPS. 0 keeps the constant Qp of the paper's
+	// experiments.
+	TargetKbps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SearchRange <= 0 {
+		c.SearchRange = DefaultSearchRange
+	}
+	if c.Searcher == nil {
+		c.Searcher = &search.FSBM{}
+	}
+	if c.IntraBias == 0 {
+		c.IntraBias = DefaultIntraBias
+	}
+	if c.Inter4VBias == 0 {
+		c.Inter4VBias = 300
+	}
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	c.Qp = dct.ClampQp(c.Qp)
+	return c
+}
+
+// FrameType distinguishes intra and predicted frames.
+type FrameType int
+
+const (
+	// IFrame is intra-coded (no reference).
+	IFrame FrameType = iota
+	// PFrame is predicted from the previous reconstructed frame.
+	PFrame
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	if t == IFrame {
+		return "I"
+	}
+	return "P"
+}
+
+// FrameStats reports one encoded frame.
+type FrameStats struct {
+	Type         FrameType
+	Qp           int     // quantiser used for this frame
+	Bits         int     // bits this frame contributed to the stream
+	PSNRY        float64 // luma PSNR of the reconstruction vs the source
+	PSNRCb       float64
+	PSNRCr       float64
+	SearchPoints int // candidate positions evaluated by motion search
+	Macroblocks  int
+	IntraMBs     int
+	InterMBs     int
+	Inter4VMBs   int // inter MBs that used four-vector prediction
+	SkipMBs      int
+}
+
+// SequenceStats aggregates an encoded sequence.
+type SequenceStats struct {
+	Frames []FrameStats
+	FPS    float64
+}
+
+// AvgPSNRY returns the mean luma PSNR across all frames.
+func (s *SequenceStats) AvgPSNRY() float64 {
+	if len(s.Frames) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range s.Frames {
+		sum += f.PSNRY
+	}
+	return sum / float64(len(s.Frames))
+}
+
+// TotalBits returns the bitstream length in bits.
+func (s *SequenceStats) TotalBits() int {
+	total := 0
+	for _, f := range s.Frames {
+		total += f.Bits
+	}
+	return total
+}
+
+// BitrateKbps returns the average rate in kbit/s at the configured frame
+// rate, the x-axis of the paper's Figs. 5 and 6.
+func (s *SequenceStats) BitrateKbps() float64 {
+	if len(s.Frames) == 0 {
+		return 0
+	}
+	fps := s.FPS
+	if fps <= 0 {
+		fps = 30
+	}
+	return float64(s.TotalBits()) * fps / float64(len(s.Frames)) / 1000
+}
+
+// AvgSearchPointsPerMB returns the mean candidate positions per macroblock
+// over P-frames — the paper's Table 1 metric.
+func (s *SequenceStats) AvgSearchPointsPerMB() float64 {
+	pts, mbs := 0, 0
+	for _, f := range s.Frames {
+		if f.Type != PFrame {
+			continue
+		}
+		pts += f.SearchPoints
+		mbs += f.Macroblocks
+	}
+	if mbs == 0 {
+		return 0
+	}
+	return float64(pts) / float64(mbs)
+}
+
+// validateSize checks the frame format is codable (16-divisible luma).
+func validateSize(s frame.Size) error {
+	if s.W%16 != 0 || s.H%16 != 0 {
+		return fmt.Errorf("codec: luma size %v not divisible into 16x16 macroblocks", s)
+	}
+	if s.W == 0 || s.H == 0 {
+		return fmt.Errorf("codec: empty frame size")
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package codec
+
+import "repro/internal/frame"
+
+// In-loop deblocking (the counterpart of H.263 Annex J): a light 1-D
+// filter across 8×8 block edges of the reconstruction, applied identically
+// by encoder and decoder before the frame becomes a prediction reference.
+// Strong edges (likely real content) are left untouched; soft block
+// discontinuities (likely quantisation artefacts) are smoothed with a
+// quantiser-scaled correction.
+
+// deblockThreshold returns the edge-difference ceiling above which the
+// filter leaves the edge alone.
+func deblockThreshold(qp int) int { return 3 * qp }
+
+// deblockPair filters the two samples straddling a block edge.
+func deblockPair(b, c uint8, qp int) (uint8, uint8) {
+	diff := int(c) - int(b)
+	if diff == 0 {
+		return b, c
+	}
+	if diff > deblockThreshold(qp) || diff < -deblockThreshold(qp) {
+		return b, c // a real edge: do not smooth
+	}
+	d := diff / 4
+	limit := qp / 2
+	if d > limit {
+		d = limit
+	}
+	if d < -limit {
+		d = -limit
+	}
+	return frame.ClampU8(int(b) + d), frame.ClampU8(int(c) - d)
+}
+
+// deblockPlane filters all interior 8×8 block edges of p in place:
+// vertical edges first, then horizontal, as in the H.263 filter order.
+func deblockPlane(p *frame.Plane, qp int) {
+	// Vertical edges (filter across columns x-1 | x).
+	for x := 8; x < p.W; x += 8 {
+		for y := 0; y < p.H; y++ {
+			b, c := deblockPair(p.At(x-1, y), p.At(x, y), qp)
+			p.Set(x-1, y, b)
+			p.Set(x, y, c)
+		}
+	}
+	// Horizontal edges (filter across rows y-1 | y).
+	for y := 8; y < p.H; y += 8 {
+		for x := 0; x < p.W; x++ {
+			b, c := deblockPair(p.At(x, y-1), p.At(x, y), qp)
+			p.Set(x, y-1, b)
+			p.Set(x, y, c)
+		}
+	}
+}
+
+// deblockFrame filters every component of the reconstruction.
+func deblockFrame(f *frame.Frame, qp int) {
+	deblockPlane(f.Y, qp)
+	deblockPlane(f.Cb, qp)
+	deblockPlane(f.Cr, qp)
+}
+
+// Blockiness measures the mean absolute luma step across 8×8 block edges
+// minus the mean step one pixel inside them — a positive value indicates
+// visible blocking structure. Exported for tests and experiments.
+func Blockiness(p *frame.Plane) float64 {
+	var edge, inner, n int64
+	for x := 8; x < p.W; x += 8 {
+		for y := 0; y < p.H; y++ {
+			e := int(p.At(x, y)) - int(p.At(x-1, y))
+			i := int(p.At(x-1, y)) - int(p.At(x-2, y))
+			if e < 0 {
+				e = -e
+			}
+			if i < 0 {
+				i = -i
+			}
+			edge += int64(e)
+			inner += int64(i)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(edge-inner) / float64(n)
+}

@@ -1,0 +1,93 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func TestDeblockPairBehaviour(t *testing.T) {
+	// Soft discontinuity: smoothed toward each other.
+	b, c := deblockPair(100, 112, 16)
+	if !(b > 100 && c < 112) {
+		t.Fatalf("soft edge not smoothed: %d %d", b, c)
+	}
+	// Strong edge: untouched (real content).
+	b, c = deblockPair(50, 200, 16)
+	if b != 50 || c != 200 {
+		t.Fatalf("strong edge altered: %d %d", b, c)
+	}
+	// Equal samples: untouched.
+	b, c = deblockPair(128, 128, 16)
+	if b != 128 || c != 128 {
+		t.Fatal("flat pair altered")
+	}
+	// Correction bounded by qp/2.
+	b, c = deblockPair(100, 140, 31)
+	if int(b)-100 > 15 || 140-int(c) > 15 {
+		t.Fatalf("correction exceeded qp/2: %d %d", b, c)
+	}
+}
+
+func TestDeblockReducesBlockiness(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.SQCIF, 3, 1)
+	plain := NewEncoder(Config{Qp: 24})
+	filtered := NewEncoder(Config{Qp: 24, Deblock: true})
+	for _, f := range frames {
+		if _, err := plain.EncodeFrame(f.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := filtered.EncodeFrame(f.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := Blockiness(plain.Reconstruction().Y)
+	bf := Blockiness(filtered.Reconstruction().Y)
+	if bf >= bp {
+		t.Fatalf("deblocking did not reduce blockiness: %.2f vs %.2f", bf, bp)
+	}
+}
+
+func TestDeblockRoundTripBothModes(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 4, 2)
+	for _, mode := range []EntropyMode{EntropyExpGolomb, EntropyArith} {
+		enc := NewEncoder(Config{Qp: 20, Deblock: true, Entropy: mode})
+		var recons []*frame.Frame
+		for _, f := range frames {
+			if _, err := enc.EncodeFrame(f); err != nil {
+				t.Fatal(err)
+			}
+			recons = append(recons, enc.Reconstruction())
+		}
+		decoded, err := Decode(enc.Bitstream())
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for i := range decoded {
+			if !decoded[i].Equal(recons[i]) {
+				t.Fatalf("mode %v: frame %d mismatch with deblocking", mode, i)
+			}
+		}
+	}
+}
+
+func TestBlockinessMetric(t *testing.T) {
+	// A plane with hard 8x8 DC steps has positive blockiness; a smooth
+	// ramp has ~none.
+	blocky := frame.NewPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			blocky.Set(x, y, uint8(((x/8)+(y/8))%2*40+100))
+		}
+	}
+	smooth := frame.NewPlane(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			smooth.Set(x, y, uint8(100+x))
+		}
+	}
+	if Blockiness(blocky) <= Blockiness(smooth) {
+		t.Fatalf("metric broken: blocky %.2f <= smooth %.2f", Blockiness(blocky), Blockiness(smooth))
+	}
+}

@@ -1,0 +1,414 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/mvfield"
+	"repro/internal/search"
+)
+
+// mbMode is a macroblock coding mode.
+type mbMode int
+
+const (
+	mbSkip mbMode = iota // COD=1: copy collocated block, zero MV
+	mbInter
+	mbIntra
+)
+
+// Encoder encodes a sequence of equally sized frames: the first as an
+// I-frame, the rest as P-frames referencing the previous reconstruction
+// (plus periodic I-frames when Config.IntraPeriod is set).
+//
+// The bitstream is finalised by the first call to Bitstream; frames cannot
+// be added afterwards.
+type Encoder struct {
+	cfg  Config
+	size frame.Size
+
+	sw       symWriter
+	out      []byte
+	finished bool
+
+	curQp int             // quantiser for the current frame
+	rc    *rateController // nil unless Config.TargetKbps > 0
+
+	recon     *frame.Frame // reference: last reconstructed frame
+	reconY    *frame.Interpolated
+	reconCb   *frame.Interpolated
+	reconCr   *frame.Interpolated
+	prevField *mvfield.Field
+	frames    int
+
+	stats SequenceStats
+}
+
+// NewEncoder returns an encoder for the given configuration.
+func NewEncoder(cfg Config) *Encoder {
+	cfg = cfg.withDefaults()
+	e := &Encoder{
+		cfg:   cfg,
+		sw:    newSymWriter(cfg.Entropy),
+		curQp: cfg.Qp,
+		stats: SequenceStats{FPS: cfg.FPS},
+	}
+	if cfg.TargetKbps > 0 {
+		e.rc = newRateController(cfg.TargetKbps, cfg.FPS, cfg.Qp)
+	}
+	return e
+}
+
+// Stats returns per-frame statistics for everything encoded so far. In
+// arithmetic entropy mode the per-frame bit counts are approximate (the
+// range coder buffers up to a few bytes across frame boundaries); totals
+// are exact.
+func (e *Encoder) Stats() *SequenceStats { return &e.stats }
+
+// Bitstream finalises and returns the encoded stream. The first call ends
+// the sequence; subsequent EncodeFrame calls fail.
+func (e *Encoder) Bitstream() []byte {
+	if !e.finished {
+		if e.frames > 0 {
+			e.sw.Flag(sctxMore, false)
+			e.out = e.sw.Finish()
+		}
+		e.finished = true
+	}
+	return e.out
+}
+
+// Reconstruction returns the most recent reconstructed frame (the decoder
+// will produce exactly this), or nil before any frame is encoded.
+func (e *Encoder) Reconstruction() *frame.Frame {
+	if e.recon == nil {
+		return nil
+	}
+	return e.recon.Clone()
+}
+
+// EncodeFrame appends one frame to the stream and returns its statistics.
+func (e *Encoder) EncodeFrame(f *frame.Frame) (FrameStats, error) {
+	if e.finished {
+		return FrameStats{}, fmt.Errorf("codec: encoder finalised by Bitstream; cannot add frames")
+	}
+	if e.frames == 0 {
+		if err := validateSize(f.Size()); err != nil {
+			return FrameStats{}, err
+		}
+		e.size = f.Size()
+		e.writeSequenceHeader()
+	} else if f.Size() != e.size {
+		return FrameStats{}, fmt.Errorf("codec: frame size changed from %v to %v", e.size, f.Size())
+	}
+
+	if e.rc != nil {
+		e.curQp = e.rc.currentQp()
+	}
+	startBits := e.sw.Len()
+	e.sw.Flag(sctxMore, true)
+	intra := e.frames == 0 ||
+		(e.cfg.IntraPeriod > 0 && e.frames%e.cfg.IntraPeriod == 0)
+	var fs FrameStats
+	if intra {
+		fs = e.encodeIntraFrame(f)
+	} else {
+		fs = e.encodeInterFrame(f)
+	}
+	fs.Bits = e.sw.Len() - startBits
+	fs.Qp = e.curQp
+	if e.rc != nil {
+		e.rc.observe(fs.Bits)
+	}
+
+	py, _ := frame.PSNR(f.Y, e.recon.Y)
+	pcb, _ := frame.PSNR(f.Cb, e.recon.Cb)
+	pcr, _ := frame.PSNR(f.Cr, e.recon.Cr)
+	fs.PSNRY, fs.PSNRCb, fs.PSNRCr = py, pcb, pcr
+
+	e.frames++
+	e.stats.Frames = append(e.stats.Frames, fs)
+	return fs, nil
+}
+
+func (e *Encoder) writeSequenceHeader() {
+	e.sw.RawHeader(Magic, 32)
+	e.sw.UEHeader(uint32(e.size.W / 16))
+	e.sw.UEHeader(uint32(e.size.H / 16))
+	e.sw.RawHeader(uint64(e.cfg.Entropy), 1)
+	e.sw.BeginData()
+}
+
+func (e *Encoder) writeFrameHeader(t FrameType) {
+	if t == IFrame {
+		e.sw.Bits(0, 1)
+	} else {
+		e.sw.Bits(1, 1)
+	}
+	e.sw.Bits(uint64(e.curQp), 5)
+	if e.cfg.Deblock {
+		e.sw.Bits(1, 1)
+	} else {
+		e.sw.Bits(0, 1)
+	}
+}
+
+// writeCoeffs serialises a block's quantised levels as (run, level, last)
+// events over the zig-zag scan. The block must have ≥1 non-zero level.
+func writeCoeffs(sw symWriter, b *dct.Block) {
+	var scan [64]int32
+	dct.Scan(&scan, b)
+	lastNZ := -1
+	for i, c := range scan {
+		if c != 0 {
+			lastNZ = i
+		}
+	}
+	if lastNZ < 0 {
+		panic("codec: writeCoeffs on an all-zero block")
+	}
+	run := 0
+	for i := 0; i <= lastNZ; i++ {
+		c := scan[i]
+		if c == 0 {
+			run++
+			continue
+		}
+		sw.UE(sctxRun, uint32(run))
+		sw.SE(sctxLevel, c)
+		sw.Flag(sctxLast, i == lastNZ)
+		run = 0
+	}
+}
+
+// refreshReference installs recon as the prediction reference.
+func (e *Encoder) refreshReference(recon *frame.Frame) {
+	if e.cfg.Deblock {
+		deblockFrame(recon, e.curQp)
+	}
+	e.recon = recon
+	e.reconY = frame.Interpolate(recon.Y)
+	e.reconCb = frame.Interpolate(recon.Cb)
+	e.reconCr = frame.Interpolate(recon.Cr)
+}
+
+func (e *Encoder) encodeIntraFrame(f *frame.Frame) FrameStats {
+	e.writeFrameHeader(IFrame)
+	recon := frame.NewFrame(e.size)
+	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
+	fs := FrameStats{Type: IFrame, Macroblocks: cols * rows, IntraMBs: cols * rows}
+	for mby := 0; mby < rows; mby++ {
+		for mbx := 0; mbx < cols; mbx++ {
+			e.codeIntraMB(f, recon, mbx, mby)
+		}
+	}
+	e.refreshReference(recon)
+	e.prevField = mvfield.NewField(cols, rows) // all-zero motion
+	return fs
+}
+
+// codeIntraMB writes and reconstructs the six intra blocks of MB (mbx,mby).
+func (e *Encoder) codeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+	x, y := 16*mbx, 16*mby
+	var cur, levels, rec dct.Block
+	code := func(p, rp *frame.Plane, bx, by int) {
+		loadBlock(&cur, p, bx, by)
+		encodeIntraBlock(&levels, &cur, e.curQp)
+		e.writeIntraBlock(&levels)
+		reconIntraBlock(&rec, &levels, e.curQp)
+		storeBlock(rp, bx, by, &rec)
+	}
+	for _, off := range lumaBlockOffsets {
+		code(src.Y, recon.Y, x+off[0], y+off[1])
+	}
+	code(src.Cb, recon.Cb, 8*mbx, 8*mby)
+	code(src.Cr, recon.Cr, 8*mbx, 8*mby)
+}
+
+// writeIntraBlock codes DC as an 8-bit FLC and AC as TCOEF events behind a
+// coded flag, mirroring the H.263 INTRADC + TCOEF structure.
+func (e *Encoder) writeIntraBlock(levels *dct.Block) {
+	e.sw.Bits(uint64(levels[0]), 8)
+	if acCoded(levels) {
+		e.sw.Flag(sctxACFlag, true)
+		ac := *levels
+		ac[0] = 0
+		writeCoeffs(e.sw, &ac)
+	} else {
+		e.sw.Flag(sctxACFlag, false)
+	}
+}
+
+func (e *Encoder) encodeInterFrame(f *frame.Frame) FrameStats {
+	e.writeFrameHeader(PFrame)
+	recon := frame.NewFrame(e.size)
+	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
+	fs := FrameStats{Type: PFrame, Macroblocks: cols * rows}
+	curField := mvfield.NewField(cols, rows)
+
+	for mby := 0; mby < rows; mby++ {
+		for mbx := 0; mbx < cols; mbx++ {
+			mode, four, pts := e.codeInterMB(f, recon, curField, mbx, mby)
+			fs.SearchPoints += pts
+			switch mode {
+			case mbSkip:
+				fs.SkipMBs++
+			case mbInter:
+				fs.InterMBs++
+				if four {
+					fs.Inter4VMBs++
+				}
+			case mbIntra:
+				fs.IntraMBs++
+			}
+		}
+	}
+	e.refreshReference(recon)
+	e.prevField = curField
+	return fs
+}
+
+// codeInterMB performs motion estimation, mode decision, residual coding
+// and reconstruction for one P-frame macroblock, then serialises it.
+func (e *Encoder) codeInterMB(src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int) (mbMode, bool, int) {
+	x, y := 16*mbx, 16*mby
+	in := &search.Input{
+		Cur: src.Y, Ref: e.recon.Y, RefI: e.reconY,
+		BX: x, BY: y, W: 16, H: 16,
+		Range: e.cfg.SearchRange, Qp: e.curQp,
+		CurField: curField, PrevField: e.prevField,
+		MBX: mbx, MBY: mby,
+		PixelDecimation: e.cfg.PixelDecimation,
+	}
+	res := e.cfg.Searcher.Search(in)
+
+	// Mode decision (TMN-style): intra wins when the block's internal
+	// variation is clearly below the best matching error.
+	intraSAD := metrics.IntraSAD(src.Y, x, y, 16, 16)
+	if intraSAD < res.SAD-e.cfg.IntraBias {
+		e.sw.Flag(sctxCOD, false) // coded
+		e.sw.Flag(sctxMode, true) // intra
+		e.codeIntraMB(src, recon, mbx, mby)
+		curField.Set(mbx, mby, mvfield.Zero)
+		return mbIntra, false, res.Points
+	}
+
+	mv := res.MV
+	pts := res.Points
+
+	// Advanced prediction: refine one vector per 8×8 luma block around
+	// the macroblock vector and take the four-vector mode when the summed
+	// matching error wins by the configured bias.
+	if e.cfg.AdvancedPrediction {
+		var subMV [4]mvfield.MV
+		sum8 := 0
+		for i, off := range lumaBlockOffsets {
+			sin := &search.Input{
+				Cur: src.Y, Ref: e.recon.Y, RefI: e.reconY,
+				BX: x + off[0], BY: y + off[1], W: 8, H: 8,
+				Range: e.cfg.SearchRange, Qp: e.curQp,
+				PixelDecimation: e.cfg.PixelDecimation,
+			}
+			smv, ssad, spts := refineSubBlock(sin, mv)
+			subMV[i], pts = smv, pts+spts
+			sum8 += ssad
+		}
+		if sum8 < res.SAD-e.cfg.Inter4VBias {
+			e.codeInter4VMB(src, recon, curField, mbx, mby, subMV)
+			return mbInter, true, pts
+		}
+	}
+
+	cmv := chromaMV(mv)
+
+	// Transform and quantise all six blocks first so the skip decision
+	// can see the coded-block pattern.
+	var lumaLv [4]dct.Block
+	var lumaPred [4]dct.Block
+	var coded [6]bool
+	var cur dct.Block
+	for i, off := range lumaBlockOffsets {
+		loadBlock(&cur, src.Y, x+off[0], y+off[1])
+		predBlock(&lumaPred[i], e.reconY, x+off[0], y+off[1], mv)
+		coded[i] = encodeInterBlock(&lumaLv[i], &cur, &lumaPred[i], e.curQp)
+	}
+	var cbLv, crLv, cbPred, crPred dct.Block
+	cx, cy := 8*mbx, 8*mby
+	loadBlock(&cur, src.Cb, cx, cy)
+	predBlock(&cbPred, e.reconCb, cx, cy, cmv)
+	coded[4] = encodeInterBlock(&cbLv, &cur, &cbPred, e.curQp)
+	loadBlock(&cur, src.Cr, cx, cy)
+	predBlock(&crPred, e.reconCr, cx, cy, cmv)
+	coded[5] = encodeInterBlock(&crLv, &cur, &crPred, e.curQp)
+
+	anyCoded := false
+	for _, c := range coded {
+		anyCoded = anyCoded || c
+	}
+
+	if mv == mvfield.Zero && !anyCoded {
+		// Skip: reconstruction copies the reference.
+		e.sw.Flag(sctxCOD, true)
+		var rec dct.Block
+		for i, off := range lumaBlockOffsets {
+			reconInterBlock(&rec, &lumaPred[i], nil, false, e.curQp)
+			storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+		}
+		reconInterBlock(&rec, &cbPred, nil, false, e.curQp)
+		storeBlock(recon.Cb, cx, cy, &rec)
+		reconInterBlock(&rec, &crPred, nil, false, e.curQp)
+		storeBlock(recon.Cr, cx, cy, &rec)
+		curField.Set(mbx, mby, mvfield.Zero)
+		return mbSkip, false, pts
+	}
+
+	// Inter macroblock, single vector.
+	e.sw.Flag(sctxCOD, false)     // coded
+	e.sw.Flag(sctxMode, false)    // inter
+	e.sw.Flag(sctxInter4V, false) // one vector
+	pred := curField.MedianPredictor(mbx, mby)
+	d := mv.Sub(pred)
+	e.sw.SE(sctxMVX, int32(d.X))
+	e.sw.SE(sctxMVY, int32(d.Y))
+	for _, c := range coded {
+		e.sw.Flag(sctxCBP, c)
+	}
+	var rec dct.Block
+	for i, off := range lumaBlockOffsets {
+		if coded[i] {
+			writeCoeffs(e.sw, &lumaLv[i])
+		}
+		reconInterBlock(&rec, &lumaPred[i], &lumaLv[i], coded[i], e.curQp)
+		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+	}
+	if coded[4] {
+		writeCoeffs(e.sw, &cbLv)
+	}
+	reconInterBlock(&rec, &cbPred, &cbLv, coded[4], e.curQp)
+	storeBlock(recon.Cb, cx, cy, &rec)
+	if coded[5] {
+		writeCoeffs(e.sw, &crLv)
+	}
+	reconInterBlock(&rec, &crPred, &crLv, coded[5], e.curQp)
+	storeBlock(recon.Cr, cx, cy, &rec)
+
+	curField.Set(mbx, mby, mv)
+	return mbInter, false, pts
+}
+
+// EncodeSequence encodes frames with cfg and returns the statistics and
+// the finalised bitstream.
+func EncodeSequence(cfg Config, frames []*frame.Frame) (*SequenceStats, []byte, error) {
+	if len(frames) == 0 {
+		return nil, nil, fmt.Errorf("codec: no frames to encode")
+	}
+	e := NewEncoder(cfg)
+	for i, f := range frames {
+		if _, err := e.EncodeFrame(f); err != nil {
+			return nil, nil, fmt.Errorf("codec: frame %d: %w", i, err)
+		}
+	}
+	return e.Stats(), e.Bitstream(), nil
+}

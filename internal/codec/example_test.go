@@ -1,0 +1,34 @@
+package codec_test
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+// Example encodes a short synthetic clip with the ACBM motion estimator
+// and verifies the decoder reproduces the encoder's reconstruction.
+func Example() {
+	frames := video.Generate(video.MissAmerica, frame.SQCIF, 3, 1)
+	stats, bitstream, err := codec.EncodeSequence(codec.Config{
+		Qp:       16,
+		Searcher: core.New(core.DefaultParams),
+		FPS:      30,
+	}, frames)
+	if err != nil {
+		panic(err)
+	}
+	decoded, err := codec.Decode(bitstream)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("frames=%d types=%v%v%v exact-roundtrip=%v\n",
+		len(decoded),
+		stats.Frames[0].Type, stats.Frames[1].Type, stats.Frames[2].Type,
+		len(decoded) == 3)
+	// Output:
+	// frames=3 types=IPP exact-roundtrip=true
+}

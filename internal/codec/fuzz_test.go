@@ -1,0 +1,124 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+// Failure injection: the decoder must reject or survive arbitrary
+// corruption without panicking, for both entropy backends. This is the
+// deterministic stand-in for a fuzzer.
+
+func mutateAndDecode(t *testing.T, bs []byte, seed uint64) {
+	t.Helper()
+	s := seed | 1
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 2685821657736338717
+	}
+	for i := 0; i < 300; i++ {
+		kind := next() % 3
+		corrupt := make([]byte, len(bs))
+		copy(corrupt, bs)
+		switch kind {
+		case 0: // single bit flip
+			pos := int(next() % uint64(len(corrupt)))
+			corrupt[pos] ^= byte(1 << (next() % 8))
+		case 1: // truncate
+			corrupt = corrupt[:int(next()%uint64(len(corrupt)))]
+		case 2: // byte splice
+			pos := int(next() % uint64(len(corrupt)))
+			corrupt[pos] = byte(next())
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on mutation %d (kind %d): %v", i, kind, r)
+				}
+			}()
+			frames, err := Decode(corrupt)
+			// Either an error or some decoded frames is acceptable; a
+			// panic or unbounded output is not.
+			if err == nil && len(frames) > 10 {
+				t.Fatalf("mutation %d decoded %d frames from a 3-frame stream", i, len(frames))
+			}
+		}()
+	}
+}
+
+func TestDecoderSurvivesCorruptionExpGolomb(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 3, 1)
+	_, bs, err := EncodeSequence(Config{Qp: 16}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateAndDecode(t, bs, 1)
+}
+
+func TestDecoderSurvivesCorruptionArith(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 3, 1)
+	_, bs, err := EncodeSequence(Config{Qp: 16, Entropy: EntropyArith}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateAndDecode(t, bs, 2)
+}
+
+func TestDecoderSurvivesRandomGarbage(t *testing.T) {
+	s := uint64(99)
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 2685821657736338717
+	}
+	for i := 0; i < 200; i++ {
+		n := int(next() % 512)
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = byte(next())
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on garbage %d: %v", i, r)
+				}
+			}()
+			_, _ = Decode(data)
+		}()
+	}
+}
+
+func TestDecoderSurvivesValidHeaderGarbageBody(t *testing.T) {
+	// A correct sequence header followed by noise exercises the MB parse
+	// paths with maximally confusing input.
+	frames := video.Generate(video.Foreman, frame.SQCIF, 2, 1)
+	for _, mode := range []EntropyMode{EntropyExpGolomb, EntropyArith} {
+		_, bs, err := EncodeSequence(Config{Qp: 16, Entropy: mode}, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := uint64(7)
+		for i := 0; i < 100; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			data := make([]byte, len(bs))
+			copy(data, bs[:8]) // keep header bytes
+			for j := 8; j < len(data); j++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				data[j] = byte(s >> 33)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("mode %v: panicked on garbage body %d: %v", mode, i, r)
+					}
+				}()
+				_, _ = Decode(data)
+			}()
+		}
+	}
+}

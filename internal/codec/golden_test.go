@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// goldenFrames builds a fixed synthetic input that depends only on this
+// function (not on the scene engine), so the hashes below pin the
+// bitstream *format*: any unintended change to the DCT, quantiser,
+// entropy layer or syntax ordering breaks these tests loudly.
+func goldenFrames() []*frame.Frame {
+	mk := func(phase int) *frame.Frame {
+		f := frame.NewFrame(frame.SQCIF)
+		for y := 0; y < f.Y.H; y++ {
+			for x := 0; x < f.Y.W; x++ {
+				f.Y.Set(x, y, uint8((x*3+y*5+phase*7)%251))
+			}
+		}
+		for y := 0; y < f.Cb.H; y++ {
+			for x := 0; x < f.Cb.W; x++ {
+				f.Cb.Set(x, y, uint8(120+(x+phase)%16))
+				f.Cr.Set(x, y, uint8(136-(y+phase)%16))
+			}
+		}
+		return f
+	}
+	return []*frame.Frame{mk(0), mk(1), mk(2)}
+}
+
+// Golden digests. If a change is *intentional* (a deliberate format
+// revision), update these values and note the format break in the README.
+const (
+	goldenExpGolomb = "56e88c9fa05c261072ab8fbb477a6cd8db9947983fc2679a5e7e2c289dae1e93"
+	goldenArith     = "819a219500fdcabddd4f62b00e3a0bd66902d00ccdd4c73502890d633251f547"
+)
+
+func TestGoldenBitstreamExpGolomb(t *testing.T) {
+	_, bs, err := EncodeSequence(Config{Qp: 12}, goldenFrames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(bs)
+	if got := hex.EncodeToString(sum[:]); got != goldenExpGolomb {
+		t.Fatalf("exp-golomb bitstream digest changed:\n got  %s\n want %s\n"+
+			"(format change? update the golden value only if intentional)", got, goldenExpGolomb)
+	}
+}
+
+func TestGoldenBitstreamArith(t *testing.T) {
+	_, bs, err := EncodeSequence(Config{Qp: 12, Entropy: EntropyArith}, goldenFrames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(bs)
+	if got := hex.EncodeToString(sum[:]); got != goldenArith {
+		t.Fatalf("arithmetic bitstream digest changed:\n got  %s\n want %s", got, goldenArith)
+	}
+}
+
+func TestGoldenStreamsDecode(t *testing.T) {
+	for _, mode := range []EntropyMode{EntropyExpGolomb, EntropyArith} {
+		_, bs, err := EncodeSequence(Config{Qp: 12, Entropy: mode}, goldenFrames())
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, err := Decode(bs)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if len(frames) != 3 {
+			t.Fatalf("mode %v: decoded %d frames", mode, len(frames))
+		}
+	}
+}

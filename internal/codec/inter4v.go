@@ -1,0 +1,204 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/dct"
+	"repro/internal/frame"
+	"repro/internal/mvfield"
+	"repro/internal/search"
+)
+
+// Four-vector (advanced prediction) inter macroblocks: one motion vector
+// per 8×8 luma block, following H.263 Annex F's motion model (without
+// OBMC). The chroma vector derives from the rounded average of the four
+// luma vectors, and the macroblock contributes that average to the motion
+// field used for prediction — the encoder and decoder share these rules.
+
+// refineSubBlock finds an 8×8 vector by a short integer-pel descent from
+// the macroblock vector followed by a half-pel ring, mirroring Annex F
+// encoders that only refine around the 16×16 result.
+func refineSubBlock(in *search.Input, start mvfield.MV) (mvfield.MV, int, int) {
+	best := in.ClampMV(start)
+	bestSAD := in.SAD(best)
+	pts := 1
+	visited := map[mvfield.MV]bool{best: true}
+	for step := 0; step < 2; step++ {
+		improved := false
+		for _, d := range [4]mvfield.MV{{X: 2}, {X: -2}, {Y: 2}, {Y: -2}} {
+			mv := best.Add(d)
+			if visited[mv] || !in.Legal(mv) || mv.Linf() > 2*in.Range {
+				continue
+			}
+			visited[mv] = true
+			pts++
+			if s := in.SAD(mv); s < bestSAD {
+				best, bestSAD, improved = mv, s, true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := best.Add(mvfield.MV{X: dx, Y: dy})
+			if visited[mv] || !in.Legal(mv) {
+				continue
+			}
+			visited[mv] = true
+			pts++
+			if s := in.SAD(mv); s < bestSAD {
+				best, bestSAD = mv, s
+			}
+		}
+	}
+	return best, bestSAD, pts
+}
+
+// avgMV is the rounded (away from zero) component-wise average of the
+// four sub-block vectors; it feeds both the chroma derivation and the
+// motion field entry.
+func avgMV(mvs [4]mvfield.MV) mvfield.MV {
+	div4 := func(v int) int {
+		switch {
+		case v > 0:
+			return (v + 2) / 4
+		case v < 0:
+			return -((-v + 2) / 4)
+		}
+		return 0
+	}
+	var sx, sy int
+	for _, m := range mvs {
+		sx += m.X
+		sy += m.Y
+	}
+	return mvfield.MV{X: div4(sx), Y: div4(sy)}
+}
+
+// codeInter4VMB serialises and reconstructs a four-vector macroblock. The
+// COD/mode/inter4v flags are written here.
+func (e *Encoder) codeInter4VMB(src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int, subMV [4]mvfield.MV) {
+	x, y := 16*mbx, 16*mby
+	cx, cy := 8*mbx, 8*mby
+	e.sw.Flag(sctxCOD, false)    // coded
+	e.sw.Flag(sctxMode, false)   // inter
+	e.sw.Flag(sctxInter4V, true) // four vectors
+
+	pred := curField.MedianPredictor(mbx, mby)
+	for _, mv := range subMV {
+		d := mv.Sub(pred)
+		e.sw.SE(sctxMVX, int32(d.X))
+		e.sw.SE(sctxMVY, int32(d.Y))
+	}
+
+	avg := avgMV(subMV)
+	cmv := chromaMV(avg)
+
+	var lumaLv, lumaPred [4]dct.Block
+	var coded [6]bool
+	var cur dct.Block
+	for i, off := range lumaBlockOffsets {
+		loadBlock(&cur, src.Y, x+off[0], y+off[1])
+		predBlock(&lumaPred[i], e.reconY, x+off[0], y+off[1], subMV[i])
+		coded[i] = encodeInterBlock(&lumaLv[i], &cur, &lumaPred[i], e.curQp)
+	}
+	var cbLv, crLv, cbPred, crPred dct.Block
+	loadBlock(&cur, src.Cb, cx, cy)
+	predBlock(&cbPred, e.reconCb, cx, cy, cmv)
+	coded[4] = encodeInterBlock(&cbLv, &cur, &cbPred, e.curQp)
+	loadBlock(&cur, src.Cr, cx, cy)
+	predBlock(&crPred, e.reconCr, cx, cy, cmv)
+	coded[5] = encodeInterBlock(&crLv, &cur, &crPred, e.curQp)
+
+	for _, c := range coded {
+		e.sw.Flag(sctxCBP, c)
+	}
+	var rec dct.Block
+	for i, off := range lumaBlockOffsets {
+		if coded[i] {
+			writeCoeffs(e.sw, &lumaLv[i])
+		}
+		reconInterBlock(&rec, &lumaPred[i], &lumaLv[i], coded[i], e.curQp)
+		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+	}
+	if coded[4] {
+		writeCoeffs(e.sw, &cbLv)
+	}
+	reconInterBlock(&rec, &cbPred, &cbLv, coded[4], e.curQp)
+	storeBlock(recon.Cb, cx, cy, &rec)
+	if coded[5] {
+		writeCoeffs(e.sw, &crLv)
+	}
+	reconInterBlock(&rec, &crPred, &crLv, coded[5], e.curQp)
+	storeBlock(recon.Cr, cx, cy, &rec)
+
+	curField.Set(mbx, mby, avg)
+}
+
+// decodeInter4VMB mirrors codeInter4VMB after the inter4v flag has been
+// consumed.
+func (d *Decoder) decodeInter4VMB(recon *frame.Frame, curField *mvfield.Field, qp, mbx, mby int) error {
+	x, y := 16*mbx, 16*mby
+	cx, cy := 8*mbx, 8*mby
+	pred := curField.MedianPredictor(mbx, mby)
+	var subMV [4]mvfield.MV
+	for i := range subMV {
+		dx, err := d.sr.SE(sctxMVX)
+		if err != nil {
+			return err
+		}
+		dy, err := d.sr.SE(sctxMVY)
+		if err != nil {
+			return err
+		}
+		subMV[i] = pred.Add(mvfield.MV{X: int(dx), Y: int(dy)})
+	}
+	var coded [6]bool
+	for i := range coded {
+		var err error
+		coded[i], err = d.sr.Flag(sctxCBP)
+		if err != nil {
+			return err
+		}
+	}
+	avg := avgMV(subMV)
+	cmv := chromaMV(avg)
+	var levels, pred8, rec dct.Block
+	for i, off := range lumaBlockOffsets {
+		levels = dct.Block{}
+		if coded[i] {
+			if err := readCoeffs(d.sr, &levels); err != nil {
+				return fmt.Errorf("codec: 4v luma block %d: %w", i, err)
+			}
+		}
+		predBlock(&pred8, d.reconY, x+off[0], y+off[1], subMV[i])
+		reconInterBlock(&rec, &pred8, &levels, coded[i], qp)
+		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+	}
+	levels = dct.Block{}
+	if coded[4] {
+		if err := readCoeffs(d.sr, &levels); err != nil {
+			return err
+		}
+	}
+	predBlock(&pred8, d.reconCb, cx, cy, cmv)
+	reconInterBlock(&rec, &pred8, &levels, coded[4], qp)
+	storeBlock(recon.Cb, cx, cy, &rec)
+	levels = dct.Block{}
+	if coded[5] {
+		if err := readCoeffs(d.sr, &levels); err != nil {
+			return err
+		}
+	}
+	predBlock(&pred8, d.reconCr, cx, cy, cmv)
+	reconInterBlock(&rec, &pred8, &levels, coded[5], qp)
+	storeBlock(recon.Cr, cx, cy, &rec)
+
+	curField.Set(mbx, mby, avg)
+	return nil
+}

@@ -1,0 +1,139 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/mvfield"
+	"repro/internal/video"
+)
+
+func TestAvgMV(t *testing.T) {
+	cases := []struct {
+		in   [4]mvfield.MV
+		want mvfield.MV
+	}{
+		{[4]mvfield.MV{{}, {}, {}, {}}, mvfield.Zero},
+		{[4]mvfield.MV{{X: 4, Y: 4}, {X: 4, Y: 4}, {X: 4, Y: 4}, {X: 4, Y: 4}}, mvfield.MV{X: 4, Y: 4}},
+		{[4]mvfield.MV{{X: 1}, {X: 1}, {X: 1}, {X: 1}}, mvfield.MV{X: 1}},
+		// Sum 1: (1+2)/4 truncates to 0 — sub-half-pel averages round in.
+		{[4]mvfield.MV{{X: 1}, {}, {}, {}}, mvfield.Zero},
+		{[4]mvfield.MV{{X: -4, Y: 8}, {X: -4, Y: 8}, {X: -4, Y: 8}, {X: -4, Y: 8}}, mvfield.MV{X: -4, Y: 8}},
+	}
+	for _, c := range cases {
+		if got := avgMV(c.in); got != c.want {
+			t.Errorf("avgMV(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Sign symmetry.
+	a := avgMV([4]mvfield.MV{{X: 5}, {X: 5}, {X: 6}, {X: 6}})
+	b := avgMV([4]mvfield.MV{{X: -5}, {X: -5}, {X: -6}, {X: -6}})
+	if a.X != -b.X {
+		t.Fatalf("avgMV not sign-symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestAdvancedPredictionRoundTrip(t *testing.T) {
+	// Table has divergent motion inside MBs (zoom + ball): 4V triggers.
+	frames := video.Generate(video.TableTennis, frame.SQCIF, 5, 1)
+	for _, mode := range []EntropyMode{EntropyExpGolomb, EntropyArith} {
+		enc := NewEncoder(Config{Qp: 8, AdvancedPrediction: true, Entropy: mode})
+		var recons []*frame.Frame
+		for _, f := range frames {
+			if _, err := enc.EncodeFrame(f); err != nil {
+				t.Fatal(err)
+			}
+			recons = append(recons, enc.Reconstruction())
+		}
+		decoded, err := Decode(enc.Bitstream())
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		for i := range decoded {
+			if !decoded[i].Equal(recons[i]) {
+				t.Fatalf("mode %v: frame %d mismatch with advanced prediction", mode, i)
+			}
+		}
+	}
+}
+
+func TestAdvancedPredictionTriggersOnDivergentMotion(t *testing.T) {
+	// Build a frame pair where the four quadrants of one MB move in four
+	// different directions: the 4V mode must win there.
+	ref := frame.NewFrame(frame.SQCIF)
+	for y := 0; y < ref.Y.H; y++ {
+		for x := 0; x < ref.Y.W; x++ {
+			ref.Y.Set(x, y, uint8((x*7+y*13)%241))
+		}
+	}
+	cur := ref.Clone()
+	// Quadrants of the MB at (32..48, 32..48) shifted differently.
+	shifts := [4][2]int{{2, 0}, {-2, 0}, {0, 2}, {0, -2}}
+	for i, off := range lumaBlockOffsets {
+		dx, dy := shifts[i][0], shifts[i][1]
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				sx, sy := 32+off[0]+x-dx, 32+off[1]+y-dy
+				cur.Y.Set(32+off[0]+x, 32+off[1]+y, ref.Y.AtClamped(sx, sy))
+			}
+		}
+	}
+	enc := NewEncoder(Config{Qp: 8, AdvancedPrediction: true})
+	if _, err := enc.EncodeFrame(ref); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := enc.EncodeFrame(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Inter4VMBs == 0 {
+		t.Fatal("no four-vector macroblocks on divergent motion")
+	}
+	decoded, err := Decode(enc.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded[1].Equal(enc.Reconstruction()) {
+		t.Fatal("4V reconstruction mismatch")
+	}
+}
+
+func TestAdvancedPredictionDisabledNeverUses4V(t *testing.T) {
+	frames := video.Generate(video.TableTennis, frame.SQCIF, 4, 1)
+	stats, _, err := EncodeSequence(Config{Qp: 8}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range stats.Frames {
+		if f.Inter4VMBs != 0 {
+			t.Fatalf("frame %d used 4V without AdvancedPrediction", i)
+		}
+	}
+}
+
+func TestAdvancedPredictionImprovesRDOnDivergentContent(t *testing.T) {
+	// On the zooming Table sequence the 4V mode should not lose quality
+	// and should reduce residual rate at equal Qp (or at worst tie).
+	frames := video.Generate(video.TableTennis, frame.QCIF, 10, 3)
+	plain, _, err := EncodeSequence(Config{Qp: 10}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, _, err := EncodeSequence(Config{Qp: 10, AdvancedPrediction: true}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for _, f := range ap.Frames {
+		used += f.Inter4VMBs
+	}
+	if used == 0 {
+		t.Skip("4V never chosen on this content at this Qp")
+	}
+	if ap.AvgPSNRY() < plain.AvgPSNRY()-0.05 {
+		t.Fatalf("4V lost quality: %.2f vs %.2f", ap.AvgPSNRY(), plain.AvgPSNRY())
+	}
+	if ap.BitrateKbps() > plain.BitrateKbps()*1.02 {
+		t.Fatalf("4V raised rate: %.1f vs %.1f", ap.BitrateKbps(), plain.BitrateKbps())
+	}
+}

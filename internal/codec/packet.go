@@ -1,0 +1,145 @@
+package codec
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/entropy"
+	"repro/internal/frame"
+)
+
+// Packetized transport: each frame is an independently parseable unit so
+// a lossy channel can drop frames without desynchronising the parser. The
+// decoder conceals a lost packet by repeating the reference frame and
+// recovers from the drift at the next intra frame — the error-resilience
+// mode a "variable bandwidth channel" deployment (§5) needs.
+//
+// Packet 0 is the sequence header (size + entropy mode); packet i+1
+// carries frame i. In arithmetic mode each packet has its own coder state
+// and contexts, trading a little compression for independence.
+
+// EncodePackets encodes frames as independent packets.
+func EncodePackets(cfg Config, frames []*frame.Frame) ([][]byte, *SequenceStats, error) {
+	if len(frames) == 0 {
+		return nil, nil, fmt.Errorf("codec: no frames to encode")
+	}
+	cfg = cfg.withDefaults()
+	if err := validateSize(frames[0].Size()); err != nil {
+		return nil, nil, err
+	}
+	e := NewEncoder(cfg)
+	e.size = frames[0].Size()
+
+	// Packet 0: sequence header.
+	var hw bitstream.Writer
+	hw.WriteBits(Magic, 32)
+	entropy.WriteUE(&hw, uint32(e.size.W/16))
+	entropy.WriteUE(&hw, uint32(e.size.H/16))
+	hw.WriteBits(uint64(cfg.Entropy), 1)
+	packets := [][]byte{hw.Bytes()}
+
+	for i, f := range frames {
+		if f.Size() != e.size {
+			return nil, nil, fmt.Errorf("codec: frame %d size %v differs from %v", i, f.Size(), e.size)
+		}
+		// Fresh per-packet syntax writer (no sequence header, no
+		// continuation flags).
+		e.sw = newSymWriter(cfg.Entropy)
+		e.sw.BeginData()
+		if e.rc != nil {
+			e.curQp = e.rc.currentQp()
+		}
+		intra := e.frames == 0 ||
+			(cfg.IntraPeriod > 0 && e.frames%cfg.IntraPeriod == 0)
+		var fs FrameStats
+		if intra {
+			fs = e.encodeIntraFrame(f)
+		} else {
+			fs = e.encodeInterFrame(f)
+		}
+		pkt := e.sw.Finish()
+		fs.Bits = 8 * len(pkt)
+		fs.Qp = e.curQp
+		if e.rc != nil {
+			e.rc.observe(fs.Bits)
+		}
+		py, _ := frame.PSNR(f.Y, e.recon.Y)
+		fs.PSNRY = py
+		e.frames++
+		e.stats.Frames = append(e.stats.Frames, fs)
+		packets = append(packets, pkt)
+	}
+	return packets, e.Stats(), nil
+}
+
+// PacketDecoder reconstructs a packetized stream, tolerating lost frame
+// packets via concealment.
+type PacketDecoder struct {
+	d    *Decoder
+	mode EntropyMode
+}
+
+// NewPacketDecoder parses the sequence header packet.
+func NewPacketDecoder(header []byte) (*PacketDecoder, error) {
+	r := bitstream.NewReader(header)
+	magic, err := r.ReadBits(32)
+	if err != nil || magic != Magic {
+		return nil, fmt.Errorf("codec: bad packet-stream header")
+	}
+	cols, err := entropy.ReadUE(r)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := entropy.ReadUE(r)
+	if err != nil {
+		return nil, err
+	}
+	modeBit, err := r.ReadBits(1)
+	if err != nil {
+		return nil, err
+	}
+	if cols == 0 || rows == 0 || cols > 1<<10 || rows > 1<<10 {
+		return nil, fmt.Errorf("codec: implausible size %dx%d macroblocks", cols, rows)
+	}
+	return &PacketDecoder{
+		d: &Decoder{
+			size: frame.Size{W: 16 * int(cols), H: 16 * int(rows)},
+			mode: EntropyMode(modeBit),
+		},
+		mode: EntropyMode(modeBit),
+	}, nil
+}
+
+// Size returns the stream's frame format.
+func (p *PacketDecoder) Size() frame.Size { return p.d.size }
+
+// DecodePacket reconstructs one frame packet.
+func (p *PacketDecoder) DecodePacket(pkt []byte) (*frame.Frame, error) {
+	switch p.mode {
+	case EntropyArith:
+		ar := &arithReader{r: bitstream.NewReader(pkt), data: pkt}
+		if err := ar.BeginData(); err != nil {
+			return nil, err
+		}
+		p.d.sr = ar
+	default:
+		p.d.sr = &egReader{r: bitstream.NewReader(pkt)}
+	}
+	// Frame packets carry the frame header directly (no continuation
+	// flag): mark one frame as pending.
+	p.d.pending = true
+	p.d.eos = false
+	return p.d.DecodeFrame()
+}
+
+// ConcealLoss handles a dropped frame packet: the previous reconstruction
+// is repeated (simple temporal concealment). Returns nil before the first
+// successfully decoded frame.
+func (p *PacketDecoder) ConcealLoss() *frame.Frame {
+	if p.d.recon == nil {
+		return nil
+	}
+	// The repeated frame also becomes the reference for what follows,
+	// which is exactly the drift a real decoder suffers.
+	return p.d.recon.Clone()
+}

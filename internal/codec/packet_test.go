@@ -1,0 +1,143 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func TestPacketRoundTripMatchesStreamMode(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 5, 1)
+	for _, mode := range []EntropyMode{EntropyExpGolomb, EntropyArith} {
+		pkts, stats, err := EncodePackets(Config{Qp: 16, Entropy: mode}, frames)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if len(pkts) != len(frames)+1 {
+			t.Fatalf("mode %v: %d packets, want %d", mode, len(pkts), len(frames)+1)
+		}
+		if len(stats.Frames) != len(frames) {
+			t.Fatalf("mode %v: stats for %d frames", mode, len(stats.Frames))
+		}
+		dec, err := NewPacketDecoder(pkts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Size() != frame.SQCIF {
+			t.Fatalf("mode %v: size %v", mode, dec.Size())
+		}
+		// Packetized reconstruction must equal the stream-mode encoder's
+		// reconstruction (the prediction loop is identical).
+		enc := NewEncoder(Config{Qp: 16, Entropy: mode})
+		for i, f := range frames {
+			if _, err := enc.EncodeFrame(f); err != nil {
+				t.Fatal(err)
+			}
+			got, err := dec.DecodePacket(pkts[i+1])
+			if err != nil {
+				t.Fatalf("mode %v: packet %d: %v", mode, i, err)
+			}
+			if !got.Equal(enc.Reconstruction()) {
+				t.Fatalf("mode %v: frame %d differs from stream-mode reconstruction", mode, i)
+			}
+		}
+	}
+}
+
+func TestPacketLossConcealmentAndRecovery(t *testing.T) {
+	// Drop one P-frame packet: quality dips from drift, then a later
+	// I-frame (IntraPeriod) must fully resynchronise the decoder.
+	frames := video.Generate(video.Foreman, frame.SQCIF, 9, 2)
+	pkts, _, err := EncodePackets(Config{Qp: 10, IntraPeriod: 4}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewPacketDecoder(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewPacketDecoder(pkts[0]) // loss-free reference decode
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 2 // drop frame 2 (a P-frame; frames 0 and 4 and 8 are intra)
+	var psnrLossy, psnrRef []float64
+	resyncOK := false
+	for i := 1; i < len(pkts); i++ {
+		want, err := ref.DecodePacket(pkts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got *frame.Frame
+		if i-1 == lost {
+			got = dec.ConcealLoss()
+			if got == nil {
+				t.Fatal("concealment before any frame")
+			}
+		} else {
+			got, err = dec.DecodePacket(pkts[i])
+			if err != nil {
+				t.Fatalf("packet %d after loss: %v", i, err)
+			}
+		}
+		p1, _ := frame.PSNR(frames[i-1].Y, got.Y)
+		p2, _ := frame.PSNR(frames[i-1].Y, want.Y)
+		psnrLossy = append(psnrLossy, p1)
+		psnrRef = append(psnrRef, p2)
+		if i-1 >= 4 && got.Equal(want) {
+			resyncOK = true
+		}
+	}
+	// Drift: the frame after the loss must be worse than loss-free.
+	if psnrLossy[lost+1] >= psnrRef[lost+1] {
+		t.Fatalf("no drift after loss: %.2f vs %.2f", psnrLossy[lost+1], psnrRef[lost+1])
+	}
+	if !resyncOK {
+		t.Fatal("decoder did not resynchronise at the next I-frame")
+	}
+}
+
+func TestPacketDecoderRejectsBadHeader(t *testing.T) {
+	if _, err := NewPacketDecoder([]byte{1, 2, 3, 4, 5, 6}); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := NewPacketDecoder(nil); err == nil {
+		t.Fatal("empty header accepted")
+	}
+}
+
+func TestPacketLossBeforeFirstFrame(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 2, 1)
+	pkts, _, err := EncodePackets(Config{Qp: 16}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewPacketDecoder(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ConcealLoss() != nil {
+		t.Fatal("concealment produced a frame before any decode")
+	}
+}
+
+func TestPacketModeWithRateControl(t *testing.T) {
+	frames := video.Generate(video.TableTennis, frame.SQCIF, 12, 3)
+	pkts, stats, err := EncodePackets(Config{Qp: 14, FPS: 30, TargetKbps: 40}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BitrateKbps() <= 0 {
+		t.Fatal("no rate recorded")
+	}
+	dec, err := NewPacketDecoder(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pkts); i++ {
+		if _, err := dec.DecodePacket(pkts[i]); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+}

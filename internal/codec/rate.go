@@ -1,0 +1,43 @@
+package codec
+
+import "repro/internal/dct"
+
+// rateController is a TMN-style frame-level rate control: a proportional
+// controller on a virtual buffer that nudges the quantiser so the average
+// output rate tracks Config.TargetKbps. Each frame header carries its own
+// Qp, so the decoder needs no side information.
+type rateController struct {
+	bitsPerFrame float64 // target
+	buffer       float64 // accumulated surplus bits (can go negative)
+	qp           int
+}
+
+func newRateController(targetKbps, fps float64, startQp int) *rateController {
+	return &rateController{
+		bitsPerFrame: targetKbps * 1000 / fps,
+		qp:           dct.ClampQp(startQp),
+	}
+}
+
+// currentQp returns the quantiser for the next frame.
+func (rc *rateController) currentQp() int { return rc.qp }
+
+// observe updates the controller with the actual size of the last frame.
+func (rc *rateController) observe(bits int) {
+	rc.buffer += float64(bits) - rc.bitsPerFrame
+	// Dead zone of ±¼ frame budget, then at most ±2 Qp steps per frame.
+	switch {
+	case rc.buffer > rc.bitsPerFrame:
+		rc.qp += 2
+	case rc.buffer > rc.bitsPerFrame/4:
+		rc.qp++
+	case rc.buffer < -rc.bitsPerFrame:
+		rc.qp -= 2
+	case rc.buffer < -rc.bitsPerFrame/4:
+		rc.qp--
+	}
+	rc.qp = dct.ClampQp(rc.qp)
+	// Leak the buffer slowly so a one-off large I-frame does not depress
+	// quality forever.
+	rc.buffer *= 0.95
+}

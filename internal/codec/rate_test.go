@@ -1,0 +1,129 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+func TestRateControlTracksTarget(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 40, 1)
+	for _, target := range []float64{30, 80} {
+		stats, bs, err := EncodeSequence(Config{
+			Qp: 16, FPS: 30, TargetKbps: target,
+		}, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stats.BitrateKbps()
+		// The I-frame cannot be rate-controlled away, so allow a wide but
+		// meaningful band.
+		if got < target*0.6 || got > target*1.6 {
+			t.Errorf("target %.0f kbit/s: achieved %.1f", target, got)
+		}
+		if _, err := Decode(bs); err != nil {
+			t.Errorf("target %.0f: decode: %v", target, err)
+		}
+	}
+}
+
+func TestRateControlSeparatesTargets(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.QCIF, 30, 2)
+	lo, _, err := EncodeSequence(Config{Qp: 16, FPS: 30, TargetKbps: 25}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, _, err := EncodeSequence(Config{Qp: 16, FPS: 30, TargetKbps: 120}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.BitrateKbps() >= hi.BitrateKbps() {
+		t.Fatalf("rates not separated: %.1f vs %.1f", lo.BitrateKbps(), hi.BitrateKbps())
+	}
+	if lo.AvgPSNRY() >= hi.AvgPSNRY() {
+		t.Fatalf("quality not separated: %.2f vs %.2f dB", lo.AvgPSNRY(), hi.AvgPSNRY())
+	}
+}
+
+func TestRateControlVariesQp(t *testing.T) {
+	// A hard sequence at a tight budget must move the quantiser.
+	frames := video.Generate(video.Foreman, frame.QCIF, 20, 3)
+	stats, _, err := EncodeSequence(Config{Qp: 10, FPS: 30, TargetKbps: 25}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, f := range stats.Frames {
+		if f.Qp < 1 || f.Qp > 31 {
+			t.Fatalf("illegal frame Qp %d", f.Qp)
+		}
+		seen[f.Qp] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("rate control never moved Qp: %v", seen)
+	}
+}
+
+func TestConstantQpUnaffectedByRateField(t *testing.T) {
+	// Without TargetKbps every frame reports the configured Qp.
+	frames := video.Generate(video.MissAmerica, frame.SQCIF, 4, 1)
+	stats, _, err := EncodeSequence(Config{Qp: 22}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range stats.Frames {
+		if f.Qp != 22 {
+			t.Fatalf("frame %d Qp = %d, want 22", i, f.Qp)
+		}
+	}
+}
+
+func TestRateControlledStreamDecodesExactly(t *testing.T) {
+	frames := video.Generate(video.TableTennis, frame.SQCIF, 10, 5)
+	enc := NewEncoder(Config{Qp: 14, FPS: 30, TargetKbps: 40})
+	var recons []*frame.Frame
+	for _, f := range frames {
+		if _, err := enc.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		recons = append(recons, enc.Reconstruction())
+	}
+	decoded, err := Decode(enc.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range decoded {
+		if !decoded[i].Equal(recons[i]) {
+			t.Fatalf("frame %d mismatch under rate control", i)
+		}
+	}
+}
+
+func TestRateControllerUnit(t *testing.T) {
+	rc := newRateController(30, 30, 16) // 1000 bits/frame
+	if rc.currentQp() != 16 {
+		t.Fatal("start Qp wrong")
+	}
+	// Sustained overshoot must raise Qp; sustained undershoot lower it.
+	for i := 0; i < 10; i++ {
+		rc.observe(5000)
+	}
+	if rc.currentQp() <= 16 {
+		t.Fatalf("Qp %d did not rise under overshoot", rc.currentQp())
+	}
+	rc2 := newRateController(30, 30, 16)
+	for i := 0; i < 10; i++ {
+		rc2.observe(10)
+	}
+	if rc2.currentQp() >= 16 {
+		t.Fatalf("Qp %d did not fall under undershoot", rc2.currentQp())
+	}
+	// Qp always stays legal.
+	for i := 0; i < 100; i++ {
+		rc.observe(1 << 20)
+	}
+	if rc.currentQp() > 31 {
+		t.Fatal("Qp exceeded 31")
+	}
+}

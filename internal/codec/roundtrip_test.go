@@ -1,0 +1,161 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+	"repro/internal/search"
+	"repro/internal/video"
+)
+
+// noiseFrame builds a random (but seeded) frame for property tests.
+func noiseFrame(size frame.Size, seed uint64) *frame.Frame {
+	f := frame.NewFrame(size)
+	s := seed | 1
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 2685821657736338717
+	}
+	for _, p := range []*frame.Plane{f.Y, f.Cb, f.Cr} {
+		for i := range p.Pix {
+			p.Pix[i] = uint8(next() >> 56)
+		}
+	}
+	return f
+}
+
+func TestRoundTripPropertyRandomFrames(t *testing.T) {
+	// Even on pure noise (worst case for prediction) the decoder must
+	// track the encoder exactly at arbitrary Qp.
+	f := func(seed uint64, qpRaw uint8) bool {
+		qp := int(qpRaw)%31 + 1
+		frames := []*frame.Frame{
+			noiseFrame(frame.Size{W: 32, H: 32}, seed),
+			noiseFrame(frame.Size{W: 32, H: 32}, seed+1),
+			noiseFrame(frame.Size{W: 32, H: 32}, seed+2),
+		}
+		enc := NewEncoder(Config{Qp: qp})
+		var recons []*frame.Frame
+		for _, fr := range frames {
+			if _, err := enc.EncodeFrame(fr); err != nil {
+				return false
+			}
+			recons = append(recons, enc.Reconstruction())
+		}
+		decoded, err := Decode(enc.Bitstream())
+		if err != nil || len(decoded) != len(frames) {
+			return false
+		}
+		for i := range decoded {
+			if !decoded[i].Equal(recons[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraPeriodProducesGOPs(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 7, 1)
+	stats, bs, err := EncodeSequence(Config{Qp: 16, IntraPeriod: 3}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := []FrameType{IFrame, PFrame, PFrame, IFrame, PFrame, PFrame, IFrame}
+	for i, fs := range stats.Frames {
+		if fs.Type != wantTypes[i] {
+			t.Fatalf("frame %d type %v, want %v", i, fs.Type, wantTypes[i])
+		}
+	}
+	decoded, err := Decode(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(decoded), len(frames))
+	}
+}
+
+func TestIntraPeriodCostsMoreBits(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 9, 1)
+	gop, _, err := EncodeSequence(Config{Qp: 16, IntraPeriod: 3}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := EncodeSequence(Config{Qp: 16}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gop.TotalBits() <= plain.TotalBits() {
+		t.Fatalf("GOP stream %d bits not above P-only %d bits", gop.TotalBits(), plain.TotalBits())
+	}
+}
+
+func TestReconstructionMatchesDecoderWithGOP(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.SQCIF, 6, 2)
+	enc := NewEncoder(Config{Qp: 12, IntraPeriod: 2, Searcher: &search.PBM{}})
+	var recons []*frame.Frame
+	for _, f := range frames {
+		if _, err := enc.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		recons = append(recons, enc.Reconstruction())
+	}
+	decoded, err := Decode(enc.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range decoded {
+		if !decoded[i].Equal(recons[i]) {
+			t.Fatalf("frame %d mismatch with IntraPeriod", i)
+		}
+	}
+}
+
+func TestReconstructionBeforeEncodeIsNil(t *testing.T) {
+	enc := NewEncoder(Config{Qp: 16})
+	if enc.Reconstruction() != nil {
+		t.Fatal("Reconstruction before first frame must be nil")
+	}
+}
+
+func TestBitstreamStableAcrossCalls(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 2, 1)
+	enc := NewEncoder(Config{Qp: 16})
+	for _, f := range frames {
+		if _, err := enc.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := enc.Bitstream()
+	b := enc.Bitstream()
+	if len(a) != len(b) {
+		t.Fatal("Bitstream length changed between calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Bitstream content changed between calls")
+		}
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	frames := video.Generate(video.TableTennis, frame.SQCIF, 3, 9)
+	_, bs1, err := EncodeSequence(Config{Qp: 14}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bs2, err := EncodeSequence(Config{Qp: 14}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bs1) != string(bs2) {
+		t.Fatal("encoding not deterministic")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/search"
+)
+
+// Budgeted is a complexity-controlled ACBM: it adjusts the α/γ thresholds
+// online with a multiplicative feedback loop so the running average of
+// search positions per macroblock tracks a target. This realises the
+// paper's claim that the parameters form a knob "to control, depending on
+// the potential application, the weight given to video quality or
+// computational load" — here the knob is servoed automatically, which is
+// what a rate/complexity-constrained product encoder needs (the paper's
+// "variable bandwidth channel conditions").
+//
+// Not safe for concurrent use.
+type Budgeted struct {
+	// Target is the desired long-run average of candidate positions per
+	// block. Must be positive.
+	Target float64
+	// Base supplies the initial thresholds (DefaultParams if zero).
+	Base Params
+	// Window is the number of blocks between controller updates
+	// (default 32).
+	Window int
+
+	inner  ACBM
+	scale  float64 // multiplies α and γ; larger = fewer critical blocks
+	winPts int64
+	winCnt int
+}
+
+// NewBudgeted returns a controller targeting the given positions/MB.
+func NewBudgeted(target float64, base Params) (*Budgeted, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("core: budget target must be positive, got %g", target)
+	}
+	if base == (Params{}) {
+		base = DefaultParams
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Budgeted{Target: target, Base: base, scale: 1}
+	b.apply()
+	return b, nil
+}
+
+// Name implements search.Searcher.
+func (b *Budgeted) Name() string { return "ACBM-budget" }
+
+// Stats exposes the wrapped ACBM statistics.
+func (b *Budgeted) Stats() Stats { return b.inner.Stats() }
+
+// Scale returns the current threshold multiplier (diagnostic).
+func (b *Budgeted) Scale() float64 { return b.scale }
+
+func (b *Budgeted) window() int {
+	if b.Window > 0 {
+		return b.Window
+	}
+	return 32
+}
+
+// apply rebuilds the inner ACBM parameters from Base and scale.
+func (b *Budgeted) apply() {
+	p := b.Base
+	p.Alpha = int(float64(p.Alpha) * b.scale)
+	// Scale γ by adjusting the numerator; keep the denominator to retain
+	// precision for scales < 1.
+	p.GammaNum = int(float64(p.GammaNum*16) * b.scale)
+	p.GammaDen *= 16
+	b.inner.Params = p
+}
+
+// Search implements search.Searcher.
+func (b *Budgeted) Search(in *search.Input) search.Result {
+	res := b.inner.Search(in)
+	b.winPts += int64(res.Points)
+	b.winCnt++
+	if b.winCnt >= b.window() {
+		avg := float64(b.winPts) / float64(b.winCnt)
+		switch {
+		case avg > b.Target*1.1:
+			b.scale *= 1.3 // over budget: accept more PBM results
+		case avg < b.Target*0.9:
+			b.scale /= 1.3 // under budget: spend quality
+		}
+		if b.scale > 64 {
+			b.scale = 64
+		}
+		if b.scale < 1.0/64 {
+			b.scale = 1.0 / 64
+		}
+		b.apply()
+		b.winPts, b.winCnt = 0, 0
+	}
+	return res
+}

@@ -1,0 +1,83 @@
+// Package dct implements the 8×8 type-II discrete cosine transform and the
+// H.263 uniform quantiser used by the hybrid encoder substrate
+// (internal/codec). The transform is the separable float implementation of
+// the reference TMN encoders; the quantiser follows the H.263 rules: a
+// dead-zone quantiser for inter and intra-AC coefficients and a fixed /8
+// rule for the intra DC coefficient.
+package dct
+
+import "math"
+
+// BlockSize is the transform dimension (8×8 coefficients per block).
+const BlockSize = 8
+
+// Block is one 8×8 coefficient or sample-difference block in row-major
+// order. Spatial-domain values are signed (residuals may be negative).
+type Block [BlockSize * BlockSize]int32
+
+// cosTable[u][x] = c(u)/2 · cos((2x+1)uπ/16), the separable DCT-II basis.
+var cosTable [BlockSize][BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = math.Sqrt2 / 2
+		}
+		for x := 0; x < BlockSize; x++ {
+			cosTable[u][x] = cu / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+		}
+	}
+}
+
+// Forward computes the 2-D DCT-II of src into dst (both row-major 8×8).
+// Coefficients are rounded to the nearest integer. src and dst may alias.
+func Forward(dst, src *Block) {
+	var tmp [BlockSize][BlockSize]float64
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += float64(src[y*BlockSize+x]) * cosTable[u][x]
+			}
+			tmp[y][u] = s
+		}
+	}
+	// Columns.
+	for u := 0; u < BlockSize; u++ {
+		for v := 0; v < BlockSize; v++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y][u] * cosTable[v][y]
+			}
+			dst[v*BlockSize+u] = int32(math.Round(s))
+		}
+	}
+}
+
+// Inverse computes the 2-D inverse DCT of src into dst (row-major 8×8),
+// rounding to the nearest integer. src and dst may alias.
+func Inverse(dst, src *Block) {
+	var tmp [BlockSize][BlockSize]float64
+	// Columns (sum over v).
+	for u := 0; u < BlockSize; u++ {
+		for y := 0; y < BlockSize; y++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += float64(src[v*BlockSize+u]) * cosTable[v][y]
+			}
+			tmp[y][u] = s
+		}
+	}
+	// Rows (sum over u).
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += tmp[y][u] * cosTable[u][x]
+			}
+			dst[y*BlockSize+x] = int32(math.Round(s))
+		}
+	}
+}

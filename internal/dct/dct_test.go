@@ -1,0 +1,144 @@
+package dct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func randBlock(seed uint64, amp int32) *Block {
+	var b Block
+	s := seed | 1
+	for i := range b {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		b[i] = int32(s*2685821657736338717>>33)%amp - amp/2
+	}
+	return &b
+}
+
+func TestForwardDCOfConstantBlock(t *testing.T) {
+	var b, c Block
+	for i := range b {
+		b[i] = 100
+	}
+	Forward(&c, &b)
+	// DC of a constant block v is 8·v; all AC must vanish.
+	if c[0] != 800 {
+		t.Fatalf("DC = %d, want 800", c[0])
+	}
+	for i := 1; i < 64; i++ {
+		if c[i] != 0 {
+			t.Fatalf("AC[%d] = %d, want 0", i, c[i])
+		}
+	}
+}
+
+func TestInverseOfForwardIsNearIdentity(t *testing.T) {
+	src := randBlock(42, 512)
+	var freq, back Block
+	Forward(&freq, src)
+	Inverse(&back, &freq)
+	for i := range src {
+		d := src[i] - back[i]
+		if d < -1 || d > 1 {
+			t.Fatalf("roundtrip error at %d: %d -> %d", i, src[i], back[i])
+		}
+	}
+}
+
+func TestForwardParsevalApprox(t *testing.T) {
+	// Orthonormal DCT preserves energy up to rounding.
+	src := randBlock(7, 256)
+	var freq Block
+	Forward(&freq, src)
+	var es, ef float64
+	for i := range src {
+		es += float64(src[i]) * float64(src[i])
+		ef += float64(freq[i]) * float64(freq[i])
+	}
+	if es == 0 {
+		t.Skip("degenerate zero block")
+	}
+	ratio := ef / es
+	if math.Abs(ratio-1) > 0.01 {
+		t.Fatalf("energy ratio %.4f, want ≈1", ratio)
+	}
+}
+
+func TestForwardLinearityProperty(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := randBlock(s1, 200)
+		b := randBlock(s2, 200)
+		var sum Block
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		var fa, fb, fs Block
+		Forward(&fa, a)
+		Forward(&fb, b)
+		Forward(&fs, &sum)
+		for i := range fs {
+			d := fs[i] - (fa[i] + fb[i])
+			if d < -2 || d > 2 { // rounding slack
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwardAliasSafe(t *testing.T) {
+	src := randBlock(9, 300)
+	want := *src
+	var sep Block
+	Forward(&sep, &want)
+	Forward(src, src) // in-place
+	if *src != sep {
+		t.Fatal("in-place Forward differs from separate-destination Forward")
+	}
+}
+
+func TestInverseAliasSafe(t *testing.T) {
+	src := randBlock(11, 300)
+	var freq Block
+	Forward(&freq, src)
+	var sep Block
+	Inverse(&sep, &freq)
+	Inverse(&freq, &freq)
+	if freq != sep {
+		t.Fatal("in-place Inverse differs from separate-destination Inverse")
+	}
+}
+
+func TestSingleBasisFunction(t *testing.T) {
+	// A pure horizontal cosine should concentrate energy in one coefficient.
+	var b Block
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			b[y*8+x] = int32(math.Round(100 * math.Cos(float64(2*x+1)*2*math.Pi/16)))
+		}
+	}
+	var f Block
+	Forward(&f, &b)
+	// Coefficient (u=2, v=0) must dominate all others.
+	peak := f[2]
+	if peak < 0 {
+		peak = -peak
+	}
+	for i, c := range f {
+		if i == 2 {
+			continue
+		}
+		if c < 0 {
+			c = -c
+		}
+		if c*4 > peak {
+			t.Fatalf("coefficient %d = %d not small vs peak %d", i, c, peak)
+		}
+	}
+}

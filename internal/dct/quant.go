@@ -1,0 +1,130 @@
+package dct
+
+// The H.263 quantiser. QUANT (Qp) ranges 1..31; the quantisation step for
+// AC and inter coefficients is 2·Qp with a dead zone, and the intra DC
+// coefficient uses a fixed step of 8.
+
+// MinQp and MaxQp bound the H.263 QUANT parameter.
+const (
+	MinQp = 1
+	MaxQp = 31
+)
+
+// ClampQp limits qp to the legal H.263 range.
+func ClampQp(qp int) int {
+	if qp < MinQp {
+		return MinQp
+	}
+	if qp > MaxQp {
+		return MaxQp
+	}
+	return qp
+}
+
+// maxLevel bounds quantised levels as in H.263 (FLC range for TCOEF).
+const maxLevel = 127
+
+func clampLevel(l int32) int32 {
+	if l > maxLevel {
+		return maxLevel
+	}
+	if l < -maxLevel {
+		return -maxLevel
+	}
+	return l
+}
+
+// QuantizeInter quantises an inter (residual) coefficient block in place
+// semantics: dst[i] = sign(c)·(|c|−Qp/2)/(2Qp), the H.263 dead-zone rule.
+func QuantizeInter(dst, src *Block, qp int) {
+	qp = ClampQp(qp)
+	half, step := int32(qp/2), int32(2*qp)
+	for i, c := range src {
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		l := (c - half) / step
+		if l < 0 {
+			l = 0
+		}
+		if neg {
+			l = -l
+		}
+		dst[i] = clampLevel(l)
+	}
+}
+
+// QuantizeIntra quantises an intra coefficient block: DC uses the fixed /8
+// rule (clamped to 1..254 as in H.263), AC uses |c|/(2Qp) without dead zone.
+func QuantizeIntra(dst, src *Block, qp int) {
+	qp = ClampQp(qp)
+	step := int32(2 * qp)
+	for i, c := range src {
+		if i == 0 {
+			dc := (c + 4) / 8
+			if dc < 1 {
+				dc = 1
+			}
+			if dc > 254 {
+				dc = 254
+			}
+			dst[0] = dc
+			continue
+		}
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		l := c / step
+		if neg {
+			l = -l
+		}
+		dst[i] = clampLevel(l)
+	}
+}
+
+// DequantizeInter reconstructs inter coefficients from levels using the
+// H.263 rule: |c| = Qp·(2|L|+1) for odd Qp, Qp·(2|L|+1)−1 for even Qp,
+// zero levels stay zero.
+func DequantizeInter(dst, src *Block, qp int) {
+	qp = ClampQp(qp)
+	for i, l := range src {
+		dst[i] = dequantCoef(l, qp)
+	}
+}
+
+// DequantizeIntra reconstructs intra coefficients: DC is level·8, AC uses
+// the same rule as inter.
+func DequantizeIntra(dst, src *Block, qp int) {
+	qp = ClampQp(qp)
+	for i, l := range src {
+		if i == 0 {
+			dst[0] = l * 8
+			continue
+		}
+		dst[i] = dequantCoef(l, qp)
+	}
+}
+
+func dequantCoef(l int32, qp int) int32 {
+	if l == 0 {
+		return 0
+	}
+	neg := l < 0
+	if neg {
+		l = -l
+	}
+	c := int32(qp) * (2*l + 1)
+	if qp%2 == 0 {
+		c--
+	}
+	// Clip to the H.263 coefficient range.
+	if c > 2047 {
+		c = 2047
+	}
+	if neg {
+		c = -c
+	}
+	return c
+}

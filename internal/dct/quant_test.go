@@ -1,0 +1,153 @@
+package dct
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClampQp(t *testing.T) {
+	if ClampQp(0) != 1 || ClampQp(40) != 31 || ClampQp(16) != 16 {
+		t.Fatal("ClampQp wrong")
+	}
+}
+
+func TestQuantizeInterDeadZone(t *testing.T) {
+	var src, dst Block
+	qp := 8
+	// |c| < Qp/2 + 2Qp ⇒ level 0 for |c| up to (Qp/2) + 2Qp - 1? Dead zone:
+	// level = (|c| - Qp/2) / (2Qp); c = 19 with Qp=8: (19-4)/16 = 0.
+	src[1] = 19
+	src[2] = -19
+	src[3] = 20 // (20-4)/16 = 1
+	QuantizeInter(&dst, &src, qp)
+	if dst[1] != 0 || dst[2] != 0 {
+		t.Fatalf("dead zone broken: %d %d", dst[1], dst[2])
+	}
+	if dst[3] != 1 {
+		t.Fatalf("level for 20 = %d, want 1", dst[3])
+	}
+}
+
+func TestQuantizeInterSignSymmetry(t *testing.T) {
+	f := func(c int16, qpRaw uint8) bool {
+		qp := int(qpRaw)%31 + 1
+		var src, pos, neg Block
+		src[5] = int32(c)
+		QuantizeInter(&pos, &src, qp)
+		src[5] = -int32(c)
+		QuantizeInter(&neg, &src, qp)
+		return pos[5] == -neg[5]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequantizeInterReconstructionRule(t *testing.T) {
+	var lv, out Block
+	lv[0] = 3
+	DequantizeInter(&out, &lv, 7) // odd Qp: 7*(2*3+1) = 49
+	if out[0] != 49 {
+		t.Fatalf("odd-Qp recon = %d, want 49", out[0])
+	}
+	DequantizeInter(&out, &lv, 8) // even Qp: 8*7 - 1 = 55
+	if out[0] != 55 {
+		t.Fatalf("even-Qp recon = %d, want 55", out[0])
+	}
+	lv[0] = -3
+	DequantizeInter(&out, &lv, 7)
+	if out[0] != -49 {
+		t.Fatalf("negative recon = %d, want -49", out[0])
+	}
+	lv[0] = 0
+	DequantizeInter(&out, &lv, 7)
+	if out[0] != 0 {
+		t.Fatal("zero level must reconstruct to zero")
+	}
+}
+
+func TestQuantRoundTripErrorBounded(t *testing.T) {
+	// |c - recon(quant(c))| must stay within ~1.5·Qp for inter coding.
+	f := func(cRaw int16, qpRaw uint8) bool {
+		qp := int(qpRaw)%31 + 1
+		c := int32(cRaw) % 2000
+		var src, lv, rec Block
+		src[9] = c
+		QuantizeInter(&lv, &src, qp)
+		DequantizeInter(&rec, &lv, qp)
+		d := c - rec[9]
+		if d < 0 {
+			d = -d
+		}
+		// Levels saturate at 127, so very large coefficients are excluded.
+		if c > 127*int32(2*qp) || c < -127*int32(2*qp) {
+			return true
+		}
+		// Dead zone: values just below Qp/2+2Qp reconstruct to 0, so the
+		// worst-case error is 2.5·Qp (plus 1 for the even-Qp −1 term).
+		return d <= int32(5*qp/2+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeIntraDCRule(t *testing.T) {
+	var src, dst Block
+	src[0] = 800 // constant-100 block's DC
+	QuantizeIntra(&dst, &src, 16)
+	if dst[0] != 100 {
+		t.Fatalf("intra DC level = %d, want 100", dst[0])
+	}
+	var rec Block
+	DequantizeIntra(&rec, &dst, 16)
+	if rec[0] != 800 {
+		t.Fatalf("intra DC recon = %d, want 800", rec[0])
+	}
+	// DC level clamps to [1, 254].
+	src[0] = 0
+	QuantizeIntra(&dst, &src, 16)
+	if dst[0] != 1 {
+		t.Fatalf("DC floor = %d, want 1", dst[0])
+	}
+	src[0] = 100000
+	QuantizeIntra(&dst, &src, 16)
+	if dst[0] != 254 {
+		t.Fatalf("DC ceil = %d, want 254", dst[0])
+	}
+}
+
+func TestLevelSaturation(t *testing.T) {
+	var src, dst Block
+	src[1] = 1 << 20
+	QuantizeInter(&dst, &src, 1)
+	if dst[1] != 127 {
+		t.Fatalf("level = %d, want saturation at 127", dst[1])
+	}
+	src[1] = -(1 << 20)
+	QuantizeInter(&dst, &src, 1)
+	if dst[1] != -127 {
+		t.Fatalf("level = %d, want -127", dst[1])
+	}
+}
+
+func TestCoarserQpNeverIncreasesLevelMagnitude(t *testing.T) {
+	f := func(cRaw int16) bool {
+		c := int32(cRaw)
+		var src, l1, l2 Block
+		src[3] = c
+		QuantizeInter(&l1, &src, 8)
+		QuantizeInter(&l2, &src, 16)
+		a1, a2 := l1[3], l2[3]
+		if a1 < 0 {
+			a1 = -a1
+		}
+		if a2 < 0 {
+			a2 = -a2
+		}
+		return a2 <= a1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

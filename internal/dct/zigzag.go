@@ -1,0 +1,38 @@
+package dct
+
+// ZigZag maps scan order → raster index for the classic 8×8 zig-zag scan
+// used by H.263 (and JPEG/MPEG) to order coefficients by frequency before
+// run-length coding.
+var ZigZag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// InvZigZag maps raster index → scan order (the inverse permutation).
+var InvZigZag = func() [64]int {
+	var inv [64]int
+	for scan, raster := range ZigZag {
+		inv[raster] = scan
+	}
+	return inv
+}()
+
+// Scan writes the block's coefficients in zig-zag order into out.
+func Scan(out *[64]int32, b *Block) {
+	for scan, raster := range ZigZag {
+		out[scan] = b[raster]
+	}
+}
+
+// Unscan writes zig-zag ordered coefficients back to raster order.
+func Unscan(b *Block, in *[64]int32) {
+	for scan, raster := range ZigZag {
+		b[raster] = in[scan]
+	}
+}

@@ -1,0 +1,59 @@
+package dct
+
+import "testing"
+
+func TestZigZagIsPermutation(t *testing.T) {
+	var seen [64]bool
+	for _, r := range ZigZag {
+		if r < 0 || r >= 64 {
+			t.Fatalf("index %d out of range", r)
+		}
+		if seen[r] {
+			t.Fatalf("index %d repeated", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestZigZagKnownPrefix(t *testing.T) {
+	want := []int{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if ZigZag[i] != w {
+			t.Fatalf("ZigZag[%d] = %d, want %d", i, ZigZag[i], w)
+		}
+	}
+	if ZigZag[63] != 63 {
+		t.Fatal("scan must end at the highest frequency")
+	}
+}
+
+func TestInvZigZagInverse(t *testing.T) {
+	for scan, raster := range ZigZag {
+		if InvZigZag[raster] != scan {
+			t.Fatalf("InvZigZag[%d] = %d, want %d", raster, InvZigZag[raster], scan)
+		}
+	}
+}
+
+func TestScanUnscanRoundTrip(t *testing.T) {
+	b := randBlock(31, 1000)
+	var scanned [64]int32
+	Scan(&scanned, b)
+	var back Block
+	Unscan(&back, &scanned)
+	if back != *b {
+		t.Fatal("Scan/Unscan round trip failed")
+	}
+}
+
+func TestScanOrdersByFrequency(t *testing.T) {
+	// The sum of (x+y) along the scan must be non-decreasing in coarse
+	// steps: verify the first 10 entries are all within the first three
+	// anti-diagonals.
+	for scan := 0; scan < 10; scan++ {
+		r := ZigZag[scan]
+		if r%8+r/8 > 3 {
+			t.Fatalf("scan position %d maps to high frequency %d", scan, r)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package entropy
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/dct"
+)
+
+// Coefficient blocks are coded as (run, level, last) events over the
+// zig-zag scan, the H.263 TCOEF structure: run = number of zero
+// coefficients skipped, level = the non-zero value, last = whether this is
+// the final non-zero coefficient of the block. Runs use unsigned and
+// levels signed Exp-Golomb codes; last is one bit.
+
+// CodedBlock reports whether the block has any non-zero coefficient. An
+// uncoded block costs no TCOEF bits; its presence is signalled by the
+// macroblock's coded-block pattern.
+func CodedBlock(b *dct.Block) bool {
+	for _, c := range b {
+		if c != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockBits returns the TCOEF bit cost of the block without writing it.
+// A block with no non-zero coefficients costs 0 (it must be skipped via
+// the coded-block pattern, not written).
+func BlockBits(b *dct.Block) int {
+	var scan [64]int32
+	dct.Scan(&scan, b)
+	bitsTotal, run := 0, 0
+	lastNZ := -1
+	for i, c := range scan {
+		if c != 0 {
+			lastNZ = i
+		}
+	}
+	if lastNZ < 0 {
+		return 0
+	}
+	for i := 0; i <= lastNZ; i++ {
+		c := scan[i]
+		if c == 0 {
+			run++
+			continue
+		}
+		// level magnitude is coded minus 1 via its sign code; run as UE.
+		bitsTotal += UEBits(uint32(run)) + SEBits(c) + 1 // +1 for last flag
+		run = 0
+	}
+	return bitsTotal
+}
+
+// WriteBlock appends the TCOEF events of the block. The block must contain
+// at least one non-zero coefficient (check CodedBlock first).
+func WriteBlock(w *bitstream.Writer, b *dct.Block) error {
+	var scan [64]int32
+	dct.Scan(&scan, b)
+	lastNZ := -1
+	for i, c := range scan {
+		if c != 0 {
+			lastNZ = i
+		}
+	}
+	if lastNZ < 0 {
+		return fmt.Errorf("entropy: WriteBlock called on an uncoded (all-zero) block")
+	}
+	run := 0
+	for i := 0; i <= lastNZ; i++ {
+		c := scan[i]
+		if c == 0 {
+			run++
+			continue
+		}
+		WriteUE(w, uint32(run))
+		WriteSE(w, c)
+		if i == lastNZ {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+		run = 0
+	}
+	return nil
+}
+
+// ReadBlock decodes TCOEF events into b (raster order). The block is
+// zeroed first.
+func ReadBlock(r *bitstream.Reader, b *dct.Block) error {
+	var scan [64]int32
+	pos := 0
+	for {
+		run, err := ReadUE(r)
+		if err != nil {
+			return err
+		}
+		level, err := ReadSE(r)
+		if err != nil {
+			return err
+		}
+		last, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		pos += int(run)
+		if pos >= 64 {
+			return fmt.Errorf("entropy: TCOEF run overflows block (pos %d)", pos)
+		}
+		if level == 0 {
+			return fmt.Errorf("entropy: zero level in TCOEF event")
+		}
+		scan[pos] = level
+		pos++
+		if last == 1 {
+			break
+		}
+	}
+	dct.Unscan(b, &scan)
+	return nil
+}

@@ -1,0 +1,123 @@
+package entropy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/dct"
+)
+
+func blockFromSeed(seed uint64, density, amp int) *dct.Block {
+	var b dct.Block
+	s := seed | 1
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 2685821657736338717
+	}
+	for i := range b {
+		if int(next()%100) < density {
+			b[i] = int32(next()%uint64(2*amp)) - int32(amp)
+		}
+	}
+	return &b
+}
+
+func TestCodedBlock(t *testing.T) {
+	var b dct.Block
+	if CodedBlock(&b) {
+		t.Fatal("zero block reported coded")
+	}
+	b[63] = -1
+	if !CodedBlock(&b) {
+		t.Fatal("non-zero block reported uncoded")
+	}
+}
+
+func TestBlockBitsZeroBlock(t *testing.T) {
+	var b dct.Block
+	if BlockBits(&b) != 0 {
+		t.Fatal("zero block must cost 0 bits")
+	}
+	if err := WriteBlock(&bitstream.Writer{}, &b); err == nil {
+		t.Fatal("WriteBlock accepted an all-zero block")
+	}
+}
+
+func TestBlockRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, density, amp uint8) bool {
+		b := blockFromSeed(seed, int(density)%60+1, int(amp)%120+1)
+		if !CodedBlock(b) {
+			return true
+		}
+		var w bitstream.Writer
+		if err := WriteBlock(&w, b); err != nil {
+			return false
+		}
+		if w.Len() != BlockBits(b) {
+			return false
+		}
+		var got dct.Block
+		if err := ReadBlock(bitstream.NewReader(w.Bytes()), &got); err != nil {
+			return false
+		}
+		return got == *b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockBitsSparseCheaperThanDense(t *testing.T) {
+	sparse := &dct.Block{}
+	sparse[0] = 5
+	dense := blockFromSeed(3, 50, 100)
+	if !CodedBlock(dense) {
+		t.Skip("degenerate dense block")
+	}
+	if BlockBits(sparse) >= BlockBits(dense) {
+		t.Fatalf("sparse %d bits >= dense %d bits", BlockBits(sparse), BlockBits(dense))
+	}
+}
+
+func TestBlockSingleTrailingCoefficient(t *testing.T) {
+	var b dct.Block
+	b[63] = 7 // maximal run before a last coefficient
+	var w bitstream.Writer
+	if err := WriteBlock(&w, &b); err != nil {
+		t.Fatal(err)
+	}
+	var got dct.Block
+	if err := ReadBlock(bitstream.NewReader(w.Bytes()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Fatal("trailing coefficient round trip failed")
+	}
+}
+
+func TestReadBlockMalformed(t *testing.T) {
+	// run beyond 63 must be rejected.
+	var w bitstream.Writer
+	WriteUE(&w, 64) // run
+	WriteSE(&w, 3)  // level
+	w.WriteBit(1)   // last
+	var b dct.Block
+	if err := ReadBlock(bitstream.NewReader(w.Bytes()), &b); err == nil {
+		t.Fatal("oversized run accepted")
+	}
+	// zero level is illegal.
+	w.Reset()
+	WriteUE(&w, 0)
+	WriteSE(&w, 0)
+	w.WriteBit(1)
+	if err := ReadBlock(bitstream.NewReader(w.Bytes()), &b); err == nil {
+		t.Fatal("zero level accepted")
+	}
+	// truncated stream.
+	if err := ReadBlock(bitstream.NewReader(nil), &b); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package entropy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+)
+
+func TestUEKnownCodes(t *testing.T) {
+	// Standard Exp-Golomb: 0→"1", 1→"010", 2→"011", 3→"00100".
+	cases := []struct {
+		v    uint32
+		bits string
+	}{
+		{0, "1"},
+		{1, "010"},
+		{2, "011"},
+		{3, "00100"},
+		{4, "00101"},
+		{7, "0001000"},
+	}
+	for _, c := range cases {
+		var w bitstream.Writer
+		WriteUE(&w, c.v)
+		if w.Len() != len(c.bits) {
+			t.Fatalf("UE(%d) length %d, want %d", c.v, w.Len(), len(c.bits))
+		}
+		if UEBits(c.v) != len(c.bits) {
+			t.Fatalf("UEBits(%d) = %d, want %d", c.v, UEBits(c.v), len(c.bits))
+		}
+		out := w.Bytes()
+		for i, ch := range c.bits {
+			got := out[i/8] >> (7 - uint(i%8)) & 1
+			want := uint8(0)
+			if ch == '1' {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("UE(%d) bit %d = %d, want %c", c.v, i, got, ch)
+			}
+		}
+	}
+}
+
+func TestUERoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		v %= 1 << 30
+		var w bitstream.Writer
+		WriteUE(&w, v)
+		if w.Len() != UEBits(v) {
+			return false
+		}
+		got, err := ReadUE(bitstream.NewReader(w.Bytes()))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSERoundTripProperty(t *testing.T) {
+	f := func(v int32) bool {
+		v %= 1 << 28
+		var w bitstream.Writer
+		WriteSE(&w, v)
+		if w.Len() != SEBits(v) {
+			return false
+		}
+		got, err := ReadSE(bitstream.NewReader(w.Bytes()))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSEMonotoneInMagnitude(t *testing.T) {
+	// |a| < |b| ⇒ SEBits(a) <= SEBits(b): the property the rate model
+	// needs so incoherent motion fields cost more bits.
+	for m := int32(1); m < 1000; m *= 3 {
+		if SEBits(m) > SEBits(10*m) || SEBits(-m) > SEBits(-10*m) {
+			t.Fatalf("SEBits not monotone at %d", m)
+		}
+	}
+	if SEBits(0) != 1 {
+		t.Fatalf("SEBits(0) = %d, want 1", SEBits(0))
+	}
+}
+
+func TestSEZigZagMapping(t *testing.T) {
+	// 0→0, 1→1, −1→2, 2→3, −2→4 per the H.264 convention.
+	wants := map[int32]uint32{0: 0, 1: 1, -1: 2, 2: 3, -2: 4, 3: 5}
+	for v, u := range wants {
+		if seToUE(v) != u {
+			t.Fatalf("seToUE(%d) = %d, want %d", v, seToUE(v), u)
+		}
+		if ueToSE(u) != v {
+			t.Fatalf("ueToSE(%d) = %d, want %d", u, ueToSE(u), v)
+		}
+	}
+}
+
+func TestReadUEMalformed(t *testing.T) {
+	// A stream of all zeros never terminates the prefix.
+	data := make([]byte, 8)
+	if _, err := ReadUE(bitstream.NewReader(data)); err == nil {
+		t.Fatal("all-zero prefix accepted")
+	}
+	// Truncated suffix.
+	var w bitstream.Writer
+	w.WriteBits(0b001, 3) // promises 2 suffix bits, provides none
+	if _, err := ReadUE(bitstream.NewReader(w.Bytes()[:0])); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package entropy
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/mvfield"
+)
+
+// Motion vector differences are coded per component with signed Exp-Golomb
+// codes over half-pel units, mirroring H.263's differential MV coding
+// (shorter codes for small differences from the median predictor).
+
+// MVDBits returns the bit cost of coding the difference mv − pred.
+func MVDBits(mv, pred mvfield.MV) int {
+	d := mv.Sub(pred)
+	return SEBits(int32(d.X)) + SEBits(int32(d.Y))
+}
+
+// WriteMVD appends the coded difference mv − pred.
+func WriteMVD(w *bitstream.Writer, mv, pred mvfield.MV) {
+	d := mv.Sub(pred)
+	WriteSE(w, int32(d.X))
+	WriteSE(w, int32(d.Y))
+}
+
+// ReadMVD decodes a motion vector difference and returns pred + difference.
+func ReadMVD(r *bitstream.Reader, pred mvfield.MV) (mvfield.MV, error) {
+	dx, err := ReadSE(r)
+	if err != nil {
+		return mvfield.Zero, err
+	}
+	dy, err := ReadSE(r)
+	if err != nil {
+		return mvfield.Zero, err
+	}
+	return pred.Add(mvfield.MV{X: int(dx), Y: int(dy)}), nil
+}

@@ -1,0 +1,63 @@
+package entropy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstream"
+	"repro/internal/mvfield"
+)
+
+func TestMVDRoundTrip(t *testing.T) {
+	f := func(mx, my, px, py int8) bool {
+		mv := mvfield.MV{X: int(mx), Y: int(my)}
+		pred := mvfield.MV{X: int(px), Y: int(py)}
+		var w bitstream.Writer
+		WriteMVD(&w, mv, pred)
+		if w.Len() != MVDBits(mv, pred) {
+			return false
+		}
+		got, err := ReadMVD(bitstream.NewReader(w.Bytes()), pred)
+		return err == nil && got == mv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMVDZeroDifferenceIsCheapest(t *testing.T) {
+	pred := mvfield.MV{X: 4, Y: -2}
+	zero := MVDBits(pred, pred)
+	if zero != 2 { // 1 bit per component
+		t.Fatalf("zero-difference cost = %d, want 2", zero)
+	}
+	for _, mv := range []mvfield.MV{{X: 5, Y: -2}, {X: 4, Y: 6}, {X: -20, Y: 30}} {
+		if MVDBits(mv, pred) <= zero {
+			t.Fatalf("non-zero difference %v cost %d not above %d", mv, MVDBits(mv, pred), zero)
+		}
+	}
+}
+
+func TestMVDCoherentFieldCheaperThanIncoherent(t *testing.T) {
+	// Rate model sanity: vectors near their predictor cost less than
+	// scattered vectors — the effect that penalises FSBM's field.
+	pred := mvfield.Zero
+	coherent := []mvfield.MV{{X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}
+	scattered := []mvfield.MV{{X: 28, Y: -30}, {X: -22, Y: 14}, {X: 30, Y: 30}}
+	var cb, sb int
+	for i := range coherent {
+		cb += MVDBits(coherent[i], pred)
+		sb += MVDBits(scattered[i], pred)
+	}
+	if cb >= sb {
+		t.Fatalf("coherent field bits %d >= scattered %d", cb, sb)
+	}
+}
+
+func TestReadMVDTruncated(t *testing.T) {
+	var w bitstream.Writer
+	WriteSE(&w, 100) // only one component present
+	if _, err := ReadMVD(bitstream.NewReader(w.Bytes()[:1]), mvfield.Zero); err == nil {
+		t.Fatal("truncated MVD accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package experiment reproduces the paper's evaluation: the Fig. 4
+// preliminary study (move-then-search scatter of Intra_SAD vs
+// SAD_deviation by motion vector error), Table 1 (average search positions
+// per macroblock for ACBM), the Figs. 5/6 rate-distortion sweeps, and the
+// §4 headline claims derived from them.
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+// Defaults shared by the experiments; all overridable per config.
+const (
+	// DefaultSeed decorrelates synthetic textures; fixed for
+	// reproducibility.
+	DefaultSeed = 2005
+	// DefaultFrames is the sequence length at 30 fps.
+	DefaultFrames = 60
+	// DefaultRange is the paper's search range p=15.
+	DefaultRange = 15
+	// FSBMPoints is the paper's FSBM complexity reference: (2·15+1)²+8.
+	FSBMPoints = 969
+)
+
+// DefaultQps are the quantiser values of Table 1 (also used for the RD
+// sweeps of Figs. 5 and 6).
+var DefaultQps = []int{30, 28, 26, 24, 22, 20, 18, 16}
+
+// DefaultParams returns the paper's calibrated ACBM parameters.
+func DefaultParams() core.Params { return core.DefaultParams }
+
+// cache memoizes generated sequences across experiments (the RD sweeps and
+// Table 1 reuse the same frames many times).
+type cacheKey struct {
+	profile video.Profile
+	size    frame.Size
+	n       int
+	seed    uint64
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey][]*frame.Frame{}
+)
+
+// Frames returns the memoized sequence for a profile at 30 fps.
+func Frames(p video.Profile, size frame.Size, n int, seed uint64) []*frame.Frame {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	k := cacheKey{p, size, n, seed}
+	if f, ok := cache[k]; ok {
+		return f
+	}
+	f := video.Generate(p, size, n, seed)
+	cache[k] = f
+	return f
+}
+
+// ClearCache drops memoized sequences (tests use it to bound memory).
+func ClearCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	cache = map[cacheKey][]*frame.Frame{}
+}
+
+// forEachIndex runs fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error (by index order). Every encode in a sweep is
+// independent — each owns its searcher and encoder — so the experiments
+// parallelise trivially; results stay deterministic because they are
+// stored by index.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

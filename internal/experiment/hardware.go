@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hwmodel"
+	"repro/internal/video"
+)
+
+// HardwareReport evaluates the §5 shared-resource architecture proposal
+// under the workloads measured by Table 1: for each sequence/frame-rate it
+// derives a hardware workload from the ACBM statistics and compares the
+// three architecture models.
+func HardwareReport(t1 *Table1Result, qp int) (string, error) {
+	var b strings.Builder
+	cfg := t1.Config
+	mbs := cfg.Size.MacroblockCols() * cfg.Size.MacroblockRows()
+	fmt.Fprintf(&b, "Hardware architecture model (first-order, %v, Qp %d)\n", cfg.Size, qp)
+	fmt.Fprintf(&b, "%-14s %-5s %-14s %10s %9s %10s %8s %8s\n",
+		"sequence", "fps", "architecture", "cycles/MB", "MHz(rt)", "nJ/MB", "mW", "util")
+	for _, prof := range cfg.Profiles {
+		for _, dec := range cfg.Decimations {
+			cell, ok := t1.Cell(prof, dec, qp)
+			if !ok {
+				return "", fmt.Errorf("experiment: no Table 1 cell for %v dec %d qp %d", prof, dec, qp)
+			}
+			fsbmCand := float64(FSBMPoints)
+			pbmPts := cell.AvgPoints - cell.FSBMRate*fsbmCand
+			if pbmPts < 8 {
+				pbmPts = 8
+			}
+			w := hwmodel.Workload{
+				MBsPerFrame:  mbs,
+				FPS:          30.0 / float64(dec),
+				AvgPoints:    cell.AvgPoints,
+				CriticalRate: cell.FSBMRate,
+				PBMPoints:    pbmPts,
+			}
+			reports, err := hwmodel.Compare(w, hwmodel.DefaultTech, cfg.Range)
+			if err != nil {
+				return "", err
+			}
+			for i, r := range reports {
+				name := ""
+				fps := ""
+				if i == 0 {
+					name = prof.String()
+					fps = fmt.Sprintf("%d", 30/dec)
+				}
+				fmt.Fprintf(&b, "%-14s %-5s %-14s %10.0f %9.2f %10.0f %8.2f %7.0f%%\n",
+					name, fps, r.Arch, r.CyclesPerMB, r.MinFreqMHz,
+					r.EnergyPerMB, r.PowerMW, 100*r.Utilisation)
+			}
+		}
+	}
+	b.WriteString("\nFSBM-systolic runs the same cost regardless of content; ACBM-shared\n")
+	b.WriteString("tracks the content-dependent critical rate, approaching the PBM engine\n")
+	b.WriteString("on easy sequences at full-search quality — the §5 architecture claim.\n")
+	return b.String(), nil
+}
+
+// HardwareSummary returns ACBM-shared's energy saving vs the FSBM array
+// for one cell, the headline number of the architecture comparison.
+func HardwareSummary(t1 *Table1Result, prof video.Profile, dec, qp int) (float64, error) {
+	cell, ok := t1.Cell(prof, dec, qp)
+	if !ok {
+		return 0, fmt.Errorf("experiment: no cell for %v dec %d qp %d", prof, dec, qp)
+	}
+	mbs := t1.Config.Size.MacroblockCols() * t1.Config.Size.MacroblockRows()
+	pbmPts := cell.AvgPoints - cell.FSBMRate*float64(FSBMPoints)
+	if pbmPts < 8 {
+		pbmPts = 8
+	}
+	w := hwmodel.Workload{
+		MBsPerFrame: mbs, FPS: 30.0 / float64(dec),
+		AvgPoints: cell.AvgPoints, CriticalRate: cell.FSBMRate, PBMPoints: pbmPts,
+	}
+	shared, err := hwmodel.ACBMShared{P: t1.Config.Range}.Estimate(w, hwmodel.DefaultTech)
+	if err != nil {
+		return 0, err
+	}
+	full, err := hwmodel.FSBMSystolic{P: t1.Config.Range}.Estimate(w, hwmodel.DefaultTech)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - shared.EnergyPerMB/full.EnergyPerMB, nil
+}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ratedist"
+	"repro/internal/video"
+)
+
+// Headline captures the paper's §4 claims for one sequence/frame-rate:
+// ACBM tracks (or slightly beats) FSBM's rate-distortion performance,
+// clearly beats PBM, and does so at a large complexity reduction.
+type Headline struct {
+	Profile    video.Profile
+	Decimation int
+
+	// Rate savings at equal quality over the overlapping PSNR range
+	// (positive = ACBM needs fewer bits). This is the robust comparison:
+	// ACBM's coherent motion fields reach rates FSBM cannot, so the
+	// curves may not overlap on the rate axis at all.
+	ACBMvsFSBMRate float64
+	ACBMvsPBMRate  float64
+	AvgPoints      float64 // ACBM average positions/MB (across Qp)
+	Reduction      float64 // 1 − AvgPoints/969
+}
+
+// ComputeHeadline derives the headline numbers from one RD sweep and the
+// matching Table 1 slice.
+func ComputeHeadline(cfg RDConfig, curves []ratedist.Curve, t1 *Table1Result) (*Headline, error) {
+	cfg = cfg.withDefaults()
+	acbm, err := FindCurve(curves, "ACBM")
+	if err != nil {
+		return nil, err
+	}
+	fsbm, err := FindCurve(curves, "FSBM")
+	if err != nil {
+		return nil, err
+	}
+	pbm, err := FindCurve(curves, "PBM")
+	if err != nil {
+		return nil, err
+	}
+	h := &Headline{Profile: cfg.Profile, Decimation: cfg.Decimation}
+	if h.ACBMvsFSBMRate, err = ratedist.AvgRateSavings(acbm, fsbm); err != nil {
+		return nil, err
+	}
+	if h.ACBMvsPBMRate, err = ratedist.AvgRateSavings(acbm, pbm); err != nil {
+		return nil, err
+	}
+	if t1 != nil {
+		h.AvgPoints = t1.MeanPoints(cfg.Profile, cfg.Decimation)
+		if h.AvgPoints > 0 {
+			h.Reduction = 1 - h.AvgPoints/FSBMPoints
+		}
+	}
+	return h, nil
+}
+
+// String formats the headline as a one-line verdict.
+func (h *Headline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%dfps: ACBM rate savings at equal PSNR: %+.1f%% vs FSBM, %+.1f%% vs PBM",
+		h.Profile, 30/h.Decimation, 100*h.ACBMvsFSBMRate, 100*h.ACBMvsPBMRate)
+	if h.AvgPoints > 0 {
+		fmt.Fprintf(&b, ", %.0f pts/MB (%.0f%% below FSBM's %d)",
+			h.AvgPoints, 100*h.Reduction, FSBMPoints)
+	}
+	return b.String()
+}

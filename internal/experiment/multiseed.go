@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/video"
+)
+
+// Multi-seed replication: the synthetic sequences are parameterised by a
+// texture seed, so the headline numbers can be replicated across
+// independent "recordings" of each scene and reported with a dispersion
+// estimate — the robustness check a single-trace evaluation (the paper's
+// and ours) lacks.
+
+// SeedStats summarises one metric across seeds.
+type SeedStats struct {
+	Mean   float64
+	StdDev float64 // sample standard deviation
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// Summarize computes SeedStats for a sample.
+func Summarize(xs []float64) SeedStats {
+	s := SeedStats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return SeedStats{}
+	}
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			ss += (x - s.Mean) * (x - s.Mean)
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String formats as "mean ± std [min, max]".
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%.1f ± %.1f [%.1f, %.1f] (n=%d)", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}
+
+// MultiSeedTable1 replicates the Table 1 cell (profile, dec, qp) across
+// seeds and returns the distribution of ACBM's positions/MB.
+func MultiSeedTable1(prof video.Profile, dec, qp, frames int, seeds []uint64) (SeedStats, error) {
+	if len(seeds) == 0 {
+		return SeedStats{}, fmt.Errorf("experiment: no seeds")
+	}
+	vals := make([]float64, len(seeds))
+	err := forEachIndex(len(seeds), func(i int) error {
+		res, err := RunTable1(Table1Config{
+			Profiles:    []video.Profile{prof},
+			Frames:      frames,
+			Qps:         []int{qp},
+			Decimations: []int{dec},
+			Seed:        seeds[i],
+		})
+		if err != nil {
+			return err
+		}
+		cell, ok := res.Cell(prof, dec, qp)
+		if !ok {
+			return fmt.Errorf("experiment: missing cell for seed %d", seeds[i])
+		}
+		vals[i] = cell.AvgPoints
+		return nil
+	})
+	if err != nil {
+		return SeedStats{}, err
+	}
+	return Summarize(vals), nil
+}
+
+// DefaultSeeds is the replication set used by the robustness report.
+var DefaultSeeds = []uint64{2005, 7, 42, 1234, 99991}
+
+// FormatMultiSeed renders a replication report for all profiles at one
+// operating point.
+func FormatMultiSeed(dec, qp, frames int, seeds []uint64) (string, error) {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 replication across %d texture seeds (Qp %d, %d fps)\n",
+		len(seeds), qp, 30/dec)
+	for _, prof := range video.Profiles {
+		st, err := MultiSeedTable1(prof, dec, qp, frames, seeds)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-14s positions/MB: %s\n", prof.String(), st.String())
+	}
+	return b.String(), nil
+}

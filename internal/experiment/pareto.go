@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+// The paper sells α/β/γ as a quality-versus-complexity dial and reports
+// one calibrated point. This harness maps the dial: it sweeps a parameter
+// grid, measures (complexity, quality, rate) for each setting and marks
+// the Pareto-efficient ones.
+
+// ParetoConfig configures a parameter sensitivity sweep.
+type ParetoConfig struct {
+	Profile    video.Profile
+	Size       frame.Size
+	Frames     int
+	Decimation int
+	Qp         int
+	Grid       []core.Params // default: DefaultParamGrid()
+	Seed       uint64
+}
+
+func (c ParetoConfig) withDefaults() ParetoConfig {
+	if c.Size == (frame.Size{}) {
+		c.Size = frame.QCIF
+	}
+	if c.Frames <= 0 {
+		c.Frames = DefaultFrames / 2
+	}
+	if c.Decimation <= 0 {
+		c.Decimation = 1
+	}
+	if c.Qp <= 0 {
+		c.Qp = 16
+	}
+	if len(c.Grid) == 0 {
+		c.Grid = DefaultParamGrid()
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// DefaultParamGrid spans the dial from always-PBM to always-FSBM around
+// the paper's calibration.
+func DefaultParamGrid() []core.Params {
+	grid := []core.Params{
+		{Alpha: 0, Beta: 0, GammaNum: 0, GammaDen: 1},       // always-FSBM endpoint
+		{Alpha: 1 << 30, Beta: 0, GammaNum: 0, GammaDen: 1}, // always-PBM endpoint
+	}
+	for _, alpha := range []int{250, 1000, 4000} {
+		for _, beta := range []int{2, 8, 16} {
+			for _, gammaNum := range []int{1, 2} {
+				grid = append(grid, core.Params{
+					Alpha: alpha, Beta: beta, GammaNum: gammaNum, GammaDen: 4,
+				})
+			}
+		}
+	}
+	return grid
+}
+
+// ParetoPoint is one measured operating point of the sweep.
+type ParetoPoint struct {
+	Params    core.Params
+	AvgPoints float64
+	PSNRY     float64
+	RateKbps  float64
+	Efficient bool // not dominated in (AvgPoints ↓, PSNRY ↑)
+}
+
+// RunPareto sweeps the grid. Points are returned sorted by complexity.
+func RunPareto(cfg ParetoConfig) ([]ParetoPoint, error) {
+	cfg = cfg.withDefaults()
+	base := Frames(cfg.Profile, cfg.Size, cfg.Frames, cfg.Seed)
+	frames := video.Decimate(base, cfg.Decimation)
+	if len(frames) < 2 {
+		return nil, fmt.Errorf("experiment: decimation leaves %d frames", len(frames))
+	}
+	points := make([]ParetoPoint, len(cfg.Grid))
+	err := forEachIndex(len(cfg.Grid), func(i int) error {
+		p := cfg.Grid[i]
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		acbm := core.New(p)
+		stats, _, err := codec.EncodeSequence(codec.Config{
+			Qp: cfg.Qp, Searcher: acbm, FPS: 30.0 / float64(cfg.Decimation),
+		}, frames)
+		if err != nil {
+			return err
+		}
+		points[i] = ParetoPoint{
+			Params:    p,
+			AvgPoints: stats.AvgSearchPointsPerMB(),
+			PSNRY:     stats.AvgPSNRY(),
+			RateKbps:  stats.BitrateKbps(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].AvgPoints < points[j].AvgPoints })
+	markEfficient(points)
+	return points, nil
+}
+
+// markEfficient flags points not dominated in (complexity ↓, quality ↑).
+// A point is dominated when another has ≤ complexity and ≥ quality with
+// at least one strict inequality (within a small PSNR tolerance).
+func markEfficient(points []ParetoPoint) {
+	const eps = 1e-9
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			if points[j].AvgPoints <= points[i].AvgPoints+eps &&
+				points[j].PSNRY >= points[i].PSNRY-eps &&
+				(points[j].AvgPoints < points[i].AvgPoints-eps ||
+					points[j].PSNRY > points[i].PSNRY+eps) {
+				dominated = true
+				break
+			}
+		}
+		points[i].Efficient = !dominated
+	}
+}
+
+// FormatPareto renders the sweep as a table.
+func FormatPareto(cfg ParetoConfig, points []ParetoPoint) string {
+	cfg = cfg.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "ACBM parameter sensitivity: %v, %v@%dfps, Qp %d\n",
+		cfg.Profile, cfg.Size, 30/cfg.Decimation, cfg.Qp)
+	fmt.Fprintf(&b, "%-26s %12s %10s %10s %8s\n", "params (α β γ)", "positions/MB", "PSNR-Y", "kbit/s", "Pareto")
+	for _, p := range points {
+		mark := ""
+		if p.Efficient {
+			mark = "*"
+		}
+		gamma := fmt.Sprintf("%d/%d", p.Params.GammaNum, p.Params.GammaDen)
+		alpha := fmt.Sprintf("%d", p.Params.Alpha)
+		if p.Params.Alpha >= 1<<29 {
+			alpha = "inf"
+		}
+		fmt.Fprintf(&b, "α=%-9s β=%-3d γ=%-6s %12.0f %10.2f %10.1f %8s\n",
+			alpha, p.Params.Beta, gamma, p.AvgPoints, p.PSNRY, p.RateKbps, mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+// Table1Config configures the complexity experiment of Table 1: the
+// average number of candidate positions ACBM searches per macroblock, per
+// sequence, frame rate and quantiser.
+type Table1Config struct {
+	Profiles    []video.Profile
+	Size        frame.Size
+	Frames      int   // sequence length at 30 fps (default 60)
+	Qps         []int // default DefaultQps (30..16)
+	Decimations []int // temporal subsampling factors; default {1, 3} = 30/10 fps
+	Range       int
+	Params      core.Params
+	Seed        uint64
+}
+
+func (c Table1Config) withDefaults() Table1Config {
+	if len(c.Profiles) == 0 {
+		c.Profiles = video.Profiles
+	}
+	if c.Size == (frame.Size{}) {
+		c.Size = frame.QCIF
+	}
+	if c.Frames <= 0 {
+		c.Frames = DefaultFrames
+	}
+	if len(c.Qps) == 0 {
+		c.Qps = DefaultQps
+	}
+	if len(c.Decimations) == 0 {
+		c.Decimations = []int{1, 3}
+	}
+	if c.Range <= 0 {
+		c.Range = DefaultRange
+	}
+	if c.Params == (core.Params{}) {
+		c.Params = core.DefaultParams
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// Table1Cell is one entry of Table 1 plus its decision breakdown.
+type Table1Cell struct {
+	AvgPoints float64 // the paper's reported number
+	FSBMRate  float64 // fraction of critical blocks
+	PSNRY     float64 // reconstruction quality at this operating point
+	RateKbps  float64
+}
+
+// Table1Result indexes cells by [profile][decimation][qp].
+type Table1Result struct {
+	Config Table1Config
+	Cells  map[video.Profile]map[int]map[int]Table1Cell
+}
+
+// RunTable1 reproduces Table 1 by encoding every (sequence, fps, Qp)
+// combination with the ACBM motion estimator and averaging its search
+// complexity per macroblock.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table1Result{
+		Config: cfg,
+		Cells:  make(map[video.Profile]map[int]map[int]Table1Cell),
+	}
+	for _, prof := range cfg.Profiles {
+		res.Cells[prof] = make(map[int]map[int]Table1Cell)
+		base := Frames(prof, cfg.Size, cfg.Frames, cfg.Seed)
+		for _, dec := range cfg.Decimations {
+			res.Cells[prof][dec] = make(map[int]Table1Cell)
+			frames := video.Decimate(base, dec)
+			if len(frames) < 2 {
+				return nil, fmt.Errorf("experiment: decimation %d leaves %d frames", dec, len(frames))
+			}
+			cells := make([]Table1Cell, len(cfg.Qps))
+			err := forEachIndex(len(cfg.Qps), func(i int) error {
+				qp := cfg.Qps[i]
+				acbm := core.New(cfg.Params)
+				stats, _, err := codec.EncodeSequence(codec.Config{
+					Qp:          qp,
+					SearchRange: cfg.Range,
+					Searcher:    acbm,
+					FPS:         30.0 / float64(dec),
+				}, frames)
+				if err != nil {
+					return fmt.Errorf("experiment: %v dec %d qp %d: %w", prof, dec, qp, err)
+				}
+				cells[i] = Table1Cell{
+					AvgPoints: stats.AvgSearchPointsPerMB(),
+					FSBMRate:  acbm.Stats().FSBMRate(),
+					PSNRY:     stats.AvgPSNRY(),
+					RateKbps:  stats.BitrateKbps(),
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, qp := range cfg.Qps {
+				res.Cells[prof][dec][qp] = cells[i]
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cell returns one entry.
+func (r *Table1Result) Cell(p video.Profile, dec, qp int) (Table1Cell, bool) {
+	m1, ok := r.Cells[p]
+	if !ok {
+		return Table1Cell{}, false
+	}
+	m2, ok := m1[dec]
+	if !ok {
+		return Table1Cell{}, false
+	}
+	c, ok := m2[qp]
+	return c, ok
+}
+
+// MaxReduction returns the largest complexity reduction relative to FSBM's
+// 969 positions across all cells — the paper's "up to 95%" headline.
+func (r *Table1Result) MaxReduction() float64 {
+	best := 0.0
+	for _, byDec := range r.Cells {
+		for _, byQp := range byDec {
+			for _, cell := range byQp {
+				red := 1 - cell.AvgPoints/FSBMPoints
+				if red > best {
+					best = red
+				}
+			}
+		}
+	}
+	return best
+}
+
+// MeanPoints averages the table for one profile and decimation across Qp.
+func (r *Table1Result) MeanPoints(p video.Profile, dec int) float64 {
+	byQp, ok := r.Cells[p][dec]
+	if !ok || len(byQp) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, cell := range byQp {
+		sum += cell.AvgPoints
+	}
+	return sum / float64(len(byQp))
+}

@@ -1,0 +1,77 @@
+package frame
+
+import "fmt"
+
+// Size is a frame format (luma dimensions). Chroma planes are half size in
+// each dimension (YUV 4:2:0), as in the H.263 source formats the paper uses.
+type Size struct {
+	W, H int
+}
+
+// Standard picture formats from H.263 / the paper's evaluation.
+var (
+	SQCIF   = Size{128, 96}
+	QCIF    = Size{176, 144} // the format used for Figs. 5/6 and Table 1
+	CIF     = Size{352, 288}
+	FourCIF = Size{704, 576}
+)
+
+// String returns the conventional name for well-known sizes, else "WxH".
+func (s Size) String() string {
+	switch s {
+	case SQCIF:
+		return "SQCIF"
+	case QCIF:
+		return "QCIF"
+	case CIF:
+		return "CIF"
+	case FourCIF:
+		return "4CIF"
+	}
+	return fmt.Sprintf("%dx%d", s.W, s.H)
+}
+
+// MacroblockCols returns the number of 16×16 macroblock columns.
+func (s Size) MacroblockCols() int { return (s.W + 15) / 16 }
+
+// MacroblockRows returns the number of 16×16 macroblock rows.
+func (s Size) MacroblockRows() int { return (s.H + 15) / 16 }
+
+// Frame is a YUV 4:2:0 picture: full-resolution luma and quarter-size
+// chroma planes.
+type Frame struct {
+	Y, Cb, Cr *Plane
+}
+
+// NewFrame returns a zeroed 4:2:0 frame of the given luma size. Luma
+// dimensions must be even so the chroma planes are well defined.
+func NewFrame(s Size) *Frame {
+	if s.W%2 != 0 || s.H%2 != 0 {
+		panic(fmt.Sprintf("frame: odd luma size %v for 4:2:0", s))
+	}
+	return &Frame{
+		Y:  NewPlane(s.W, s.H),
+		Cb: NewPlane(s.W/2, s.H/2),
+		Cr: NewPlane(s.W/2, s.H/2),
+	}
+}
+
+// Size returns the luma dimensions of the frame.
+func (f *Frame) Size() Size { return Size{f.Y.W, f.Y.H} }
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	return &Frame{Y: f.Y.Clone(), Cb: f.Cb.Clone(), Cr: f.Cr.Clone()}
+}
+
+// Equal reports whether two frames are sample-identical in all components.
+func (f *Frame) Equal(g *Frame) bool {
+	return f.Y.Equal(g.Y) && f.Cb.Equal(g.Cb) && f.Cr.Equal(g.Cr)
+}
+
+// FillYUV sets every sample of each component to the given constants.
+func (f *Frame) FillYUV(y, cb, cr uint8) {
+	f.Y.Fill(y)
+	f.Cb.Fill(cb)
+	f.Cr.Fill(cr)
+}

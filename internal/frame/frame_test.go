@@ -1,0 +1,56 @@
+package frame
+
+import "testing"
+
+func TestSizeNamesAndMacroblocks(t *testing.T) {
+	if QCIF.String() != "QCIF" || CIF.String() != "CIF" || SQCIF.String() != "SQCIF" || FourCIF.String() != "4CIF" {
+		t.Fatal("standard size names wrong")
+	}
+	if (Size{100, 80}).String() != "100x80" {
+		t.Fatal("custom size name wrong")
+	}
+	if QCIF.MacroblockCols() != 11 || QCIF.MacroblockRows() != 9 {
+		t.Fatalf("QCIF MBs = %dx%d, want 11x9", QCIF.MacroblockCols(), QCIF.MacroblockRows())
+	}
+	if CIF.MacroblockCols() != 22 || CIF.MacroblockRows() != 18 {
+		t.Fatalf("CIF MBs = %dx%d, want 22x18", CIF.MacroblockCols(), CIF.MacroblockRows())
+	}
+}
+
+func TestNewFrameChromaSubsampling(t *testing.T) {
+	f := NewFrame(QCIF)
+	if f.Y.W != 176 || f.Y.H != 144 {
+		t.Fatal("luma size wrong")
+	}
+	if f.Cb.W != 88 || f.Cb.H != 72 || f.Cr.W != 88 || f.Cr.H != 72 {
+		t.Fatal("chroma size wrong for 4:2:0")
+	}
+	if f.Size() != QCIF {
+		t.Fatal("Size() wrong")
+	}
+}
+
+func TestNewFramePanicsOnOddSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd-size frame did not panic")
+		}
+	}()
+	NewFrame(Size{177, 144})
+}
+
+func TestFrameCloneEqualFill(t *testing.T) {
+	f := NewFrame(SQCIF)
+	f.FillYUV(16, 128, 128)
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone unequal")
+	}
+	g.Cr.Set(0, 0, 0)
+	if f.Equal(g) {
+		t.Fatal("mutated clone still equal")
+	}
+	if f.Y.At(5, 5) != 16 || f.Cb.At(3, 3) != 128 {
+		t.Fatal("FillYUV wrong")
+	}
+}

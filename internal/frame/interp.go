@@ -1,0 +1,96 @@
+package frame
+
+// Interpolated is a half-pel upsampled view of a plane, built with the
+// H.263 bilinear interpolation rules (rounding up, +1 before the shift).
+//
+// For a source plane of size W×H the interpolated grid has (2W)×(2H)
+// positions. Position (2x, 2y) equals the integer sample (x, y); odd
+// coordinates are the horizontal, vertical and diagonal half-pel samples.
+// Samples referenced beyond the right/bottom border replicate the edge, so
+// motion vectors that keep the *integer* block inside the frame are always
+// valid at half-pel precision too.
+type Interpolated struct {
+	W, H int // dimensions of the half-pel grid (2× source)
+	Pix  []uint8
+}
+
+// Interpolate builds the half-pel grid for p.
+//
+//	a = A
+//	b = (A + B + 1) / 2
+//	c = (A + C + 1) / 2
+//	d = (A + B + C + D + 2) / 4
+//
+// where A is the integer sample and B, C, D its right, below and
+// below-right neighbours (edge-replicated).
+func Interpolate(p *Plane) *Interpolated {
+	w2, h2 := 2*p.W, 2*p.H
+	ip := &Interpolated{W: w2, H: h2, Pix: make([]uint8, w2*h2)}
+	for y := 0; y < p.H; y++ {
+		yB := y + 1
+		if yB >= p.H {
+			yB = p.H - 1
+		}
+		rowA := p.Pix[y*p.Stride : y*p.Stride+p.W]
+		rowC := p.Pix[yB*p.Stride : yB*p.Stride+p.W]
+		out0 := ip.Pix[(2*y)*w2 : (2*y)*w2+w2]
+		out1 := ip.Pix[(2*y+1)*w2 : (2*y+1)*w2+w2]
+		for x := 0; x < p.W; x++ {
+			xB := x + 1
+			if xB >= p.W {
+				xB = p.W - 1
+			}
+			a := int(rowA[x])
+			b := int(rowA[xB])
+			c := int(rowC[x])
+			d := int(rowC[xB])
+			out0[2*x] = uint8(a)
+			out0[2*x+1] = uint8((a + b + 1) >> 1)
+			out1[2*x] = uint8((a + c + 1) >> 1)
+			out1[2*x+1] = uint8((a + b + c + d + 2) >> 2)
+		}
+	}
+	return ip
+}
+
+// At returns the half-pel grid sample at (hx, hy), where even coordinates
+// are integer positions. Coordinates must be in [0, 2W)×[0, 2H).
+func (ip *Interpolated) At(hx, hy int) uint8 { return ip.Pix[hy*ip.W+hx] }
+
+// AtClamped is At with edge replication for out-of-range coordinates.
+func (ip *Interpolated) AtClamped(hx, hy int) uint8 {
+	if hx < 0 {
+		hx = 0
+	} else if hx >= ip.W {
+		hx = ip.W - 1
+	}
+	if hy < 0 {
+		hy = 0
+	} else if hy >= ip.H {
+		hy = ip.H - 1
+	}
+	return ip.Pix[hy*ip.W+hx]
+}
+
+// Block copies the w×h prediction block whose top-left corner sits at
+// half-pel position (hx, hy) into dst (row-major, len ≥ w*h). Successive
+// block samples are one full pel apart, i.e. 2 grid positions.
+// Out-of-range reads replicate the edge.
+func (ip *Interpolated) Block(dst []uint8, hx, hy, w, h int) {
+	if hx >= 0 && hy >= 0 && hx+2*w-1 < ip.W && hy+2*h-1 < ip.H {
+		// Fast path: fully interior.
+		for y := 0; y < h; y++ {
+			src := ip.Pix[(hy+2*y)*ip.W+hx:]
+			drow := dst[y*w : y*w+w]
+			for x := 0; x < w; x++ {
+				drow[x] = src[2*x]
+			}
+		}
+		return
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dst[y*w+x] = ip.AtClamped(hx+2*x, hy+2*y)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func rampPlane(w, h int) *Plane {
+	p := NewPlane(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p.Set(x, y, uint8((x*7+y*13)%256))
+		}
+	}
+	return p
+}
+
+func TestInterpolateIntegerPositions(t *testing.T) {
+	p := rampPlane(16, 12)
+	ip := Interpolate(p)
+	if ip.W != 32 || ip.H != 24 {
+		t.Fatalf("interp size %dx%d, want 32x24", ip.W, ip.H)
+	}
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			if ip.At(2*x, 2*y) != p.At(x, y) {
+				t.Fatalf("integer position (%d,%d) altered", x, y)
+			}
+		}
+	}
+}
+
+func TestInterpolateHalfPelRules(t *testing.T) {
+	p := NewPlane(2, 2)
+	copy(p.Pix, []uint8{10, 20, 30, 50})
+	ip := Interpolate(p)
+	// b = (A+B+1)/2, c = (A+C+1)/2, d = (A+B+C+D+2)/4
+	if got := ip.At(1, 0); got != (10+20+1)/2 {
+		t.Errorf("horizontal half-pel = %d, want %d", got, (10+20+1)/2)
+	}
+	if got := ip.At(0, 1); got != (10+30+1)/2 {
+		t.Errorf("vertical half-pel = %d, want %d", got, (10+30+1)/2)
+	}
+	if got := ip.At(1, 1); got != (10+20+30+50+2)/4 {
+		t.Errorf("diagonal half-pel = %d, want %d", got, (10+20+30+50+2)/4)
+	}
+}
+
+func TestInterpolateEdgeReplication(t *testing.T) {
+	p := NewPlane(2, 1)
+	copy(p.Pix, []uint8{100, 200})
+	ip := Interpolate(p)
+	// Right of the last column, B is replicated: b = (200+200+1)/2 = 200.
+	if got := ip.At(3, 0); got != 200 {
+		t.Errorf("edge horizontal half-pel = %d, want 200", got)
+	}
+	// Below the last row, C replicates A.
+	if got := ip.At(0, 1); got != 100 {
+		t.Errorf("edge vertical half-pel = %d, want 100", got)
+	}
+}
+
+func TestInterpolateConstantPlane(t *testing.T) {
+	p := NewPlane(8, 8)
+	p.Fill(77)
+	ip := Interpolate(p)
+	for i, v := range ip.Pix {
+		if v != 77 {
+			t.Fatalf("interp sample %d = %d, want 77", i, v)
+		}
+	}
+}
+
+func TestInterpolatedBlockFastVsSlow(t *testing.T) {
+	p := rampPlane(24, 24)
+	ip := Interpolate(p)
+	fast := make([]uint8, 8*8)
+	slow := make([]uint8, 8*8)
+	for _, pos := range [][2]int{{0, 0}, {5, 7}, {31, 31}, {33, 39}} {
+		ip.Block(fast, pos[0], pos[1], 8, 8)
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				slow[y*8+x] = ip.AtClamped(pos[0]+2*x, pos[1]+2*y)
+			}
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("Block at %v sample %d: fast %d != slow %d", pos, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestInterpolatedBlockIntegerMVMatchesCopy(t *testing.T) {
+	p := rampPlane(32, 32)
+	ip := Interpolate(p)
+	blk := make([]uint8, 16*16)
+	ip.Block(blk, 2*4, 2*6, 16, 16) // integer MV (4,6)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if blk[y*16+x] != p.At(4+x, 6+y) {
+				t.Fatalf("integer-MV block mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestInterpolateRangeProperty(t *testing.T) {
+	// Interpolated samples always lie within [min, max] of the source.
+	f := func(seed int64) bool {
+		rng := newTestRNG(seed)
+		p := NewPlane(9, 9)
+		lo, hi := uint8(255), uint8(0)
+		for i := range p.Pix {
+			p.Pix[i] = uint8(rng.next())
+			if p.Pix[i] < lo {
+				lo = p.Pix[i]
+			}
+			if p.Pix[i] > hi {
+				hi = p.Pix[i]
+			}
+		}
+		ip := Interpolate(p)
+		for _, v := range ip.Pix {
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePGM writes the plane as a binary (P5) PGM image, a convenient format
+// for inspecting synthetic sequences with standard image viewers.
+func WritePGM(w io.Writer, p *Plane) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", p.W, p.H); err != nil {
+		return err
+	}
+	for y := 0; y < p.H; y++ {
+		if _, err := bw.Write(p.Row(y)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM parses a binary (P5) PGM image into a plane. Only maxval 255 is
+// supported; comments are accepted in the header.
+func ReadPGM(r io.Reader) (*Plane, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("frame: reading PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("frame: unsupported PGM magic %q", magic)
+	}
+	readInt := func() (int, error) {
+		// Skip whitespace and comments.
+		for {
+			c, err := br.ReadByte()
+			if err != nil {
+				return 0, err
+			}
+			if c == '#' {
+				if _, err := br.ReadString('\n'); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				continue
+			}
+			n := 0
+			for c >= '0' && c <= '9' {
+				n = n*10 + int(c-'0')
+				c, err = br.ReadByte()
+				if err != nil {
+					if err == io.EOF {
+						return n, nil
+					}
+					return 0, err
+				}
+			}
+			return n, nil
+		}
+	}
+	w, err := readInt()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading PGM width: %w", err)
+	}
+	h, err := readInt()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading PGM height: %w", err)
+	}
+	maxval, err := readInt()
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading PGM maxval: %w", err)
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("frame: unsupported PGM maxval %d", maxval)
+	}
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("frame: implausible PGM size %dx%d", w, h)
+	}
+	p := NewPlane(w, h)
+	if _, err := io.ReadFull(br, p.Pix); err != nil {
+		return nil, fmt.Errorf("frame: reading PGM samples: %w", err)
+	}
+	return p, nil
+}
+
+// WriteY4M writes frames as a YUV4MPEG2 stream (C420jpeg layout) so
+// generated sequences can be played with standard tools.
+func WriteY4M(w io.Writer, frames []*Frame, fpsNum, fpsDen int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("frame: no frames to write")
+	}
+	s := frames[0].Size()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:%d Ip A1:1 C420jpeg\n", s.W, s.H, fpsNum, fpsDen); err != nil {
+		return err
+	}
+	for i, f := range frames {
+		if f.Size() != s {
+			return fmt.Errorf("frame: frame %d size %v differs from %v", i, f.Size(), s)
+		}
+		if _, err := fmt.Fprintf(bw, "FRAME\n"); err != nil {
+			return err
+		}
+		for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
+			for y := 0; y < p.H; y++ {
+				if _, err := bw.Write(p.Row(y)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,71 @@
+package frame
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	p := rampPlane(21, 13)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(q) {
+		t.Fatal("PGM round trip altered samples")
+	}
+}
+
+func TestReadPGMWithComment(t *testing.T) {
+	data := "P5\n# a comment line\n2 1\n255\n\x0a\x14"
+	p, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.W != 2 || p.H != 1 || p.At(0, 0) != 10 || p.At(1, 0) != 20 {
+		t.Fatalf("parsed %dx%d %v", p.W, p.H, p.Pix)
+	}
+}
+
+func TestReadPGMRejectsBadInput(t *testing.T) {
+	for _, in := range []string{
+		"P6\n2 2\n255\nxxxx",   // wrong magic
+		"P5\n2 2\n65535\n....", // unsupported maxval
+		"P5\n2 2\n255\nab",     // truncated samples
+		"P5\n0 2\n255\n",       // zero dimension
+	} {
+		if _, err := ReadPGM(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteY4M(t *testing.T) {
+	f := NewFrame(SQCIF)
+	f.FillYUV(100, 110, 120)
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, []*Frame{f, f.Clone()}, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "YUV4MPEG2 W128 H96 F30:1") {
+		t.Fatalf("bad Y4M header: %q", out[:40])
+	}
+	frameBytes := 128*96 + 2*64*48
+	wantLen := len("YUV4MPEG2 W128 H96 F30:1 Ip A1:1 C420jpeg\n") + 2*(len("FRAME\n")+frameBytes)
+	if buf.Len() != wantLen {
+		t.Fatalf("Y4M length %d, want %d", buf.Len(), wantLen)
+	}
+	if err := WriteY4M(&buf, nil, 30, 1); err == nil {
+		t.Fatal("empty frame list accepted")
+	}
+	g := NewFrame(QCIF)
+	if err := WriteY4M(&buf, []*Frame{f, g}, 30, 1); err == nil {
+		t.Fatal("mixed sizes accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPlaneZeroed(t *testing.T) {
+	p := NewPlane(8, 4)
+	if p.W != 8 || p.H != 4 || p.Stride != 8 {
+		t.Fatalf("got %dx%d stride %d", p.W, p.H, p.Stride)
+	}
+	for i, v := range p.Pix {
+		if v != 0 {
+			t.Fatalf("pixel %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPlanePanicsOnBadSize(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 4}, {4, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlane(%d, %d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewPlane(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromPix(t *testing.T) {
+	buf := []uint8{1, 2, 3, 4, 5, 6}
+	p, err := FromPix(buf, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %d, want 6", p.At(2, 1))
+	}
+	if _, err := FromPix(buf, 4, 2); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := FromPix(buf, 0, 2); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	p := NewPlane(5, 7)
+	p.Set(3, 6, 201)
+	if got := p.At(3, 6); got != 201 {
+		t.Fatalf("At = %d, want 201", got)
+	}
+}
+
+func TestAtClampedEdges(t *testing.T) {
+	p := NewPlane(3, 3)
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			p.Set(x, y, uint8(10*y+x))
+		}
+	}
+	cases := []struct {
+		x, y int
+		want uint8
+	}{
+		{-5, -5, 0}, // top-left corner
+		{5, -1, 2},  // top-right corner
+		{-1, 5, 20}, // bottom-left corner
+		{9, 9, 22},  // bottom-right corner
+		{1, -2, 1},  // top edge
+		{-2, 1, 10}, // left edge
+		{1, 1, 11},  // interior passthrough
+	}
+	for _, c := range cases {
+		if got := p.AtClamped(c.x, c.y); got != c.want {
+			t.Errorf("AtClamped(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewPlane(4, 4)
+	p.Fill(7)
+	q := p.Clone()
+	q.Set(0, 0, 99)
+	if p.At(0, 0) != 7 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !p.Equal(p.Clone()) {
+		t.Fatal("clone not Equal to source")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := NewPlane(4, 4), NewPlane(4, 4)
+	if !a.Equal(b) {
+		t.Fatal("zeroed planes unequal")
+	}
+	b.Set(3, 3, 1)
+	if a.Equal(b) {
+		t.Fatal("different planes equal")
+	}
+	c := NewPlane(4, 5)
+	if a.Equal(c) {
+		t.Fatal("different sizes equal")
+	}
+}
+
+func TestCopyBlock(t *testing.T) {
+	src := NewPlane(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			src.Set(x, y, uint8(y*8+x))
+		}
+	}
+	dst := NewPlane(8, 8)
+	dst.CopyBlock(2, 3, src, 4, 4, 3, 2)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 3; x++ {
+			want := src.At(4+x, 4+y)
+			if got := dst.At(2+x, 3+y); got != want {
+				t.Errorf("dst(%d,%d) = %d, want %d", 2+x, 3+y, got, want)
+			}
+		}
+	}
+	if dst.At(1, 3) != 0 || dst.At(5, 3) != 0 {
+		t.Error("CopyBlock wrote outside the destination rectangle")
+	}
+}
+
+func TestShiftKnownMotion(t *testing.T) {
+	p := NewPlane(16, 16)
+	p.Set(5, 5, 200)
+	q := p.Shift(3, -2)
+	if q.At(8, 3) != 200 {
+		t.Fatalf("shifted sample not at (8,3): got %d", q.At(8, 3))
+	}
+	// A zero shift must be the identity.
+	if !p.Shift(0, 0).Equal(p) {
+		t.Fatal("Shift(0,0) is not identity")
+	}
+}
+
+func TestShiftEdgeReplication(t *testing.T) {
+	p := NewPlane(4, 1)
+	copy(p.Pix, []uint8{10, 20, 30, 40})
+	q := p.Shift(2, 0) // content moves right; left side replicates p[0]
+	want := []uint8{10, 10, 10, 20}
+	for x, w := range want {
+		if q.At(x, 0) != w {
+			t.Errorf("q[%d] = %d, want %d", x, q.At(x, 0), w)
+		}
+	}
+}
+
+func TestInBounds(t *testing.T) {
+	p := NewPlane(16, 16)
+	cases := []struct {
+		x, y, w, h int
+		want       bool
+	}{
+		{0, 0, 16, 16, true},
+		{0, 0, 17, 16, false},
+		{-1, 0, 4, 4, false},
+		{12, 12, 4, 4, true},
+		{13, 12, 4, 4, false},
+	}
+	for _, c := range cases {
+		if got := p.InBounds(c.x, c.y, c.w, c.h); got != c.want {
+			t.Errorf("InBounds(%d,%d,%d,%d) = %v, want %v", c.x, c.y, c.w, c.h, got, c.want)
+		}
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	a, b, d := NewPlane(2, 2), NewPlane(2, 2), NewPlane(2, 2)
+	copy(a.Pix, []uint8{10, 200, 0, 50})
+	copy(b.Pix, []uint8{20, 100, 5, 50})
+	if err := AbsDiff(d, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{10, 100, 5, 0}
+	for i, w := range want {
+		if d.Pix[i] != w {
+			t.Errorf("d[%d] = %d, want %d", i, d.Pix[i], w)
+		}
+	}
+	if err := AbsDiff(d, a, NewPlane(3, 2)); err != ErrSizeMismatch {
+		t.Fatalf("size mismatch not detected: %v", err)
+	}
+}
+
+func TestClampU8(t *testing.T) {
+	if ClampU8(-5) != 0 || ClampU8(300) != 255 || ClampU8(128) != 128 {
+		t.Fatal("ClampU8 wrong")
+	}
+}
+
+func TestShiftInverseProperty(t *testing.T) {
+	// For interior samples, shifting by (dx,dy) then (-dx,-dy) is identity.
+	f := func(seed int64) bool {
+		rng := newTestRNG(seed)
+		p := NewPlane(24, 24)
+		for i := range p.Pix {
+			p.Pix[i] = uint8(rng.next())
+		}
+		dx, dy := int(rng.next()%5)-2, int(rng.next()%5)-2
+		q := p.Shift(dx, dy).Shift(-dx, -dy)
+		for y := 4; y < 20; y++ {
+			for x := 4; x < 20; x++ {
+				if q.At(x, y) != p.At(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testRNG is a tiny deterministic generator for tests (xorshift64*).
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed int64) *testRNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return &testRNG{uint64(seed)}
+}
+
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}

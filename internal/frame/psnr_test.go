@@ -1,0 +1,85 @@
+package frame
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSEIdentical(t *testing.T) {
+	p := rampPlane(16, 16)
+	mse, err := MSE(p, p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 0 {
+		t.Fatalf("MSE of identical planes = %v", mse)
+	}
+}
+
+func TestMSEKnown(t *testing.T) {
+	a, b := NewPlane(2, 2), NewPlane(2, 2)
+	copy(a.Pix, []uint8{0, 0, 0, 0})
+	copy(b.Pix, []uint8{2, 2, 2, 2})
+	mse, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 4 {
+		t.Fatalf("MSE = %v, want 4", mse)
+	}
+}
+
+func TestPSNRCapAndValue(t *testing.T) {
+	p := rampPlane(8, 8)
+	v, err := PSNR(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != PSNRCap {
+		t.Fatalf("identical PSNR = %v, want cap %v", v, PSNRCap)
+	}
+	a, b := NewPlane(1, 1), NewPlane(1, 1)
+	b.Pix[0] = 255
+	v, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0) > 1e-9 { // 10*log10(255^2/255^2) = 0 dB
+		t.Fatalf("max-error PSNR = %v, want 0", v)
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	base := rampPlane(16, 16)
+	small, big := base.Clone(), base.Clone()
+	for i := 0; i < 32; i++ {
+		small.Pix[i] += 2
+		big.Pix[i] += 20
+	}
+	ps, _ := PSNR(base, small)
+	pb, _ := PSNR(base, big)
+	if ps <= pb {
+		t.Fatalf("PSNR not monotone: small err %v <= big err %v", ps, pb)
+	}
+}
+
+func TestPSNRSizeMismatch(t *testing.T) {
+	if _, err := PSNR(NewPlane(4, 4), NewPlane(4, 5)); err != ErrSizeMismatch {
+		t.Fatalf("want ErrSizeMismatch, got %v", err)
+	}
+}
+
+func TestPSNRYUV(t *testing.T) {
+	a, b := NewFrame(QCIF), NewFrame(QCIF)
+	b.Y.Fill(10)
+	y, cb, cr, err := PSNRYUV(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y >= PSNRCap {
+		t.Fatal("luma PSNR should be finite")
+	}
+	if cb != PSNRCap || cr != PSNRCap {
+		t.Fatal("chroma PSNR should be at cap for identical planes")
+	}
+}

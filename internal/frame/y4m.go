@@ -1,0 +1,90 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Y4MStream holds a parsed YUV4MPEG2 sequence.
+type Y4MStream struct {
+	Frames []*Frame
+	FPSNum int
+	FPSDen int
+}
+
+// FPS returns the frame rate as a float (0 if the header omitted it).
+func (s *Y4MStream) FPS() float64 {
+	if s.FPSDen == 0 {
+		return 0
+	}
+	return float64(s.FPSNum) / float64(s.FPSDen)
+}
+
+// ReadY4M parses a YUV4MPEG2 stream with 4:2:0 chroma (C420, C420jpeg,
+// C420mpeg2 or no C tag). It accepts the streams written by WriteY4M and
+// by common tools (ffmpeg, x264).
+func ReadY4M(r io.Reader) (*Y4MStream, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading Y4M header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("frame: not a YUV4MPEG2 stream")
+	}
+	var w, h, fn, fd int
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		switch f[0] {
+		case 'W':
+			if w, err = strconv.Atoi(f[1:]); err != nil {
+				return nil, fmt.Errorf("frame: bad Y4M width %q", f)
+			}
+		case 'H':
+			if h, err = strconv.Atoi(f[1:]); err != nil {
+				return nil, fmt.Errorf("frame: bad Y4M height %q", f)
+			}
+		case 'F':
+			parts := strings.SplitN(f[1:], ":", 2)
+			if len(parts) == 2 {
+				fn, _ = strconv.Atoi(parts[0])
+				fd, _ = strconv.Atoi(parts[1])
+			}
+		case 'C':
+			sub := f[1:]
+			if sub != "420" && sub != "420jpeg" && sub != "420mpeg2" && sub != "420paldv" {
+				return nil, fmt.Errorf("frame: unsupported Y4M chroma %q (only 4:2:0)", f)
+			}
+		}
+	}
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("frame: bad Y4M dimensions %dx%d", w, h)
+	}
+	size := Size{W: w, H: h}
+	stream := &Y4MStream{FPSNum: fn, FPSDen: fd}
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			return stream, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("frame: reading FRAME marker: %w", err)
+		}
+		if !strings.HasPrefix(line, "FRAME") {
+			return nil, fmt.Errorf("frame: expected FRAME marker, got %q", strings.TrimSpace(line))
+		}
+		f := NewFrame(size)
+		for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
+			if _, err := io.ReadFull(br, p.Pix); err != nil {
+				return nil, fmt.Errorf("frame: reading frame %d samples: %w", len(stream.Frames), err)
+			}
+		}
+		stream.Frames = append(stream.Frames, f)
+	}
+}

@@ -1,0 +1,72 @@
+package frame
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestY4MRoundTrip(t *testing.T) {
+	a := NewFrame(SQCIF)
+	a.FillYUV(50, 100, 150)
+	b := NewFrame(SQCIF)
+	for i := range b.Y.Pix {
+		b.Y.Pix[i] = uint8(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, []*Frame{a, b}, 30, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != 2 {
+		t.Fatalf("read %d frames", len(s.Frames))
+	}
+	if !s.Frames[0].Equal(a) || !s.Frames[1].Equal(b) {
+		t.Fatal("Y4M round trip altered frames")
+	}
+	if s.FPS() != 30 {
+		t.Fatalf("FPS = %v", s.FPS())
+	}
+}
+
+func TestReadY4MRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"MPEG4 W16 H16\nFRAME\n",          // bad magic
+		"YUV4MPEG2 W16 H16 C444\nFRAME\n", // unsupported chroma
+		"YUV4MPEG2 W15 H16\n",             // odd width
+		"YUV4MPEG2 W0 H16\n",              // zero width
+		"YUV4MPEG2 W16 H16\nNOTFRAME\n",   // bad marker
+		"YUV4MPEG2 W16 H16\nFRAME\nshort", // truncated samples
+	}
+	for _, in := range cases {
+		if _, err := ReadY4M(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadY4MEmptySequence(t *testing.T) {
+	s, err := ReadY4M(strings.NewReader("YUV4MPEG2 W16 H16 F25:1 Ip A1:1 C420jpeg\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != 0 {
+		t.Fatal("phantom frames parsed")
+	}
+	if s.FPS() != 25 {
+		t.Fatalf("FPS = %v", s.FPS())
+	}
+}
+
+func TestReadY4MNoFPS(t *testing.T) {
+	s, err := ReadY4M(strings.NewReader("YUV4MPEG2 W16 H16\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FPS() != 0 {
+		t.Fatalf("FPS = %v, want 0 for missing F tag", s.FPS())
+	}
+}

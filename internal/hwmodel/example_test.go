@@ -1,0 +1,30 @@
+package hwmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/hwmodel"
+)
+
+// Example compares the three architecture models under an easy-content
+// workload (ACBM escalating on 2% of blocks).
+func Example() {
+	w := hwmodel.Workload{
+		MBsPerFrame:  99, // QCIF
+		FPS:          30,
+		AvgPoints:    34,
+		CriticalRate: 0.02,
+		PBMPoints:    15,
+	}
+	reports, err := hwmodel.Compare(w, hwmodel.DefaultTech, 15)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("%-14s %5.0f cycles/MB %4d PEs\n", r.Arch, r.CyclesPerMB, r.PEs)
+	}
+	// Output:
+	// FSBM-systolic    985 cycles/MB  256 PEs
+	// PBM-engine       256 cycles/MB   16 PEs
+	// ACBM-shared      276 cycles/MB  256 PEs
+}

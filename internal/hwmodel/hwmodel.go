@@ -1,0 +1,271 @@
+// Package hwmodel is a first-order analytical hardware cost model for
+// block-matching motion estimation engines, in the style of early-stage
+// architecture exploration for the paper's §5 future work: "innovative
+// architectural solutions ... based on sharing common resources to FSBM
+// and PBM architectures applied to portable multimedia devices".
+//
+// Three architectures are modelled:
+//
+//   - FSBMSystolic: the classical 16×16 processing-element systolic array
+//     (one candidate SAD per cycle once the pipeline is full), the
+//     architecture family of the authors' 270 MHz processing element [2].
+//   - PBMEngine: a 16-PE row engine evaluating one candidate in 16 cycles
+//     — sufficient for the handful of predictive candidates per block.
+//   - ACBMShared: the paper's proposal — the PBM row engine is one row of
+//     the systolic array; the remaining 240 PEs wake up only for critical
+//     blocks. Idle PEs pay leakage only.
+//
+// The energy/area constants are representative 130 nm-class numbers
+// (the paper's era); they are documented knobs, not silicon measurements.
+// The model's value is *relative* comparison — cycles, utilisation and
+// energy ratios between the three architectures under a workload measured
+// by the experiment harness.
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech holds the technology constants of the model. The zero value is not
+// usable; start from DefaultTech.
+type Tech struct {
+	EnergyPerAD   float64 // pJ per absolute-difference+accumulate op
+	EnergyPerByte float64 // pJ per on-chip SRAM byte read
+	LeakagePerPE  float64 // pJ per idle PE per cycle
+	AreaPerPE     float64 // kGE per PE (gate equivalents, thousands)
+	AreaSRAMPerKB float64 // kGE per KiB of search-window SRAM
+}
+
+// DefaultTech is a representative 130 nm operating point.
+var DefaultTech = Tech{
+	EnergyPerAD:   0.9,
+	EnergyPerByte: 1.6,
+	LeakagePerPE:  0.03,
+	AreaPerPE:     2.1,
+	AreaSRAMPerKB: 6.5,
+}
+
+// Workload is the per-sequence load measured by the encoder: how many
+// macroblocks per second, and what the adaptive algorithm did on them.
+type Workload struct {
+	MBsPerFrame int
+	FPS         float64
+	// AvgPoints is the measured average candidate positions per MB
+	// (Table 1 of the paper). For FSBM hardware this is the full count.
+	AvgPoints float64
+	// CriticalRate is the fraction of blocks ACBM escalates (0 for pure
+	// PBM, 1 for pure FSBM).
+	CriticalRate float64
+	// PBMPoints is the average predictive-phase candidates per MB.
+	PBMPoints float64
+}
+
+// Validate reports whether the workload is well formed.
+func (w Workload) Validate() error {
+	if w.MBsPerFrame <= 0 || w.FPS <= 0 {
+		return fmt.Errorf("hwmodel: empty workload %+v", w)
+	}
+	if w.AvgPoints < 0 || w.CriticalRate < 0 || w.CriticalRate > 1 || w.PBMPoints < 0 {
+		return fmt.Errorf("hwmodel: implausible workload %+v", w)
+	}
+	return nil
+}
+
+// Report is the model output for one architecture under one workload.
+type Report struct {
+	Arch           string
+	CyclesPerMB    float64
+	MinFreqMHz     float64 // frequency needed for real-time operation
+	EnergyPerMB    float64 // nJ
+	PowerMW        float64 // at MinFreqMHz (dynamic + leakage)
+	Utilisation    float64 // busy PE-cycles / total PE-cycles
+	AreaKGE        float64
+	SRAMBytesPerMB float64 // search-window traffic
+	PEs            int
+}
+
+// Arch is a motion estimation hardware architecture model.
+type Arch interface {
+	Name() string
+	Estimate(w Workload, t Tech) (Report, error)
+}
+
+// blockPels is the macroblock area (16×16).
+const blockPels = 256
+
+// windowBytes returns the incremental search-window traffic per MB for a
+// row-scan schedule: 16 new columns of the (16+2p)-tall window.
+func windowBytes(p int) float64 { return 16 * float64(16+2*p) }
+
+// FSBMSystolic is the full-search 2-D systolic array.
+type FSBMSystolic struct {
+	P int // search range (default 15)
+}
+
+// Name implements Arch.
+func (f FSBMSystolic) Name() string { return "FSBM-systolic" }
+
+func (f FSBMSystolic) p() int {
+	if f.P > 0 {
+		return f.P
+	}
+	return 15
+}
+
+// Estimate implements Arch. The array evaluates one candidate per cycle
+// after a 16-cycle fill; every cycle all 256 PEs are busy during the
+// search, plus an 8-candidate half-pel pass on the row engine.
+func (f FSBMSystolic) Estimate(w Workload, t Tech) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+	p := f.p()
+	candidates := float64((2*p+1)*(2*p+1)) + 8
+	cycles := candidates + 16 // pipeline fill
+	mbsPerSec := float64(w.MBsPerFrame) * w.FPS
+	adOps := candidates * blockPels
+	sram := windowBytes(p)
+	dynamic := adOps*t.EnergyPerAD + sram*t.EnergyPerByte
+	// All PEs busy while searching: utilisation ≈ candidates/cycles.
+	util := candidates / cycles
+	leak := (1 - util) * 256 * cycles * t.LeakagePerPE
+	area := 256*t.AreaPerPE + sramKB(p)*t.AreaSRAMPerKB
+	return Report{
+		Arch:           f.Name(),
+		CyclesPerMB:    cycles,
+		MinFreqMHz:     cycles * mbsPerSec / 1e6,
+		EnergyPerMB:    (dynamic + leak) / 1000, // pJ → nJ
+		PowerMW:        (dynamic + leak) * mbsPerSec * 1e-9,
+		Utilisation:    util,
+		AreaKGE:        area,
+		SRAMBytesPerMB: sram,
+		PEs:            256,
+	}, nil
+}
+
+// PBMEngine is the 16-PE row engine for predictive search.
+type PBMEngine struct {
+	P int
+}
+
+// Name implements Arch.
+func (e PBMEngine) Name() string { return "PBM-engine" }
+
+func (e PBMEngine) p() int {
+	if e.P > 0 {
+		return e.P
+	}
+	return 15
+}
+
+// Estimate implements Arch. One candidate takes 16 cycles (one block row
+// per cycle across 16 PEs).
+func (e PBMEngine) Estimate(w Workload, t Tech) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+	points := w.PBMPoints
+	if points == 0 {
+		points = w.AvgPoints
+	}
+	cycles := points*16 + 16 // +16 predictor fetch/setup
+	mbsPerSec := float64(w.MBsPerFrame) * w.FPS
+	adOps := points * blockPels
+	// Predictive search touches only candidate blocks, not the window:
+	// ~one block read per candidate plus the current block.
+	sram := (points + 1) * blockPels
+	dynamic := adOps*t.EnergyPerAD + sram*t.EnergyPerByte
+	util := (points * 16) / cycles
+	leak := (1 - util) * 16 * cycles * t.LeakagePerPE
+	area := 16*t.AreaPerPE + sramKB(e.p())*t.AreaSRAMPerKB
+	return Report{
+		Arch:           e.Name(),
+		CyclesPerMB:    cycles,
+		MinFreqMHz:     cycles * mbsPerSec / 1e6,
+		EnergyPerMB:    (dynamic + leak) / 1000,
+		PowerMW:        (dynamic + leak) * mbsPerSec * 1e-9,
+		Utilisation:    util,
+		AreaKGE:        area,
+		SRAMBytesPerMB: sram,
+		PEs:            16,
+	}, nil
+}
+
+// ACBMShared is the shared-resource architecture: the PBM row engine is
+// the first row of the FSBM array; the full array powers up only for the
+// critical fraction of blocks.
+type ACBMShared struct {
+	P int
+}
+
+// Name implements Arch.
+func (a ACBMShared) Name() string { return "ACBM-shared" }
+
+func (a ACBMShared) p() int {
+	if a.P > 0 {
+		return a.P
+	}
+	return 15
+}
+
+// Estimate implements Arch.
+func (a ACBMShared) Estimate(w Workload, t Tech) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+	p := a.p()
+	fsbmCand := float64((2*p+1)*(2*p+1)) + 8
+	pbmPts := w.PBMPoints
+	if pbmPts == 0 {
+		pbmPts = math.Max(w.AvgPoints-w.CriticalRate*fsbmCand, 8)
+	}
+	// Every block runs the PBM phase on the row engine; critical blocks
+	// add a full-array pass.
+	pbmCycles := pbmPts*16 + 16
+	fsbmCycles := fsbmCand + 16
+	cycles := pbmCycles + w.CriticalRate*fsbmCycles
+	mbsPerSec := float64(w.MBsPerFrame) * w.FPS
+
+	adOps := pbmPts*blockPels + w.CriticalRate*fsbmCand*blockPels
+	sram := (pbmPts+1)*blockPels + w.CriticalRate*windowBytes(p)
+	dynamic := adOps*t.EnergyPerAD + sram*t.EnergyPerByte
+	// Leakage: the 240 extra PEs idle during the PBM phase of every block
+	// (power gating is imperfect: model 20% residual leakage when gated).
+	busyPECycles := pbmPts*16*16 + w.CriticalRate*fsbmCand*256
+	totalPECycles := 256 * cycles
+	util := busyPECycles / totalPECycles
+	gatedLeak := 0.2 * (totalPECycles - busyPECycles) * t.LeakagePerPE
+	area := 256*t.AreaPerPE + sramKB(p)*t.AreaSRAMPerKB
+	return Report{
+		Arch:           a.Name(),
+		CyclesPerMB:    cycles,
+		MinFreqMHz:     cycles * mbsPerSec / 1e6,
+		EnergyPerMB:    (dynamic + gatedLeak) / 1000,
+		PowerMW:        (dynamic + gatedLeak) * mbsPerSec * 1e-9,
+		Utilisation:    util,
+		AreaKGE:        area,
+		SRAMBytesPerMB: sram,
+		PEs:            256,
+	}, nil
+}
+
+// sramKB is the search-window SRAM size in KiB for range p.
+func sramKB(p int) float64 {
+	side := float64(16 + 2*p)
+	return side * side / 1024
+}
+
+// Compare evaluates all three architectures under one workload.
+func Compare(w Workload, t Tech, p int) ([]Report, error) {
+	archs := []Arch{FSBMSystolic{P: p}, PBMEngine{P: p}, ACBMShared{P: p}}
+	out := make([]Report, 0, len(archs))
+	for _, a := range archs {
+		r, err := a.Estimate(w, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// qcif30 is a representative QCIF@30fps workload with ACBM statistics in
+// the range the experiments measure.
+func qcif30(avgPoints, criticalRate, pbmPoints float64) Workload {
+	return Workload{
+		MBsPerFrame:  99,
+		FPS:          30,
+		AvgPoints:    avgPoints,
+		CriticalRate: criticalRate,
+		PBMPoints:    pbmPoints,
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	bad := []Workload{
+		{},
+		{MBsPerFrame: 99, FPS: 30, CriticalRate: 1.5},
+		{MBsPerFrame: 99, FPS: 30, AvgPoints: -1},
+		{MBsPerFrame: -1, FPS: 30},
+	}
+	for _, w := range bad {
+		if w.Validate() == nil {
+			t.Errorf("workload %+v accepted", w)
+		}
+	}
+	if err := qcif30(100, 0.1, 15).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSBMSystolicRealtimeFrequency(t *testing.T) {
+	// (31² + 8 + 16) cycles per MB × 2970 MB/s ≈ 2.9 MHz for QCIF@30 —
+	// comfortably below the 270 MHz of the authors' PE [2]; and the model
+	// must scale linearly with the workload.
+	r, err := FSBMSystolic{}.Estimate(qcif30(969, 1, 0), DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := float64(31*31 + 8 + 16)
+	if r.CyclesPerMB != wantCycles {
+		t.Fatalf("cycles/MB = %v, want %v", r.CyclesPerMB, wantCycles)
+	}
+	wantFreq := wantCycles * 99 * 30 / 1e6
+	if math.Abs(r.MinFreqMHz-wantFreq) > 1e-9 {
+		t.Fatalf("freq = %v, want %v", r.MinFreqMHz, wantFreq)
+	}
+	if r.MinFreqMHz > 270 {
+		t.Fatalf("FSBM array infeasible at 270 MHz for QCIF@30: %v MHz", r.MinFreqMHz)
+	}
+	if r.Utilisation <= 0.9 || r.Utilisation > 1 {
+		t.Fatalf("utilisation = %v", r.Utilisation)
+	}
+}
+
+func TestPBMEngineFarCheaperThanFSBM(t *testing.T) {
+	w := qcif30(15, 0, 15)
+	pbm, err := PBMEngine{}.Estimate(w, DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsbm, err := FSBMSystolic{}.Estimate(qcif30(969, 1, 0), DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pbm.EnergyPerMB*10 > fsbm.EnergyPerMB {
+		t.Fatalf("PBM energy %v nJ not ≪ FSBM %v nJ", pbm.EnergyPerMB, fsbm.EnergyPerMB)
+	}
+	if pbm.AreaKGE >= fsbm.AreaKGE {
+		t.Fatalf("PBM area %v not below FSBM %v", pbm.AreaKGE, fsbm.AreaKGE)
+	}
+}
+
+func TestACBMSharedInterpolatesBetweenEndpoints(t *testing.T) {
+	// At criticalRate 0 the shared architecture costs ~PBM energy plus
+	// gated leakage; at 1 it approaches FSBM + PBM. Energy must be
+	// monotone in the critical rate.
+	prev := -1.0
+	for _, cr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r, err := ACBMShared{}.Estimate(qcif30(15+cr*969, cr, 15), DefaultTech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EnergyPerMB <= prev {
+			t.Fatalf("energy not monotone in critical rate at %v: %v <= %v", cr, r.EnergyPerMB, prev)
+		}
+		prev = r.EnergyPerMB
+	}
+	fsbm, _ := FSBMSystolic{}.Estimate(qcif30(969, 1, 0), DefaultTech)
+	lo, _ := ACBMShared{}.Estimate(qcif30(15, 0, 15), DefaultTech)
+	if lo.EnergyPerMB >= fsbm.EnergyPerMB/3 {
+		t.Fatalf("shared architecture at low critical rate saves too little: %v vs %v nJ",
+			lo.EnergyPerMB, fsbm.EnergyPerMB)
+	}
+}
+
+func TestACBMSharedMissAmericaVsForemanOperatingPoints(t *testing.T) {
+	// Using measured Table 1 style numbers: Miss America (easy) vs
+	// Foreman at low Qp (mostly critical).
+	easy, err := ACBMShared{}.Estimate(qcif30(15, 0.01, 14), DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := ACBMShared{}.Estimate(qcif30(800, 0.8, 20), DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.PowerMW >= hard.PowerMW {
+		t.Fatalf("easy content power %v mW >= hard %v mW", easy.PowerMW, hard.PowerMW)
+	}
+	if hard.MinFreqMHz > 270 {
+		t.Fatalf("hard workload infeasible at 270 MHz: %v", hard.MinFreqMHz)
+	}
+}
+
+func TestCompareReturnsAllArchitectures(t *testing.T) {
+	reports, err := Compare(qcif30(100, 0.1, 15), DefaultTech, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	names := map[string]bool{}
+	for _, r := range reports {
+		names[r.Arch] = true
+		if r.CyclesPerMB <= 0 || r.EnergyPerMB <= 0 || r.AreaKGE <= 0 {
+			t.Fatalf("degenerate report %+v", r)
+		}
+		if r.Utilisation < 0 || r.Utilisation > 1 {
+			t.Fatalf("utilisation out of range: %+v", r)
+		}
+	}
+	for _, want := range []string{"FSBM-systolic", "PBM-engine", "ACBM-shared"} {
+		if !names[want] {
+			t.Fatalf("missing architecture %s", want)
+		}
+	}
+	if _, err := Compare(Workload{}, DefaultTech, 15); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestSearchRangeScalesCosts(t *testing.T) {
+	small, err := FSBMSystolic{P: 7}.Estimate(qcif30(233, 1, 0), DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := FSBMSystolic{P: 15}.Estimate(qcif30(969, 1, 0), DefaultTech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.CyclesPerMB >= big.CyclesPerMB {
+		t.Fatal("cycles not increasing in p")
+	}
+	if small.AreaKGE >= big.AreaKGE {
+		t.Fatal("SRAM area not increasing in p")
+	}
+	if small.SRAMBytesPerMB >= big.SRAMBytesPerMB {
+		t.Fatal("window traffic not increasing in p")
+	}
+}

@@ -1,0 +1,22 @@
+package metrics
+
+// Lagrangian J(mv) = D(mv) + λ·R(mv) is the rate-constrained matching cost
+// from §2.1 of the paper. D is a SAD-domain distortion and R a bit count,
+// so λ must be calibrated for the SAD domain.
+
+// LambdaSAD returns the Lagrange multiplier used with SAD distortion for a
+// given H.263 quantiser parameter. The paper only states that λ is
+// proportional to the quantisation step; we use the common SAD-domain
+// choice λ = 0.85·Qp expressed in fixed point (×256) to stay integer-only.
+func LambdaSAD(qp int) int {
+	if qp < 1 {
+		qp = 1
+	}
+	return (218 * qp) // 0.85 * 256 ≈ 218; cost = SAD*256 + lambda*bits later /256
+}
+
+// RDCost returns J = D + λ·R in integer arithmetic, with λ from LambdaSAD
+// (fixed point ×256). D is a SAD; bits is R(mv).
+func RDCost(sad, bits, qp int) int {
+	return sad + (LambdaSAD(qp)*bits+128)>>8
+}

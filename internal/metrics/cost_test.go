@@ -1,0 +1,34 @@
+package metrics
+
+import "testing"
+
+func TestLambdaSADProportionalToQp(t *testing.T) {
+	if LambdaSAD(10) >= LambdaSAD(20) {
+		t.Fatal("lambda must grow with Qp")
+	}
+	if LambdaSAD(0) != LambdaSAD(1) {
+		t.Fatal("Qp below 1 must clamp to 1")
+	}
+}
+
+func TestRDCostZeroBitsIsSAD(t *testing.T) {
+	if RDCost(1234, 0, 16) != 1234 {
+		t.Fatalf("RDCost with 0 bits = %d", RDCost(1234, 0, 16))
+	}
+}
+
+func TestRDCostMonotone(t *testing.T) {
+	// More bits or more SAD can never lower the cost.
+	if RDCost(100, 10, 16) <= RDCost(100, 0, 16) {
+		t.Fatal("cost not increasing in bits")
+	}
+	if RDCost(200, 5, 16) <= RDCost(100, 5, 16) {
+		t.Fatal("cost not increasing in SAD")
+	}
+	// Higher Qp weighs bits more heavily.
+	lo := RDCost(0, 100, 4)
+	hi := RDCost(0, 100, 30)
+	if hi <= lo {
+		t.Fatal("bit penalty not increasing in Qp")
+	}
+}

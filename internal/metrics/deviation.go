@@ -1,0 +1,46 @@
+package metrics
+
+// Deviation accumulates the SAD_deviation statistic from §3.1:
+//
+//	SAD_deviation = Σ_{u,v} (SAD(u,v) − SAD_min)
+//
+// over every candidate position a search evaluates. Feed each candidate's
+// SAD with Add; Value folds in the final minimum. The zero value is ready
+// to use.
+type Deviation struct {
+	sum int64
+	min int
+	n   int
+}
+
+// Add records one evaluated candidate's SAD.
+func (d *Deviation) Add(sad int) {
+	if d.n == 0 || sad < d.min {
+		d.min = sad
+	}
+	d.sum += int64(sad)
+	d.n++
+}
+
+// N returns the number of candidates recorded.
+func (d *Deviation) N() int { return d.n }
+
+// Min returns SAD_min over the recorded candidates (0 if none).
+func (d *Deviation) Min() int {
+	if d.n == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Value returns Σ(SAD − SAD_min). It is 0 when fewer than two candidates
+// were recorded.
+func (d *Deviation) Value() int64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum - int64(d.n)*int64(d.min)
+}
+
+// Reset clears the accumulator for reuse.
+func (d *Deviation) Reset() { *d = Deviation{} }

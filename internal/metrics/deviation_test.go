@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviationEmpty(t *testing.T) {
+	var d Deviation
+	if d.Value() != 0 || d.N() != 0 || d.Min() != 0 {
+		t.Fatal("zero-value Deviation not empty")
+	}
+}
+
+func TestDeviationKnown(t *testing.T) {
+	var d Deviation
+	for _, s := range []int{10, 4, 7, 4, 30} {
+		d.Add(s)
+	}
+	// min = 4, sum = 55, n = 5 → 55 - 20 = 35.
+	if d.Min() != 4 {
+		t.Fatalf("Min = %d", d.Min())
+	}
+	if d.Value() != 35 {
+		t.Fatalf("Value = %d, want 35", d.Value())
+	}
+	if d.N() != 5 {
+		t.Fatalf("N = %d", d.N())
+	}
+	d.Reset()
+	if d.N() != 0 || d.Value() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestDeviationSingleCandidateIsZero(t *testing.T) {
+	var d Deviation
+	d.Add(1234)
+	if d.Value() != 0 {
+		t.Fatalf("single candidate deviation = %d", d.Value())
+	}
+}
+
+func TestDeviationProperties(t *testing.T) {
+	// Value is non-negative and invariant under adding the current minimum.
+	f := func(vals []uint16) bool {
+		var d Deviation
+		for _, v := range vals {
+			d.Add(int(v))
+		}
+		if d.Value() < 0 {
+			return false
+		}
+		if d.N() > 0 {
+			before := d.Value()
+			d.Add(d.Min())
+			if d.Value() != before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviationOrderIndependent(t *testing.T) {
+	a := []int{9, 1, 5, 5, 200, 3}
+	var d1, d2 Deviation
+	for _, v := range a {
+		d1.Add(v)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		d2.Add(a[i])
+	}
+	if d1.Value() != d2.Value() {
+		t.Fatal("Deviation depends on insertion order")
+	}
+}

@@ -1,0 +1,159 @@
+// Package metrics implements the block-matching distortion measures of the
+// paper: the sum of absolute differences (SAD), the texture measure
+// Intra_SAD (Σ|p−µ| over a block), the SAD_deviation statistic of the
+// Fig. 4 study, and the Lagrangian cost J = D + λ·R used to compare motion
+// estimators.
+package metrics
+
+import (
+	"repro/internal/frame"
+	"repro/internal/mvfield"
+)
+
+// SAD returns the sum of absolute differences between the w×h block of cur
+// anchored at (cx, cy) and the block of ref anchored at (rx, ry). Both
+// blocks must lie inside their planes.
+func SAD(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	sum := 0
+	for y := 0; y < h; y++ {
+		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
+		r := ref.Pix[(ry+y)*ref.Stride+rx : (ry+y)*ref.Stride+rx+w]
+		for x, cv := range c {
+			d := int(cv) - int(r[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// SADCapped is SAD with early termination: it returns a value > cap (not
+// necessarily the exact SAD) as soon as the running sum exceeds cap. Using
+// it never changes which candidate wins a minimisation, only how much work
+// losing candidates cost.
+func SADCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	sum := 0
+	for y := 0; y < h; y++ {
+		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
+		r := ref.Pix[(ry+y)*ref.Stride+rx : (ry+y)*ref.Stride+rx+w]
+		for x, cv := range c {
+			d := int(cv) - int(r[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+// SADHalfPel returns the SAD between the w×h block of cur anchored at
+// (cx, cy) and the prediction taken from the half-pel interpolated
+// reference at grid position (hx, hy) = full-pel anchor ×2 plus the motion
+// vector in half-pel units.
+func SADHalfPel(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
+	sum := 0
+	if hx >= 0 && hy >= 0 && hx+2*w-1 < ref.W && hy+2*h-1 < ref.H {
+		for y := 0; y < h; y++ {
+			c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
+			r := ref.Pix[(hy+2*y)*ref.W+hx:]
+			for x, cv := range c {
+				d := int(cv) - int(r[2*x])
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		return sum
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(cur.At(cx+x, cy+y)) - int(ref.AtClamped(hx+2*x, hy+2*y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// SADMV returns the SAD for candidate motion vector mv (half-pel units)
+// applied to the w×h block of cur anchored at (bx, by), matching against
+// the interpolated reference.
+func SADMV(cur *frame.Plane, bx, by int, ref *frame.Interpolated, mv mvfield.MV, w, h int) int {
+	return SADHalfPel(cur, bx, by, ref, 2*bx+mv.X, 2*by+mv.Y, w, h)
+}
+
+// SADDecimated returns the SAD over a 4:1 pixel-decimated grid (samples
+// where x and y are both even), scaled by 4 to stay comparable with full
+// SAD values — the pixel-decimation strategy of the fast-ME family the
+// paper cites as [6–8]. Both blocks must lie inside their planes.
+func SADDecimated(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	sum := 0
+	for y := 0; y < h; y += 2 {
+		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
+		r := ref.Pix[(ry+y)*ref.Stride+rx : (ry+y)*ref.Stride+rx+w]
+		for x := 0; x < w; x += 2 {
+			d := int(c[x]) - int(r[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return 4 * sum
+}
+
+// SADHalfPelDecimated is SADDecimated against the interpolated reference.
+func SADHalfPelDecimated(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
+	sum := 0
+	for y := 0; y < h; y += 2 {
+		for x := 0; x < w; x += 2 {
+			d := int(cur.At(cx+x, cy+y)) - int(ref.AtClamped(hx+2*x, hy+2*y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return 4 * sum
+}
+
+// Mean returns the average sample value of the w×h block of p anchored at
+// (x, y), rounded to nearest.
+func Mean(p *frame.Plane, x, y, w, h int) int {
+	sum := 0
+	for yy := 0; yy < h; yy++ {
+		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+		for _, v := range row {
+			sum += int(v)
+		}
+	}
+	return (sum + w*h/2) / (w * h)
+}
+
+// IntraSAD returns Σ|p−µ| over the w×h block of p anchored at (x, y),
+// where µ is the block mean — the texture measure introduced in §3.1 of
+// the paper. High values indicate highly textured blocks.
+func IntraSAD(p *frame.Plane, x, y, w, h int) int {
+	mu := Mean(p, x, y, w, h)
+	sum := 0
+	for yy := 0; yy < h; yy++ {
+		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+		for _, v := range row {
+			d := int(v) - mu
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}

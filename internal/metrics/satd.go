@@ -1,0 +1,77 @@
+package metrics
+
+import "repro/internal/frame"
+
+// SATD — the sum of absolute Hadamard-transformed differences — is the
+// frequency-weighted matching criterion modern encoders use for sub-pel
+// decisions. It is included as an alternative distortion for studies
+// beyond the paper's SAD baseline.
+
+// hadamard8 applies the 8-point Hadamard transform in place.
+func hadamard8(v *[8]int32) {
+	// Stage 1.
+	a0, a1 := v[0]+v[4], v[0]-v[4]
+	a2, a3 := v[1]+v[5], v[1]-v[5]
+	a4, a5 := v[2]+v[6], v[2]-v[6]
+	a6, a7 := v[3]+v[7], v[3]-v[7]
+	// Stage 2.
+	b0, b1 := a0+a4, a0-a4
+	b2, b3 := a2+a6, a2-a6
+	b4, b5 := a1+a5, a1-a5
+	b6, b7 := a3+a7, a3-a7
+	// Stage 3.
+	v[0], v[1] = b0+b2, b0-b2
+	v[2], v[3] = b1+b3, b1-b3
+	v[4], v[5] = b4+b6, b4-b6
+	v[6], v[7] = b5+b7, b5-b7
+}
+
+// satd8x8 computes the SATD of one 8×8 difference block, normalised by 8
+// so magnitudes are comparable to SAD.
+func satd8x8(diff *[64]int32) int {
+	var col [8]int32
+	// Rows.
+	for r := 0; r < 8; r++ {
+		var row [8]int32
+		copy(row[:], diff[8*r:8*r+8])
+		hadamard8(&row)
+		copy(diff[8*r:8*r+8], row[:])
+	}
+	// Columns and absolute sum.
+	sum := int64(0)
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = diff[8*r+c]
+		}
+		hadamard8(&col)
+		for r := 0; r < 8; r++ {
+			v := col[r]
+			if v < 0 {
+				v = -v
+			}
+			sum += int64(v)
+		}
+	}
+	return int((sum + 4) / 8)
+}
+
+// SATD returns the Hadamard-domain matching error between the w×h block
+// of cur at (cx, cy) and the block of ref at (rx, ry). w and h must be
+// multiples of 8; the result is the sum over the 8×8 sub-blocks.
+func SATD(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	total := 0
+	var diff [64]int32
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			for y := 0; y < 8; y++ {
+				c := cur.Pix[(cy+by+y)*cur.Stride+cx+bx:]
+				r := ref.Pix[(ry+by+y)*ref.Stride+rx+bx:]
+				for x := 0; x < 8; x++ {
+					diff[8*y+x] = int32(c[x]) - int32(r[x])
+				}
+			}
+			total += satd8x8(&diff)
+		}
+	}
+	return total
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+)
+
+func TestSATDIdenticalBlocksIsZero(t *testing.T) {
+	p := noisyPlane(32, 32, 3)
+	if got := SATD(p, 0, 0, p, 0, 0, 16, 16); got != 0 {
+		t.Fatalf("SATD of identical blocks = %d", got)
+	}
+}
+
+func TestSATDDCDifference(t *testing.T) {
+	// A constant difference d over an 8×8 block transforms to a single DC
+	// coefficient of 64·d; with the /8 normalisation SATD = 8·d.
+	a, b := frame.NewPlane(8, 8), frame.NewPlane(8, 8)
+	a.Fill(100)
+	b.Fill(97)
+	got := SATD(a, 0, 0, b, 0, 0, 8, 8)
+	if got != 8*3 {
+		t.Fatalf("SATD of constant diff = %d, want %d", got, 8*3)
+	}
+}
+
+func TestSATDNonNegativeAndSymmetric(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a := noisyPlane(16, 16, s1)
+		b := noisyPlane(16, 16, s2)
+		ab := SATD(a, 0, 0, b, 0, 0, 16, 16)
+		ba := SATD(b, 0, 0, a, 0, 0, 16, 16)
+		return ab >= 0 && ab == ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSATDPenalisesIncoherentError(t *testing.T) {
+	// Equal-SAD errors: a pure pattern (compact in the Hadamard domain,
+	// cheap to code) vs random noise (spread across all coefficients).
+	// SATD must rank the noise error higher — this frequency awareness is
+	// why encoders prefer SATD for sub-pel decisions.
+	base := frame.NewPlane(8, 8)
+	base.Fill(128)
+	pattern, noise := base.Clone(), base.Clone()
+	rng := uint64(5)
+	next := func() uint64 {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		return rng * 2685821657736338717
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			pattern.Set(x, y, 128+4) // constant +4: one DC coefficient
+			if next()&1 == 0 {
+				noise.Set(x, y, 128+4)
+			} else {
+				noise.Set(x, y, 128-4) // ±4 random signs
+			}
+		}
+	}
+	sadP := SAD(base, 0, 0, pattern, 0, 0, 8, 8)
+	sadN := SAD(base, 0, 0, noise, 0, 0, 8, 8)
+	if sadP != sadN {
+		t.Fatalf("setup broken: SADs differ (%d vs %d)", sadP, sadN)
+	}
+	satdP := SATD(base, 0, 0, pattern, 0, 0, 8, 8)
+	satdN := SATD(base, 0, 0, noise, 0, 0, 8, 8)
+	if satdN <= satdP {
+		t.Fatalf("SATD(noise)=%d not above SATD(pattern)=%d at equal SAD", satdN, satdP)
+	}
+}
+
+func TestSADDecimatedExactOnGlobalShift(t *testing.T) {
+	ref := noisyPlane(64, 64, 9)
+	cur := ref.Shift(3, 2)
+	// At the true displacement even the decimated SAD is exactly 0.
+	if got := SADDecimated(cur, 24, 24, ref, 21, 22, 16, 16); got != 0 {
+		t.Fatalf("decimated SAD at true MV = %d", got)
+	}
+	// And it is 4× the subsampled sum elsewhere.
+	full := SADDecimated(cur, 24, 24, ref, 24, 24, 16, 16)
+	if full <= 0 || full%4 != 0 {
+		t.Fatalf("decimated SAD = %d, want positive multiple of 4", full)
+	}
+}
+
+func TestSADHalfPelDecimatedMatchesIntegerPath(t *testing.T) {
+	ref := noisyPlane(64, 64, 11)
+	cur := noisyPlane(64, 64, 12)
+	ip := frame.Interpolate(ref)
+	want := SADDecimated(cur, 24, 24, ref, 26, 23, 16, 16)
+	got := SADHalfPelDecimated(cur, 24, 24, ip, 2*26, 2*23, 16, 16)
+	if got != want {
+		t.Fatalf("half-pel decimated %d != integer decimated %d", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package mvfield
+
+import "fmt"
+
+// Field is a motion vector per macroblock, in raster order. Fields for the
+// previous and current frame together form the spatio-temporal
+// neighbourhood PBM draws its predictors from (paper Fig. 2).
+type Field struct {
+	Cols, Rows int
+	mv         []MV
+	valid      []bool // set once a block's vector has been computed
+}
+
+// NewField returns an empty cols×rows field.
+func NewField(cols, rows int) *Field {
+	if cols <= 0 || rows <= 0 {
+		panic(fmt.Sprintf("mvfield: invalid field size %dx%d", cols, rows))
+	}
+	return &Field{
+		Cols:  cols,
+		Rows:  rows,
+		mv:    make([]MV, cols*rows),
+		valid: make([]bool, cols*rows),
+	}
+}
+
+// In reports whether (bx, by) is a valid block coordinate.
+func (f *Field) In(bx, by int) bool {
+	return bx >= 0 && by >= 0 && bx < f.Cols && by < f.Rows
+}
+
+// Set records the motion vector for block (bx, by) and marks it computed.
+func (f *Field) Set(bx, by int, m MV) {
+	f.mv[by*f.Cols+bx] = m
+	f.valid[by*f.Cols+bx] = true
+}
+
+// At returns the motion vector for block (bx, by). Blocks that have not
+// been Set yet report the zero vector, mirroring encoder behaviour where
+// unavailable predictors default to (0,0).
+func (f *Field) At(bx, by int) MV {
+	if !f.In(bx, by) {
+		return Zero
+	}
+	return f.mv[by*f.Cols+bx]
+}
+
+// Known reports whether block (bx, by) has a computed vector. Out-of-range
+// blocks are unknown.
+func (f *Field) Known(bx, by int) bool {
+	if !f.In(bx, by) {
+		return false
+	}
+	return f.valid[by*f.Cols+bx]
+}
+
+// Reset clears all vectors and computed marks for reuse on a new frame.
+func (f *Field) Reset() {
+	for i := range f.mv {
+		f.mv[i] = Zero
+		f.valid[i] = false
+	}
+}
+
+// Clone returns a deep copy of the field.
+func (f *Field) Clone() *Field {
+	g := NewField(f.Cols, f.Rows)
+	copy(g.mv, f.mv)
+	copy(g.valid, f.valid)
+	return g
+}
+
+// MedianPredictor returns the H.263 median predictor for block (bx, by):
+// the component-wise median of the left, above and above-right neighbours
+// in the current field. Unavailable neighbours contribute the zero vector,
+// which matches the standard's border rules closely enough for rate
+// accounting purposes.
+func (f *Field) MedianPredictor(bx, by int) MV {
+	left := f.At(bx-1, by)
+	up := f.At(bx, by-1)
+	upRight := f.At(bx+1, by-1)
+	if by == 0 {
+		// First row: predictor is just the left neighbour.
+		return left
+	}
+	return Median(left, up, upRight)
+}
+
+// Candidates returns the spatio-temporal predictor set for block (bx, by),
+// following Fig. 2 of the paper: the causal spatial neighbours from the
+// current frame (mv1..mv4 — left, up-left, up, up-right; mv5..mv8 are not
+// yet computed), the collocated vector and its eight neighbours from the
+// previous frame, and the zero vector. prev may be nil (first P-frame); the
+// result is deduplicated and always non-empty.
+func (f *Field) Candidates(prev *Field, bx, by int) []MV {
+	out := make([]MV, 0, 14)
+	seen := make(map[MV]bool, 14)
+	add := func(m MV) {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	add(Zero)
+	// Spatial neighbours in the current frame (causal only).
+	for _, d := range [][2]int{{-1, 0}, {-1, -1}, {0, -1}, {1, -1}} {
+		nx, ny := bx+d[0], by+d[1]
+		if f.Known(nx, ny) {
+			add(f.At(nx, ny))
+		}
+	}
+	// Temporal neighbours: collocated block and its 8-neighbourhood in the
+	// previous frame's field.
+	if prev != nil {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := bx+dx, by+dy
+				if prev.Known(nx, ny) {
+					add(prev.At(nx, ny))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Smoothness returns the mean L1 difference (half-pel units) between
+// horizontally and vertically adjacent vectors — a coherence measure for
+// comparing the motion fields produced by FSBM and PBM/ACBM.
+func (f *Field) Smoothness() float64 {
+	var sum, n int
+	for by := 0; by < f.Rows; by++ {
+		for bx := 0; bx < f.Cols; bx++ {
+			if bx+1 < f.Cols {
+				sum += f.At(bx, by).Sub(f.At(bx+1, by)).L1()
+				n++
+			}
+			if by+1 < f.Rows {
+				sum += f.At(bx, by).Sub(f.At(bx, by+1)).L1()
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,108 @@
+// Package mvfield defines motion vectors, per-macroblock motion vector
+// fields and the spatio-temporal predictor neighbourhood of Fig. 2 in the
+// paper, plus the median prediction used to rate differential MVs.
+//
+// Motion vectors are stored in half-pel units throughout the repository:
+// MV{X: 2, Y: -3} means one pel right and one-and-a-half pels up. Block
+// matching at integer precision uses even components only; the half-pel
+// refinement step may set odd components.
+package mvfield
+
+import "fmt"
+
+// MV is a motion vector in half-pel units. +X points right, +Y points down.
+type MV struct {
+	X, Y int
+}
+
+// Zero is the null displacement.
+var Zero = MV{}
+
+// FromFullPel builds an MV from full-pel components.
+func FromFullPel(x, y int) MV { return MV{2 * x, 2 * y} }
+
+// Add returns m + n.
+func (m MV) Add(n MV) MV { return MV{m.X + n.X, m.Y + n.Y} }
+
+// Sub returns m - n (the motion vector difference used for coding).
+func (m MV) Sub(n MV) MV { return MV{m.X - n.X, m.Y - n.Y} }
+
+// Neg returns -m.
+func (m MV) Neg() MV { return MV{-m.X, -m.Y} }
+
+// IsFullPel reports whether both components are on the integer-pel grid.
+func (m MV) IsFullPel() bool { return m.X%2 == 0 && m.Y%2 == 0 }
+
+// FullPel returns the components in full pels, truncating toward zero.
+func (m MV) FullPel() (x, y int) { return m.X / 2, m.Y / 2 }
+
+// L1 returns |X| + |Y| in half-pel units.
+func (m MV) L1() int { return abs(m.X) + abs(m.Y) }
+
+// Linf returns max(|X|, |Y|) in half-pel units.
+func (m MV) Linf() int {
+	ax, ay := abs(m.X), abs(m.Y)
+	if ax > ay {
+		return ax
+	}
+	return ay
+}
+
+// ErrFullPel returns the Chebyshev distance between m and n measured in
+// full pels, rounding half-pel remainders up. It is the motion vector error
+// metric of the Fig. 4 study (error = 0, 1, 2, ... pels).
+func (m MV) ErrFullPel(n MV) int {
+	d := m.Sub(n).Linf()
+	return (d + 1) / 2
+}
+
+// Clamp limits both components to [-lim, lim] (half-pel units).
+func (m MV) Clamp(lim int) MV {
+	c := func(v int) int {
+		if v < -lim {
+			return -lim
+		}
+		if v > lim {
+			return lim
+		}
+		return v
+	}
+	return MV{c(m.X), c(m.Y)}
+}
+
+// String formats the vector in full-pel units, e.g. "(+1.5,-2)".
+func (m MV) String() string {
+	f := func(h int) string {
+		if h%2 == 0 {
+			return fmt.Sprintf("%+d", h/2)
+		}
+		return fmt.Sprintf("%+.1f", float64(h)/2)
+	}
+	return "(" + f(m.X) + "," + f(m.Y) + ")"
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Median returns the component-wise median of three vectors, the H.263
+// predictor used for differential motion vector coding.
+func Median(a, b, c MV) MV {
+	return MV{median3(a.X, b.X, c.X), median3(a.Y, b.Y, c.Y)}
+}
+
+func median3(a, b, c int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package mvfield
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMVArithmetic(t *testing.T) {
+	a, b := MV{4, -2}, MV{-1, 3}
+	if a.Add(b) != (MV{3, 1}) {
+		t.Fatal("Add wrong")
+	}
+	if a.Sub(b) != (MV{5, -5}) {
+		t.Fatal("Sub wrong")
+	}
+	if a.Neg() != (MV{-4, 2}) {
+		t.Fatal("Neg wrong")
+	}
+}
+
+func TestFromFullPel(t *testing.T) {
+	m := FromFullPel(3, -4)
+	if m != (MV{6, -8}) || !m.IsFullPel() {
+		t.Fatalf("FromFullPel = %v", m)
+	}
+	x, y := m.FullPel()
+	if x != 3 || y != -4 {
+		t.Fatalf("FullPel = (%d,%d)", x, y)
+	}
+	if (MV{1, 0}).IsFullPel() {
+		t.Fatal("half-pel vector reported as full-pel")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := MV{-3, 2}
+	if m.L1() != 5 {
+		t.Fatalf("L1 = %d", m.L1())
+	}
+	if m.Linf() != 3 {
+		t.Fatalf("Linf = %d", m.Linf())
+	}
+	if Zero.L1() != 0 || Zero.Linf() != 0 {
+		t.Fatal("zero norms wrong")
+	}
+}
+
+func TestErrFullPel(t *testing.T) {
+	cases := []struct {
+		a, b MV
+		want int
+	}{
+		{MV{0, 0}, MV{0, 0}, 0},
+		{FromFullPel(2, 1), FromFullPel(2, 1), 0},
+		{FromFullPel(2, 1), FromFullPel(3, 1), 1},
+		{FromFullPel(0, 0), FromFullPel(-5, 2), 5},
+		{MV{1, 0}, MV{0, 0}, 1}, // half-pel residue rounds up
+	}
+	for _, c := range cases {
+		if got := c.a.ErrFullPel(c.b); got != c.want {
+			t.Errorf("ErrFullPel(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	m := MV{40, -40}
+	c := m.Clamp(30)
+	if c != (MV{30, -30}) {
+		t.Fatalf("Clamp = %v", c)
+	}
+	if (MV{5, 5}).Clamp(30) != (MV{5, 5}) {
+		t.Fatal("Clamp altered in-range vector")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (MV{3, -4}).String(); got != "(+1.5,-2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := Zero.String(); got != "(+0,+0)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	a, b, c := MV{0, 10}, MV{4, 0}, MV{2, -6}
+	if Median(a, b, c) != (MV{2, 0}) {
+		t.Fatalf("Median = %v", Median(a, b, c))
+	}
+	// Median of identical vectors is that vector.
+	if Median(a, a, a) != a {
+		t.Fatal("Median of identical vectors wrong")
+	}
+}
+
+func TestMedianPermutationInvariant(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a := MV{int(ax), int(ay)}
+		b := MV{int(bx), int(by)}
+		c := MV{int(cx), int(cy)}
+		m := Median(a, b, c)
+		return m == Median(a, c, b) && m == Median(b, a, c) &&
+			m == Median(b, c, a) && m == Median(c, a, b) && m == Median(c, b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianBetweenExtremes(t *testing.T) {
+	f := func(ax, bx, cx int8) bool {
+		m := median3(int(ax), int(bx), int(cx))
+		lo, hi := int(ax), int(ax)
+		for _, v := range []int{int(bx), int(cx)} {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// densityRamp maps bin occupancy to characters, light to dark.
+var densityRamp = []byte(" .:-=+*#%@")
+
+// Density renders a 2-D scatter as an ASCII density grid — the terminal
+// equivalent of the paper's Fig. 4 scatter panels. Axis ranges may be
+// fixed (xmax/ymax > 0) so multiple panels share scales; zero means
+// auto-scale.
+func Density(title string, xs, ys []float64, width, height int, xmax, ymax float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(xs) != len(ys) || len(xs) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	if xmax <= 0 {
+		for _, x := range xs {
+			xmax = math.Max(xmax, x)
+		}
+	}
+	if ymax <= 0 {
+		for _, y := range ys {
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if xmax == 0 {
+		xmax = 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	bins := make([][]int, height)
+	for i := range bins {
+		bins[i] = make([]int, width)
+	}
+	peak := 0
+	for i := range xs {
+		cx := int(xs[i] / xmax * float64(width-1))
+		cy := int(ys[i] / ymax * float64(height-1))
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= width {
+			cx = width - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= height {
+			cy = height - 1
+		}
+		row := height - 1 - cy // origin bottom-left
+		bins[row][cx]++
+		if bins[row][cx] > peak {
+			peak = bins[row][cx]
+		}
+	}
+	for r := 0; r < height; r++ {
+		yv := ymax * float64(height-1-r) / float64(height-1)
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			if bins[r][c] == 0 {
+				line[c] = ' '
+				continue
+			}
+			idx := 1 + bins[r][c]*(len(densityRamp)-2)/peak
+			if idx >= len(densityRamp) {
+				idx = len(densityRamp) - 1
+			}
+			line[c] = densityRamp[idx]
+		}
+		fmt.Fprintf(&b, "%10.3g |%s\n", yv, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  0%*s\n", "", width, fmt.Sprintf("%.3g", xmax))
+	return b.String()
+}

@@ -1,0 +1,153 @@
+// Package plot renders small ASCII charts so the experiment tools can
+// regenerate the paper's figures directly in a terminal: multi-series line
+// charts for the rate-distortion curves of Figs. 5/6 and binned scatter
+// summaries for the Fig. 4 study.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders series into a width×height character grid with axis
+// annotations and a legend. Series with mismatched X/Y lengths or no data
+// are skipped.
+func Chart(title, xlabel, ylabel string, width, height int, series []Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		any = true
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if !any {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		m := markers[si%len(markers)]
+		// Plot line segments between consecutive points.
+		for i := 0; i < len(s.X); i++ {
+			if i > 0 {
+				drawSegment(grid, width, height, xmin, xmax, ymin, ymax,
+					s.X[i-1], s.Y[i-1], s.X[i], s.Y[i], '.')
+			}
+		}
+		for i := range s.X {
+			cx, cy := toCell(width, height, xmin, xmax, ymin, ymax, s.X[i], s.Y[i])
+			grid[cy][cx] = m
+		}
+	}
+	// Render with a y-axis gutter.
+	for row := 0; row < height; row++ {
+		yv := ymax - (ymax-ymin)*float64(row)/float64(height-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", yv, string(grid[row]))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.2f%*.2f\n", "", width/2, xmin, width-width/2, xmax)
+	fmt.Fprintf(&b, "%8s  x: %s, y: %s\n", "", xlabel, ylabel)
+	for si, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			continue
+		}
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func toCell(w, h int, xmin, xmax, ymin, ymax, x, y float64) (int, int) {
+	cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+	cy := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= w {
+		cx = w - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= h {
+		cy = h - 1
+	}
+	return cx, cy
+}
+
+func drawSegment(grid [][]byte, w, h int, xmin, xmax, ymin, ymax, x0, y0, x1, y1 float64, ch byte) {
+	const steps = 64
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / steps
+		cx, cy := toCell(w, h, xmin, xmax, ymin, ymax, x0+(x1-x0)*t, y0+(y1-y0)*t)
+		if grid[cy][cx] == ' ' {
+			grid[cy][cx] = ch
+		}
+	}
+}
+
+// Histogram renders labelled counts as horizontal bars, scaled to fit.
+func Histogram(title string, labels []string, counts []int, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(labels) != len(counts) || len(labels) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	maxC := 0
+	maxL := 0
+	for i, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	if width < 10 {
+		width = 10
+	}
+	for i, c := range counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "  %-*s |%s %d\n", maxL, labels[i], strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

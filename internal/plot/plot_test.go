@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartContainsSeriesAndLabels(t *testing.T) {
+	out := Chart("RD", "kbit/s", "dB", 40, 10, []Series{
+		{Name: "ACBM", X: []float64{10, 20, 30}, Y: []float64{28, 30, 31}},
+		{Name: "FSBM", X: []float64{10, 20, 30}, Y: []float64{27, 29, 30.5}},
+	})
+	for _, want := range []string{"RD", "ACBM", "FSBM", "kbit/s", "dB", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Fatal("chart too short")
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	out := Chart("empty", "x", "y", 30, 8, nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart must say so")
+	}
+	out = Chart("bad", "x", "y", 30, 8, []Series{{Name: "b", X: []float64{1}, Y: nil}})
+	if !strings.Contains(out, "no data") {
+		t.Fatal("mismatched series must be skipped")
+	}
+}
+
+func TestChartSinglePointAndConstantSeries(t *testing.T) {
+	out := Chart("c", "x", "y", 30, 8, []Series{
+		{Name: "p", X: []float64{5}, Y: []float64{1}},
+		{Name: "q", X: []float64{1, 2, 3}, Y: []float64{7, 7, 7}},
+	})
+	if !strings.Contains(out, "p") || !strings.Contains(out, "q") {
+		t.Fatalf("degenerate chart broken:\n%s", out)
+	}
+}
+
+func TestChartMinimumDimensions(t *testing.T) {
+	out := Chart("tiny", "x", "y", 1, 1, []Series{
+		{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}},
+	})
+	if out == "" {
+		t.Fatal("tiny chart empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("errors", []string{"0", "1", ">=5"}, []int{90, 8, 2}, 20)
+	if !strings.Contains(out, "errors") || !strings.Contains(out, ">=5") {
+		t.Fatalf("histogram missing content:\n%s", out)
+	}
+	// The largest class must have the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Fatalf("bars not scaled:\n%s", out)
+	}
+	if !strings.Contains(Histogram("x", nil, nil, 10), "no data") {
+		t.Fatal("empty histogram must say so")
+	}
+	if !strings.Contains(Histogram("z", []string{"a"}, []int{0}, 10), "a") {
+		t.Fatal("zero-count histogram broken")
+	}
+}
+
+func TestDensityBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 2, 2, 5}
+	ys := []float64{0, 1, 3, 3, 3, 9}
+	out := Density("d", xs, ys, 20, 6, 0, 0)
+	if !strings.Contains(out, "d\n") {
+		t.Fatal("title missing")
+	}
+	// The triple point must render darker than singles.
+	if !strings.ContainsAny(out, ":-=+*#%@") {
+		t.Fatalf("no dense cells rendered:\n%s", out)
+	}
+	if Density("e", nil, nil, 20, 6, 0, 0) == "" || !strings.Contains(Density("e", nil, nil, 20, 6, 0, 0), "no data") {
+		t.Fatal("empty density must say no data")
+	}
+	if !strings.Contains(Density("m", []float64{1}, []float64{1, 2}, 20, 6, 0, 0), "no data") {
+		t.Fatal("mismatched lengths must be rejected")
+	}
+}
+
+func TestDensityFixedAxes(t *testing.T) {
+	// With a shared xmax, a point at x=5 on a 0..10 axis lands mid-row.
+	out := Density("f", []float64{5}, []float64{0}, 21, 4, 10, 10)
+	lines := strings.Split(out, "\n")
+	bottom := lines[len(lines)-4] // last grid row
+	idx := strings.IndexAny(bottom, ".:-=+*#%@")
+	if idx < 0 {
+		t.Fatalf("point not rendered:\n%s", out)
+	}
+	col := idx - strings.Index(bottom, "|") - 1
+	if col < 8 || col > 12 {
+		t.Fatalf("point at column %d, want ~10:\n%s", col, out)
+	}
+}
+
+func TestDensityAllZeroValues(t *testing.T) {
+	out := Density("z", []float64{0, 0}, []float64{0, 0}, 12, 4, 0, 0)
+	if out == "" {
+		t.Fatal("zero-value density broke")
+	}
+}

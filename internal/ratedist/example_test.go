@@ -1,0 +1,25 @@
+package ratedist_test
+
+import (
+	"fmt"
+
+	"repro/internal/ratedist"
+)
+
+// Example compares two rate-distortion curves the way the experiment
+// harness compares ACBM with FSBM.
+func Example() {
+	acbm := &ratedist.Curve{Name: "ACBM", Points: []ratedist.Point{
+		{RateKbps: 20, PSNR: 33.0}, {RateKbps: 40, PSNR: 36.0},
+	}}
+	fsbm := &ratedist.Curve{Name: "FSBM", Points: []ratedist.Point{
+		{RateKbps: 22, PSNR: 33.0}, {RateKbps: 44, PSNR: 36.0},
+	}}
+	savings, err := ratedist.AvgRateSavings(acbm, fsbm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ACBM needs %.1f%% less rate at equal quality\n", 100*savings)
+	// Output:
+	// ACBM needs 9.1% less rate at equal quality
+}

@@ -1,0 +1,212 @@
+// Package ratedist provides rate-distortion curve containers and
+// comparisons for the paper's Figs. 5 and 6: PSNR-vs-rate points per
+// algorithm, interpolation on the rate axis, and an average-PSNR-delta
+// comparison in the style of Bjøntegaard's metric.
+package ratedist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one operating point: average luma PSNR at an average bitrate.
+type Point struct {
+	RateKbps float64
+	PSNR     float64
+	Qp       int // the quantiser that produced the point (0 if unknown)
+}
+
+// Curve is a named rate-distortion characteristic.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// Sort orders the points by increasing rate.
+func (c *Curve) Sort() {
+	sort.Slice(c.Points, func(i, j int) bool { return c.Points[i].RateKbps < c.Points[j].RateKbps })
+}
+
+// RateRange returns the minimum and maximum rate covered by the curve.
+func (c *Curve) RateRange() (lo, hi float64, err error) {
+	if len(c.Points) == 0 {
+		return 0, 0, fmt.Errorf("ratedist: curve %q is empty", c.Name)
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, p := range c.Points {
+		lo = math.Min(lo, p.RateKbps)
+		hi = math.Max(hi, p.RateKbps)
+	}
+	return lo, hi, nil
+}
+
+// PSNRAt returns the PSNR at the given rate by piecewise-linear
+// interpolation over log-rate (the domain Bjøntegaard metrics use).
+// The rate must lie within the curve's range.
+func (c *Curve) PSNRAt(rate float64) (float64, error) {
+	if len(c.Points) == 0 {
+		return 0, fmt.Errorf("ratedist: curve %q is empty", c.Name)
+	}
+	pts := make([]Point, len(c.Points))
+	copy(pts, c.Points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].RateKbps < pts[j].RateKbps })
+	if rate < pts[0].RateKbps || rate > pts[len(pts)-1].RateKbps {
+		return 0, fmt.Errorf("ratedist: rate %.2f outside curve %q range [%.2f, %.2f]",
+			rate, c.Name, pts[0].RateKbps, pts[len(pts)-1].RateKbps)
+	}
+	for i := 1; i < len(pts); i++ {
+		if rate <= pts[i].RateKbps {
+			a, b := pts[i-1], pts[i]
+			if b.RateKbps == a.RateKbps {
+				return math.Max(a.PSNR, b.PSNR), nil
+			}
+			t := (math.Log(rate) - math.Log(a.RateKbps)) / (math.Log(b.RateKbps) - math.Log(a.RateKbps))
+			return a.PSNR + t*(b.PSNR-a.PSNR), nil
+		}
+	}
+	return pts[len(pts)-1].PSNR, nil
+}
+
+// AvgDeltaPSNR returns the mean PSNR difference a−b over their overlapping
+// rate range, sampled on a logarithmic grid — positive means a is the
+// better rate-distortion characteristic (a simplified BD-PSNR).
+func AvgDeltaPSNR(a, b *Curve) (float64, error) {
+	alo, ahi, err := a.RateRange()
+	if err != nil {
+		return 0, err
+	}
+	blo, bhi, err := b.RateRange()
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := math.Max(alo, blo), math.Min(ahi, bhi)
+	if lo >= hi {
+		return 0, fmt.Errorf("ratedist: curves %q and %q do not overlap in rate", a.Name, b.Name)
+	}
+	const samples = 64
+	var sum float64
+	for i := 0; i < samples; i++ {
+		r := math.Exp(math.Log(lo) + (math.Log(hi)-math.Log(lo))*float64(i)/float64(samples-1))
+		pa, err := a.PSNRAt(r)
+		if err != nil {
+			return 0, err
+		}
+		pb, err := b.PSNRAt(r)
+		if err != nil {
+			return 0, err
+		}
+		sum += pa - pb
+	}
+	return sum / samples, nil
+}
+
+// PSNRRange returns the minimum and maximum PSNR covered by the curve.
+func (c *Curve) PSNRRange() (lo, hi float64, err error) {
+	if len(c.Points) == 0 {
+		return 0, 0, fmt.Errorf("ratedist: curve %q is empty", c.Name)
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, p := range c.Points {
+		lo = math.Min(lo, p.PSNR)
+		hi = math.Max(hi, p.PSNR)
+	}
+	return lo, hi, nil
+}
+
+// RateAt returns the rate needed to reach the given PSNR by
+// piecewise-linear interpolation of log-rate over PSNR. The PSNR must lie
+// within the curve's range and the curve must be monotone enough for the
+// inversion to make sense (RD curves are).
+func (c *Curve) RateAt(psnr float64) (float64, error) {
+	if len(c.Points) == 0 {
+		return 0, fmt.Errorf("ratedist: curve %q is empty", c.Name)
+	}
+	pts := make([]Point, len(c.Points))
+	copy(pts, c.Points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].PSNR < pts[j].PSNR })
+	if psnr < pts[0].PSNR || psnr > pts[len(pts)-1].PSNR {
+		return 0, fmt.Errorf("ratedist: PSNR %.2f outside curve %q range [%.2f, %.2f]",
+			psnr, c.Name, pts[0].PSNR, pts[len(pts)-1].PSNR)
+	}
+	for i := 1; i < len(pts); i++ {
+		if psnr <= pts[i].PSNR {
+			a, b := pts[i-1], pts[i]
+			if b.PSNR == a.PSNR {
+				return math.Min(a.RateKbps, b.RateKbps), nil
+			}
+			t := (psnr - a.PSNR) / (b.PSNR - a.PSNR)
+			return math.Exp(math.Log(a.RateKbps) + t*(math.Log(b.RateKbps)-math.Log(a.RateKbps))), nil
+		}
+	}
+	return pts[len(pts)-1].RateKbps, nil
+}
+
+// AvgRateSavings returns the mean relative rate difference (b−a)/b over
+// the curves' overlapping PSNR range — positive means a needs fewer bits
+// for the same quality (a simplified BD-rate with the sign flipped so
+// "positive = a better").
+func AvgRateSavings(a, b *Curve) (float64, error) {
+	alo, ahi, err := a.PSNRRange()
+	if err != nil {
+		return 0, err
+	}
+	blo, bhi, err := b.PSNRRange()
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := math.Max(alo, blo), math.Min(ahi, bhi)
+	if lo >= hi {
+		return 0, fmt.Errorf("ratedist: curves %q and %q do not overlap in PSNR", a.Name, b.Name)
+	}
+	const samples = 64
+	var sum float64
+	for i := 0; i < samples; i++ {
+		q := lo + (hi-lo)*float64(i)/float64(samples-1)
+		ra, err := a.RateAt(q)
+		if err != nil {
+			return 0, err
+		}
+		rb, err := b.RateAt(q)
+		if err != nil {
+			return 0, err
+		}
+		if rb > 0 {
+			sum += (rb - ra) / rb
+		}
+	}
+	return sum / samples, nil
+}
+
+// Dominates reports whether a's PSNR is at least b's at every sampled rate
+// in their overlapping range (within a tolerance in dB).
+func Dominates(a, b *Curve, tolerance float64) (bool, error) {
+	alo, ahi, err := a.RateRange()
+	if err != nil {
+		return false, err
+	}
+	blo, bhi, err := b.RateRange()
+	if err != nil {
+		return false, err
+	}
+	lo, hi := math.Max(alo, blo), math.Min(ahi, bhi)
+	if lo >= hi {
+		return false, fmt.Errorf("ratedist: curves %q and %q do not overlap in rate", a.Name, b.Name)
+	}
+	const samples = 32
+	for i := 0; i < samples; i++ {
+		r := lo + (hi-lo)*float64(i)/float64(samples-1)
+		pa, err := a.PSNRAt(r)
+		if err != nil {
+			return false, err
+		}
+		pb, err := b.PSNRAt(r)
+		if err != nil {
+			return false, err
+		}
+		if pa < pb-tolerance {
+			return false, nil
+		}
+	}
+	return true, nil
+}

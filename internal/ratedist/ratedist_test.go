@@ -1,0 +1,162 @@
+package ratedist
+
+import (
+	"math"
+	"testing"
+)
+
+func line(name string, pts ...[2]float64) *Curve {
+	c := &Curve{Name: name}
+	for _, p := range pts {
+		c.Points = append(c.Points, Point{RateKbps: p[0], PSNR: p[1]})
+	}
+	return c
+}
+
+func TestSortAndRange(t *testing.T) {
+	c := line("x", [2]float64{30, 31}, [2]float64{10, 28}, [2]float64{20, 30})
+	c.Sort()
+	if c.Points[0].RateKbps != 10 || c.Points[2].RateKbps != 30 {
+		t.Fatal("Sort failed")
+	}
+	lo, hi, err := c.RateRange()
+	if err != nil || lo != 10 || hi != 30 {
+		t.Fatalf("RateRange = %v %v %v", lo, hi, err)
+	}
+	if _, _, err := (&Curve{Name: "empty"}).RateRange(); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+}
+
+func TestPSNRAtEndpointsAndMidpoint(t *testing.T) {
+	c := line("x", [2]float64{10, 28}, [2]float64{40, 34})
+	for _, tc := range []struct{ r, want float64 }{{10, 28}, {40, 34}} {
+		got, err := c.PSNRAt(tc.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("PSNRAt(%v) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+	// Log-rate midpoint of [10, 40] is 20.
+	got, err := c.PSNRAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-31) > 1e-9 {
+		t.Fatalf("PSNRAt(20) = %v, want 31 (log-domain midpoint)", got)
+	}
+}
+
+func TestPSNRAtOutOfRange(t *testing.T) {
+	c := line("x", [2]float64{10, 28}, [2]float64{40, 34})
+	if _, err := c.PSNRAt(5); err == nil {
+		t.Fatal("below-range rate accepted")
+	}
+	if _, err := c.PSNRAt(50); err == nil {
+		t.Fatal("above-range rate accepted")
+	}
+}
+
+func TestAvgDeltaPSNRSignsAndSymmetry(t *testing.T) {
+	hi := line("hi", [2]float64{10, 30}, [2]float64{40, 36})
+	lo := line("lo", [2]float64{10, 28}, [2]float64{40, 34})
+	d, err := AvgDeltaPSNR(hi, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2) > 1e-9 {
+		t.Fatalf("delta = %v, want 2", d)
+	}
+	rev, err := AvgDeltaPSNR(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d+rev) > 1e-9 {
+		t.Fatal("delta not antisymmetric")
+	}
+}
+
+func TestAvgDeltaPSNRNoOverlap(t *testing.T) {
+	a := line("a", [2]float64{10, 30}, [2]float64{20, 32})
+	b := line("b", [2]float64{30, 30}, [2]float64{40, 32})
+	if _, err := AvgDeltaPSNR(a, b); err == nil {
+		t.Fatal("non-overlapping curves accepted")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	hi := line("hi", [2]float64{10, 30}, [2]float64{40, 36})
+	lo := line("lo", [2]float64{10, 28}, [2]float64{40, 34})
+	ok, err := Dominates(hi, lo, 0)
+	if err != nil || !ok {
+		t.Fatalf("hi should dominate lo: %v %v", ok, err)
+	}
+	ok, err = Dominates(lo, hi, 0)
+	if err != nil || ok {
+		t.Fatalf("lo should not dominate hi: %v %v", ok, err)
+	}
+	// Tolerance forgives a small deficit.
+	ok, err = Dominates(lo, hi, 2.5)
+	if err != nil || !ok {
+		t.Fatalf("tolerant domination failed: %v %v", ok, err)
+	}
+}
+
+func TestCrossingCurvesNeitherDominates(t *testing.T) {
+	a := line("a", [2]float64{10, 28}, [2]float64{40, 36})
+	b := line("b", [2]float64{10, 30}, [2]float64{40, 34})
+	okA, _ := Dominates(a, b, 0)
+	okB, _ := Dominates(b, a, 0)
+	if okA || okB {
+		t.Fatal("crossing curves reported domination")
+	}
+}
+
+func TestRateAtAndPSNRRange(t *testing.T) {
+	c := line("x", [2]float64{10, 28}, [2]float64{40, 34})
+	lo, hi, err := c.PSNRRange()
+	if err != nil || lo != 28 || hi != 34 {
+		t.Fatalf("PSNRRange = %v %v %v", lo, hi, err)
+	}
+	r, err := c.RateAt(28)
+	if err != nil || math.Abs(r-10) > 1e-9 {
+		t.Fatalf("RateAt(28) = %v %v", r, err)
+	}
+	// Midpoint PSNR 31 maps to the log-rate midpoint, 20.
+	r, err = c.RateAt(31)
+	if err != nil || math.Abs(r-20) > 1e-9 {
+		t.Fatalf("RateAt(31) = %v %v", r, err)
+	}
+	if _, err := c.RateAt(50); err == nil {
+		t.Fatal("out-of-range PSNR accepted")
+	}
+}
+
+func TestAvgRateSavingsSign(t *testing.T) {
+	cheap := line("cheap", [2]float64{10, 30}, [2]float64{20, 36})
+	dear := line("dear", [2]float64{20, 30}, [2]float64{40, 36})
+	s, err := AvgRateSavings(cheap, dear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.5) > 1e-9 { // cheap needs exactly half the rate everywhere
+		t.Fatalf("savings = %v, want 0.5", s)
+	}
+	s, err = AvgRateSavings(dear, cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 0 {
+		t.Fatalf("reverse savings = %v, want negative", s)
+	}
+}
+
+func TestAvgRateSavingsNoPSNROverlap(t *testing.T) {
+	a := line("a", [2]float64{10, 20}, [2]float64{20, 25})
+	b := line("b", [2]float64{10, 30}, [2]float64{20, 35})
+	if _, err := AvgRateSavings(a, b); err == nil {
+		t.Fatal("non-overlapping PSNR ranges accepted")
+	}
+}

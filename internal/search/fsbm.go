@@ -1,0 +1,57 @@
+package search
+
+import "repro/internal/mvfield"
+
+// FSBM is the full search block matching algorithm (§2.3): it evaluates
+// every integer position within ±Range and then the 8 half-pel neighbours
+// of the winner — (2p+1)²+8 = 969 candidates for the paper's p=15.
+// It is the quality reference and the cost ceiling of the study.
+type FSBM struct {
+	// NoHalfPel disables the half-pel refinement step (integer-only
+	// search), used by the Fig. 4 study and ablation benches.
+	NoHalfPel bool
+}
+
+// Name implements Searcher.
+func (f *FSBM) Name() string {
+	if f.NoHalfPel {
+		return "FSBM-int"
+	}
+	return "FSBM"
+}
+
+// Search implements Searcher. Candidates are scanned in raster order with
+// ties broken toward the shorter vector, so the result is deterministic
+// and matches the exhaustive minimum of the SAD surface.
+func (f *FSBM) Search(in *Input) Result {
+	best := mvfield.Zero
+	bestSAD := -1
+	pts := 0
+	for v := -in.Range; v <= in.Range; v++ {
+		for u := -in.Range; u <= in.Range; u++ {
+			mv := mvfield.FromFullPel(u, v)
+			if !in.Legal(mv) {
+				continue
+			}
+			pts++
+			if bestSAD < 0 {
+				best, bestSAD = mv, in.SAD(mv)
+				continue
+			}
+			s := in.sadCapped(mv, bestSAD)
+			if better(s, mv, bestSAD, best) {
+				best, bestSAD = mv, s
+			}
+		}
+	}
+	if bestSAD < 0 {
+		// Degenerate: no legal candidate (cannot happen for in-frame
+		// blocks since (0,0) is always legal); report the zero vector.
+		return Result{MV: mvfield.Zero, SAD: in.SAD(mvfield.Zero), Points: 1}
+	}
+	if !f.NoHalfPel {
+		mv, sad, extra := refineHalfPel(in, best, bestSAD)
+		best, bestSAD, pts = mv, sad, pts+extra
+	}
+	return Result{MV: best, SAD: bestSAD, Points: pts}
+}

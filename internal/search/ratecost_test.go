@@ -1,0 +1,146 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/mvfield"
+)
+
+func TestRCFSBMEqualsFSBMOnExactMatch(t *testing.T) {
+	// When a zero-SAD match exists it has minimal J too: both searchers
+	// must land on the true motion vector.
+	cur, ref := shiftedPair(6, -4, 77)
+	in := newInput(cur, ref, 40, 40, 15, 16)
+	in.CurField = mvfield.NewField(6, 6)
+	in.MBX, in.MBY = 2, 2
+	rc := (&RCFSBM{}).Search(in)
+	fs := (&FSBM{}).Search(newInput(cur, ref, 40, 40, 15, 16))
+	if rc.MV != fs.MV || rc.SAD != 0 {
+		t.Fatalf("RC-FSBM %v (SAD %d) vs FSBM %v", rc.MV, rc.SAD, fs.MV)
+	}
+}
+
+func TestRCFSBMPrefersPredictorOnAmbiguousSurface(t *testing.T) {
+	// On a flat (constant) block every candidate has SAD 0; the rate term
+	// must pull the choice to the median predictor.
+	flat := texturedPlane(96, 96, 1)
+	for y := 24; y < 72; y++ {
+		for x := 24; x < 72; x++ {
+			flat.Set(x, y, 128)
+		}
+	}
+	in := newInput(flat, flat, 40, 40, 4, 16)
+	fld := mvfield.NewField(6, 6)
+	fld.Set(1, 2, mvfield.FromFullPel(2, 1)) // left neighbour
+	fld.Set(2, 1, mvfield.FromFullPel(2, 1)) // above
+	fld.Set(3, 1, mvfield.FromFullPel(2, 1)) // above-right
+	in.CurField = fld
+	in.MBX, in.MBY = 2, 2
+	res := (&RCFSBM{}).Search(in)
+	if res.MV != mvfield.FromFullPel(2, 1) {
+		t.Fatalf("RC-FSBM chose %v, want the predictor (2,1)", res.MV)
+	}
+}
+
+func TestRCFSBMFieldMoreCoherentThanFSBM(t *testing.T) {
+	// Low-amplitude unrelated noise gives a near-flat SAD surface with
+	// many near-ties; the rate term must pull RC-FSBM's field together
+	// while plain FSBM scatters across the ties.
+	mk := func(seed uint64) *frame.Plane {
+		p := frame.NewPlane(96, 96)
+		s := seed | 1
+		for i := range p.Pix {
+			s ^= s >> 12
+			s ^= s << 25
+			s ^= s >> 27
+			p.Pix[i] = uint8(126 + s*2685821657736338717>>62) // 126..129
+		}
+		return p
+	}
+	cur, ref := mk(31), mk(32)
+	run := func(s Searcher) float64 {
+		fld := mvfield.NewField(6, 6)
+		for mby := 0; mby < 6; mby++ {
+			for mbx := 0; mbx < 6; mbx++ {
+				in := newInput(cur, ref, 16*mbx, 16*mby, 8, 31) // max Qp → max λ
+				in.CurField = fld
+				in.MBX, in.MBY = mbx, mby
+				fld.Set(mbx, mby, s.Search(in).MV)
+			}
+		}
+		return fld.Smoothness()
+	}
+	rc, fs := run(&RCFSBM{}), run(&FSBM{})
+	if rc >= fs {
+		t.Fatalf("RC-FSBM field not smoother: %.2f vs FSBM %.2f", rc, fs)
+	}
+}
+
+func TestRCFSBMName(t *testing.T) {
+	if (&RCFSBM{}).Name() != "RC-FSBM" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestNTSSAndHEXBSRecoverShifts(t *testing.T) {
+	for _, s := range []Searcher{&NTSS{}, &HEXBS{}} {
+		// Small shift (centre-biased path) and moderate shift.
+		for _, d := range [][2]int{{1, 1}, {5, -3}} {
+			cur, ref := shiftedPair(d[0], d[1], 91)
+			in := newInput(cur, ref, 40, 40, 15, 16)
+			res := s.Search(in)
+			want := mvfield.FromFullPel(-d[0], -d[1])
+			if res.MV != want {
+				t.Errorf("%s shift %v: MV %v, want %v", s.Name(), d, res.MV, want)
+			}
+			if res.SAD != 0 {
+				t.Errorf("%s shift %v: SAD %d", s.Name(), d, res.SAD)
+			}
+		}
+	}
+}
+
+func TestNTSSHalfwayStopIsCheapOnSmallMotion(t *testing.T) {
+	cur, ref := shiftedPair(1, 0, 41)
+	in := newInput(cur, ref, 40, 40, 15, 16)
+	res := (&NTSS{}).Search(in)
+	if res.Points > 40 {
+		t.Fatalf("NTSS used %d points on unit motion; halfway stop broken", res.Points)
+	}
+}
+
+func TestHEXBSCheaperThanDiamondOnLongMotion(t *testing.T) {
+	cur, ref := shiftedPair(12, 0, 51)
+	inH := newInput(cur, ref, 40, 40, 15, 16)
+	inD := newInput(cur, ref, 40, 40, 15, 16)
+	h := (&HEXBS{}).Search(inH)
+	d := (&Diamond{}).Search(inD)
+	if h.MV != d.MV {
+		t.Skipf("different minima found (%v vs %v); cost comparison not meaningful", h.MV, d.MV)
+	}
+	if h.Points > d.Points {
+		t.Fatalf("HEXBS %d points > DS %d points on long motion", h.Points, d.Points)
+	}
+}
+
+func TestNewBaselinesLegalAndNamed(t *testing.T) {
+	cur := texturedPlane(96, 96, 61)
+	ref := texturedPlane(96, 96, 62)
+	for _, s := range []Searcher{&NTSS{}, &HEXBS{}, &RCFSBM{}} {
+		for _, anchor := range [][2]int{{0, 0}, {80, 80}} {
+			in := newInput(cur, ref, anchor[0], anchor[1], 15, 16)
+			in.CurField = mvfield.NewField(6, 6)
+			res := s.Search(in)
+			if !in.Legal(res.MV) {
+				t.Errorf("%s: illegal MV %v", s.Name(), res.MV)
+			}
+			if got := in.SAD(res.MV); got != res.SAD {
+				t.Errorf("%s: reported SAD %d != actual %d", s.Name(), res.SAD, got)
+			}
+		}
+	}
+	if (&NTSS{}).Name() != "NTSS" || (&HEXBS{}).Name() != "HEXBS" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,158 @@
+// Package search implements block-matching motion search algorithms over
+// the frame substrate: the exhaustive FSBM and predictive PBM algorithms
+// the paper builds on, the shared half-pel refinement step, and classical
+// fast-search baselines (TSS, 4SS, diamond, cross-diamond) referenced in
+// the paper's related work.
+//
+// Every searcher reports the number of candidate positions it evaluated —
+// the computational-complexity metric of the paper's Table 1.
+package search
+
+import (
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/mvfield"
+)
+
+// Input describes one block-matching problem: find the motion vector for
+// the W×H block of Cur anchored at (BX, BY), matching into Ref (with RefI
+// its half-pel interpolation), within ±Range full pels.
+type Input struct {
+	Cur  *frame.Plane
+	Ref  *frame.Plane
+	RefI *frame.Interpolated
+
+	BX, BY int // block anchor in pels
+	W, H   int // block size (16×16 for macroblocks)
+	Range  int // p: maximum displacement in full pels
+
+	Qp int // quantiser, used by rate-aware searchers and ACBM
+
+	// Predictive context: the motion fields of the current (partially
+	// computed) and previous frame, and this block's field coordinates.
+	CurField, PrevField *mvfield.Field
+	MBX, MBY            int
+
+	// Collect, when non-nil, accumulates the SAD of every evaluated
+	// candidate for the SAD_deviation statistic of the Fig. 4 study.
+	Collect *metrics.Deviation
+
+	// PixelDecimation, when true, evaluates candidates on a 4:1
+	// subsampled pixel grid (scaled ×4 to keep SAD magnitudes
+	// comparable) — the orthogonal fast-ME strategy of the papers the
+	// introduction cites as [6–8]. It composes with any search pattern.
+	PixelDecimation bool
+}
+
+// Result is the outcome of one block search.
+type Result struct {
+	MV     mvfield.MV // best motion vector, half-pel units
+	SAD    int        // its matching error
+	Points int        // candidate positions evaluated (Table 1 metric)
+}
+
+// Searcher is a block-matching motion estimation algorithm.
+type Searcher interface {
+	// Name identifies the algorithm in tables and plots.
+	Name() string
+	// Search solves one block-matching problem.
+	Search(in *Input) Result
+}
+
+// Legal reports whether candidate mv (half-pel units) keeps the whole
+// prediction block inside the reference frame's half-pel grid.
+func (in *Input) Legal(mv mvfield.MV) bool {
+	hx := 2*in.BX + mv.X
+	hy := 2*in.BY + mv.Y
+	return hx >= 0 && hy >= 0 &&
+		hx+2*(in.W-1) <= 2*(in.Ref.W-1) &&
+		hy+2*(in.H-1) <= 2*(in.Ref.H-1)
+}
+
+// ClampMV limits mv to the search range and to legal positions, moving it
+// the minimum distance needed. Used to sanitise predictors that point
+// outside the window.
+func (in *Input) ClampMV(mv mvfield.MV) mvfield.MV {
+	lim := 2 * in.Range
+	mv = mv.Clamp(lim)
+	c := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	mv.X = c(mv.X, -2*in.BX, 2*(in.Ref.W-in.W-in.BX)+1)
+	mv.Y = c(mv.Y, -2*in.BY, 2*(in.Ref.H-in.H-in.BY)+1)
+	return mv
+}
+
+// SAD evaluates candidate mv. Integer candidates read the reference plane
+// directly; half-pel candidates read the interpolated grid. The candidate
+// must be Legal.
+func (in *Input) SAD(mv mvfield.MV) int {
+	var s int
+	switch {
+	case in.PixelDecimation && mv.IsFullPel():
+		fx, fy := mv.FullPel()
+		s = metrics.SADDecimated(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H)
+	case in.PixelDecimation:
+		s = metrics.SADHalfPelDecimated(in.Cur, in.BX, in.BY, in.RefI, 2*in.BX+mv.X, 2*in.BY+mv.Y, in.W, in.H)
+	case mv.IsFullPel():
+		fx, fy := mv.FullPel()
+		s = metrics.SAD(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H)
+	default:
+		s = metrics.SADMV(in.Cur, in.BX, in.BY, in.RefI, mv, in.W, in.H)
+	}
+	if in.Collect != nil {
+		in.Collect.Add(s)
+	}
+	return s
+}
+
+// sadCapped is SAD with early termination for integer candidates; the
+// returned value is only exact when ≤ cap. Collect still records the
+// exact SAD when enabled (the Fig. 4 study needs unbiased deviations).
+func (in *Input) sadCapped(mv mvfield.MV, cap int) int {
+	if in.Collect != nil || !mv.IsFullPel() || in.PixelDecimation {
+		return in.SAD(mv)
+	}
+	fx, fy := mv.FullPel()
+	return metrics.SADCapped(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H, cap)
+}
+
+// better reports whether (sad, mv) improves on (bestSAD, bestMV), breaking
+// SAD ties toward the shorter vector so all searchers prefer coherent,
+// cheap-to-code motion.
+func better(sad int, mv mvfield.MV, bestSAD int, bestMV mvfield.MV) bool {
+	if sad != bestSAD {
+		return sad < bestSAD
+	}
+	return mv.L1() < bestMV.L1()
+}
+
+// refineHalfPel evaluates the 8 half-pel neighbours of center and returns
+// the best position along with the number of candidates evaluated. This is
+// the refinement step shared by every integer-precision searcher (H.263
+// half-pel motion).
+func refineHalfPel(in *Input, center mvfield.MV, centerSAD int) (mvfield.MV, int, int) {
+	best, bestSAD, pts := center, centerSAD, 0
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			mv := center.Add(mvfield.MV{X: dx, Y: dy})
+			if !in.Legal(mv) {
+				continue
+			}
+			pts++
+			if s := in.SAD(mv); better(s, mv, bestSAD, best) {
+				best, bestSAD = mv, s
+			}
+		}
+	}
+	return best, bestSAD, pts
+}

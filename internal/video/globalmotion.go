@@ -1,0 +1,62 @@
+package video
+
+import (
+	"repro/internal/frame"
+	"repro/internal/mvfield"
+)
+
+// The Fig. 4 preliminary study generates a ten-frame sequence from one
+// reference frame by applying nine perfectly known global motion vectors,
+// then checks FSBM's output against them block by block.
+
+// DefaultGlobalMVs are nine displacement vectors (full pels, within the
+// paper's p=15 search range) covering slow and fast, axis-aligned and
+// diagonal motion.
+var DefaultGlobalMVs = []mvfield.MV{
+	mvfield.FromFullPel(3, 0),
+	mvfield.FromFullPel(-2, 1),
+	mvfield.FromFullPel(0, 4),
+	mvfield.FromFullPel(5, -3),
+	mvfield.FromFullPel(-4, -2),
+	mvfield.FromFullPel(1, 1),
+	mvfield.FromFullPel(-7, 5),
+	mvfield.FromFullPel(2, -6),
+	mvfield.FromFullPel(9, 2),
+}
+
+// GlobalMotionSequence builds a len(mvs)+1 frame luma sequence where frame
+// i+1 is frame i translated by exactly mvs[i] (full-pel, edge-replicated).
+// The true motion vector of every interior block between consecutive
+// frames is therefore known exactly.
+func GlobalMotionSequence(ref *frame.Plane, mvs []mvfield.MV) ([]*frame.Plane, error) {
+	out := make([]*frame.Plane, 0, len(mvs)+1)
+	out = append(out, ref.Clone())
+	cur := ref
+	for i, mv := range mvs {
+		if !mv.IsFullPel() {
+			return nil, &BadMVError{Index: i, MV: mv}
+		}
+		dx, dy := mv.FullPel()
+		next := cur.Shift(dx, dy)
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}
+
+// BadMVError reports a half-pel vector passed to GlobalMotionSequence,
+// which only supports full-pel global displacements.
+type BadMVError struct {
+	Index int
+	MV    mvfield.MV
+}
+
+func (e *BadMVError) Error() string {
+	return "video: global motion vector " + e.MV.String() + " is not full-pel"
+}
+
+// ReferenceFrame renders frame 0 of a profile as the study's original
+// reference frame.
+func ReferenceFrame(p Profile, size frame.Size, seed uint64) *frame.Plane {
+	return p.Scene(seed).Render(size, 0).Y
+}

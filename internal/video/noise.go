@@ -1,0 +1,53 @@
+package video
+
+import "math"
+
+// Noise is seeded value noise: a random lattice interpolated with a
+// smoothstep kernel, summed over octaves (fractional Brownian motion).
+// It is continuous in (x, y), so camera pans and sprite motion produce
+// genuine subpixel translation — exactly what half-pel motion estimation
+// needs to be exercised meaningfully.
+type Noise struct {
+	Seed    uint64
+	Scale   float64 // lattice spacing in pixels of the base octave
+	Octaves int     // number of octaves (≥1); each halves the scale
+}
+
+// smoothstep interpolation weight.
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// octave samples one noise octave with lattice spacing s.
+func (n *Noise) octave(x, y float64, oct int) float64 {
+	s := n.Scale / float64(int64(1)<<uint(oct))
+	if s < 1 {
+		s = 1
+	}
+	fx, fy := x/s, y/s
+	ix, iy := math.Floor(fx), math.Floor(fy)
+	tx, ty := smooth(fx-ix), smooth(fy-iy)
+	x0, y0 := int64(ix), int64(iy)
+	seed := n.Seed + uint64(oct)*0x1000193
+	v00 := hash2(seed, x0, y0)
+	v10 := hash2(seed, x0+1, y0)
+	v01 := hash2(seed, x0, y0+1)
+	v11 := hash2(seed, x0+1, y0+1)
+	a := v00 + (v10-v00)*tx
+	b := v01 + (v11-v01)*tx
+	return a + (b-a)*ty
+}
+
+// At returns the fBm value at (x, y) in [0, 1). Octave amplitudes halve,
+// normalised so the expected range stays in [0, 1).
+func (n *Noise) At(x, y float64) float64 {
+	oct := n.Octaves
+	if oct < 1 {
+		oct = 1
+	}
+	sum, amp, norm := 0.0, 1.0, 0.0
+	for o := 0; o < oct; o++ {
+		sum += amp * n.octave(x, y, o)
+		norm += amp
+		amp *= 0.5
+	}
+	return sum / norm
+}

@@ -1,0 +1,45 @@
+// Package video synthesises deterministic test sequences that substitute
+// for the standard clips the paper evaluates on (Carphone, Foreman, Miss
+// America, Table). A small procedural scene engine — value-noise textures,
+// elliptical/rectangular sprites and an animated camera — reproduces the
+// properties ACBM is sensitive to: per-block texture (Intra_SAD) and
+// motion-field coherence. Four profiles mimic the four sequences' texture
+// level and motion character; a global-motion generator reproduces the
+// move-then-search setup of the paper's Fig. 4 study.
+package video
+
+// rng is a deterministic xorshift64* generator. Sequences depend only on
+// their seed, never on global state, so every experiment is reproducible.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 2685821657736338717
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// hash2 maps lattice coordinates to a uniform value in [0, 1), mixing in
+// the seed. It is stateless: the same (seed, x, y) always yields the same
+// value, which lets noise be sampled at arbitrary subpixel positions.
+func hash2(seed uint64, x, y int64) float64 {
+	h := seed
+	h ^= uint64(x) * 0x9E3779B97F4A7C15
+	h = (h ^ h>>30) * 0xBF58476D1CE4E5B9
+	h ^= uint64(y) * 0xC2B2AE3D27D4EB4F
+	h = (h ^ h>>27) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}

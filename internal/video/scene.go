@@ -1,0 +1,220 @@
+package video
+
+import (
+	"math"
+
+	"repro/internal/frame"
+)
+
+// Sample is one composited colour sample: luma plus chroma offsets from
+// the neutral 128.
+type Sample struct {
+	Y      float64
+	Cb, Cr float64
+}
+
+// Layer contributes colour at world positions. Layers are composited in
+// order; alpha is the coverage in [0, 1].
+type Layer interface {
+	Sample(x, y float64, t int) (s Sample, alpha float64)
+}
+
+// Camera maps screen pixels to world coordinates with pan and zoom. Zoom
+// greater than 1 magnifies (world window shrinks); the pan is the world
+// position of the viewport centre.
+type Camera struct {
+	PanX, PanY func(t int) float64
+	Zoom       func(t int) float64 // nil means constant 1
+}
+
+func (c Camera) world(px, py float64, w, h int, t int) (float64, float64) {
+	z := 1.0
+	if c.Zoom != nil {
+		z = c.Zoom(t)
+	}
+	cx, cy := 0.0, 0.0
+	if c.PanX != nil {
+		cx = c.PanX(t)
+	}
+	if c.PanY != nil {
+		cy = c.PanY(t)
+	}
+	return cx + (px-float64(w)/2)/z, cy + (py-float64(h)/2)/z
+}
+
+// Scene is an ordered stack of layers viewed through a camera.
+type Scene struct {
+	Layers []Layer
+	Camera Camera
+	// SensorAmp adds zero-mean per-frame luma noise of ±SensorAmp to
+	// every rendered pixel — camera sensor noise, which the original
+	// sequences have and clean synthesis lacks. It raises the SAD floor
+	// of even perfect matches, which is what keeps real-world PBM
+	// matches from looking "free" to ACBM's conditions.
+	SensorAmp  float64
+	SensorSeed uint64
+}
+
+// WithSensorNoise returns sc with per-frame sensor noise enabled.
+func WithSensorNoise(sc *Scene, amp float64, seed uint64) *Scene {
+	sc.SensorAmp = amp
+	sc.SensorSeed = seed ^ 0x5EED
+	return sc
+}
+
+// sampleWorld composites all layers at a world position.
+func (sc *Scene) sampleWorld(x, y float64, t int) Sample {
+	out := Sample{Y: 128}
+	for _, l := range sc.Layers {
+		s, a := l.Sample(x, y, t)
+		if a <= 0 {
+			continue
+		}
+		if a >= 1 {
+			out = s
+			continue
+		}
+		out.Y = out.Y*(1-a) + s.Y*a
+		out.Cb = out.Cb*(1-a) + s.Cb*a
+		out.Cr = out.Cr*(1-a) + s.Cr*a
+	}
+	return out
+}
+
+// Render rasterises frame t of the scene at the given size (4:2:0 output).
+// Luma samples at pixel centres; chroma at the centres of 2×2 luma groups.
+func (sc *Scene) Render(size frame.Size, t int) *frame.Frame {
+	f := frame.NewFrame(size)
+	for py := 0; py < size.H; py++ {
+		row := f.Y.Row(py)
+		for px := 0; px < size.W; px++ {
+			wx, wy := sc.Camera.world(float64(px)+0.5, float64(py)+0.5, size.W, size.H, t)
+			s := sc.sampleWorld(wx, wy, t)
+			y := s.Y
+			if sc.SensorAmp > 0 {
+				y += (hash2(sc.SensorSeed+uint64(t)*0x9E3779B9, int64(px), int64(py)) - 0.5) * 2 * sc.SensorAmp
+			}
+			row[px] = frame.ClampU8(int(math.Round(y)))
+		}
+	}
+	for py := 0; py < size.H/2; py++ {
+		cbRow := f.Cb.Row(py)
+		crRow := f.Cr.Row(py)
+		for px := 0; px < size.W/2; px++ {
+			wx, wy := sc.Camera.world(float64(2*px)+1, float64(2*py)+1, size.W, size.H, t)
+			s := sc.sampleWorld(wx, wy, t)
+			cbRow[px] = frame.ClampU8(int(math.Round(128 + s.Cb)))
+			crRow[px] = frame.ClampU8(int(math.Round(128 + s.Cr)))
+		}
+	}
+	return f
+}
+
+// Background is an infinite textured plane (always alpha 1).
+type Background struct {
+	Tex  Noise
+	Base float64 // mean luma
+	Amp  float64 // texture amplitude (peak-to-peak luma swing)
+	Cb   float64 // chroma offsets from neutral
+	Cr   float64
+}
+
+// Sample implements Layer.
+func (b *Background) Sample(x, y float64, t int) (Sample, float64) {
+	v := b.Base + (b.Tex.At(x, y)-0.5)*b.Amp
+	return Sample{Y: v, Cb: b.Cb, Cr: b.Cr}, 1
+}
+
+// Gradient adds a smooth vertical luma ramp, giving low-texture scenes
+// (Miss America) DC variation between blocks without adding detail.
+type Gradient struct {
+	Top, Bottom float64 // luma at the top/bottom of the world window
+	SpanY       float64 // world-space vertical span of the ramp
+	Strength    float64 // blend factor in (0, 1]
+}
+
+// Sample implements Layer.
+func (g *Gradient) Sample(x, y float64, t int) (Sample, float64) {
+	ty := y/g.SpanY + 0.5
+	if ty < 0 {
+		ty = 0
+	}
+	if ty > 1 {
+		ty = 1
+	}
+	return Sample{Y: g.Top + (g.Bottom-g.Top)*ty}, g.Strength
+}
+
+// Sprite is a textured ellipse or rectangle moving along a path in world
+// coordinates. Edges are softened over ~1 pixel so subpixel motion reads
+// as smooth intensity change rather than jumping coverage.
+type Sprite struct {
+	CX, CY func(t int) float64 // centre path
+	RX, RY float64             // radii (half-width/height for Rect)
+	Rect   bool
+	Tex    Noise
+	Base   float64
+	Amp    float64
+	Cb, Cr float64
+	// TexLocked pins the texture to the sprite so it moves with it
+	// (true for heads, balls); false pins texture to the world (windows).
+	TexLocked bool
+}
+
+// Sample implements Layer.
+func (s *Sprite) Sample(x, y float64, t int) (Sample, float64) {
+	cx, cy := s.CX(t), s.CY(t)
+	dx, dy := x-cx, y-cy
+	var dist float64 // >1 outside, <1 inside, in normalised units
+	if s.Rect {
+		ax, ay := math.Abs(dx)/s.RX, math.Abs(dy)/s.RY
+		dist = math.Max(ax, ay)
+	} else {
+		dist = math.Sqrt(dx*dx/(s.RX*s.RX) + dy*dy/(s.RY*s.RY))
+	}
+	// Soft edge: full coverage inside dist<1-e, zero outside dist>1.
+	const edge = 0.04
+	var alpha float64
+	switch {
+	case dist <= 1-edge:
+		alpha = 1
+	case dist >= 1:
+		return Sample{}, 0
+	default:
+		alpha = (1 - dist) / edge
+	}
+	tx, ty := x, y
+	if s.TexLocked {
+		tx, ty = dx, dy
+	}
+	v := s.Base + (s.Tex.At(tx, ty)-0.5)*s.Amp
+	return Sample{Y: v, Cb: s.Cb, Cr: s.Cr}, alpha
+}
+
+// Window is a rectangular cut-out (screen region in world coordinates)
+// showing a separately panning texture — the car window of Carphone, where
+// background scenery streams past faster than the cabin.
+type Window struct {
+	X0, Y0, X1, Y1 float64 // world-space rectangle
+	Tex            Noise
+	Base, Amp      float64
+	Cb, Cr         float64
+	ScrollX        func(t int) float64 // texture offset per frame
+	ScrollY        func(t int) float64
+}
+
+// Sample implements Layer.
+func (w *Window) Sample(x, y float64, t int) (Sample, float64) {
+	if x < w.X0 || x > w.X1 || y < w.Y0 || y > w.Y1 {
+		return Sample{}, 0
+	}
+	sx, sy := 0.0, 0.0
+	if w.ScrollX != nil {
+		sx = w.ScrollX(t)
+	}
+	if w.ScrollY != nil {
+		sy = w.ScrollY(t)
+	}
+	v := w.Base + (w.Tex.At(x+sx, y+sy)-0.5)*w.Amp
+	return Sample{Y: v, Cb: w.Cb, Cr: w.Cr}, 1
+}

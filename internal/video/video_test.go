@@ -1,0 +1,265 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/metrics"
+	"repro/internal/mvfield"
+)
+
+func TestNoiseDeterministic(t *testing.T) {
+	n := Noise{Seed: 42, Scale: 8, Octaves: 3}
+	m := Noise{Seed: 42, Scale: 8, Octaves: 3}
+	for _, pos := range [][2]float64{{0, 0}, {1.5, 2.25}, {-3.7, 100.1}} {
+		if n.At(pos[0], pos[1]) != m.At(pos[0], pos[1]) {
+			t.Fatalf("noise not deterministic at %v", pos)
+		}
+	}
+	diff := Noise{Seed: 43, Scale: 8, Octaves: 3}
+	same := true
+	for x := 0.0; x < 10; x++ {
+		if n.At(x, 0) != diff.At(x, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestNoiseRangeAndContinuity(t *testing.T) {
+	n := Noise{Seed: 7, Scale: 10, Octaves: 4}
+	prev := n.At(0, 3.3)
+	for i := 1; i <= 400; i++ {
+		x := float64(i) * 0.1
+		v := n.At(x, 3.3)
+		if v < 0 || v >= 1 {
+			t.Fatalf("noise out of range at %v: %v", x, v)
+		}
+		if math.Abs(v-prev) > 0.25 {
+			t.Fatalf("noise discontinuity at %v: %v -> %v", x, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	a := Generate(Carphone, frame.SQCIF, 3, 1)
+	b := Generate(Carphone, frame.SQCIF, 3, 1)
+	if len(a) != 3 {
+		t.Fatalf("got %d frames", len(a))
+	}
+	for i := range a {
+		if a[i].Size() != frame.SQCIF {
+			t.Fatalf("frame %d size %v", i, a[i].Size())
+		}
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("frame %d not deterministic", i)
+		}
+	}
+	c := Generate(Carphone, frame.SQCIF, 1, 2)
+	if a[0].Equal(c[0]) {
+		t.Fatal("different seeds produced identical frames")
+	}
+}
+
+func TestProfilesProduceMotion(t *testing.T) {
+	// Consecutive frames must differ (there is motion) but not be noise
+	// (majority of samples stay close).
+	for _, p := range Profiles {
+		fr := Generate(p, frame.SQCIF, 2, 3)
+		mse, err := frame.MSE(fr[0].Y, fr[1].Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse == 0 {
+			t.Errorf("%v: consecutive frames identical", p)
+		}
+		if mse > 3000 {
+			t.Errorf("%v: consecutive frames unrelated (MSE %.0f)", p, mse)
+		}
+	}
+}
+
+func TestTextureOrderingAcrossProfiles(t *testing.T) {
+	// Foreman must be the most textured profile and Miss America the
+	// least — this drives the Intra_SAD separation behind Table 1.
+	meanIntraSAD := func(p Profile) float64 {
+		f := Generate(p, frame.QCIF, 1, 5)[0].Y
+		total, n := 0, 0
+		for by := 0; by+16 <= f.H; by += 16 {
+			for bx := 0; bx+16 <= f.W; bx += 16 {
+				total += metrics.IntraSAD(f, bx, by, 16, 16)
+				n++
+			}
+		}
+		return float64(total) / float64(n)
+	}
+	miss := meanIntraSAD(MissAmerica)
+	car := meanIntraSAD(Carphone)
+	fore := meanIntraSAD(Foreman)
+	if !(miss < car && car < fore) {
+		t.Fatalf("texture ordering violated: miss=%.0f car=%.0f foreman=%.0f", miss, car, fore)
+	}
+	if fore < 2*miss {
+		t.Fatalf("texture contrast too small: miss=%.0f foreman=%.0f", miss, fore)
+	}
+}
+
+func TestMotionMagnitudeOrdering(t *testing.T) {
+	// Frame-to-frame change should be smallest for Miss America and
+	// largest for Foreman during its abrupt pan.
+	change := func(p Profile, t0 int) float64 {
+		sc := p.Scene(9)
+		a := sc.Render(frame.SQCIF, t0)
+		b := sc.Render(frame.SQCIF, t0+1)
+		mse, _ := frame.MSE(a.Y, b.Y)
+		return mse
+	}
+	miss := change(MissAmerica, 10)
+	forePan := change(Foreman, 50) // inside the abrupt pan
+	if miss >= forePan {
+		t.Fatalf("motion ordering violated: miss=%.1f foreman-pan=%.1f", miss, forePan)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	fr := Generate(MissAmerica, frame.SQCIF, 10, 1)
+	d3 := Decimate(fr, 3)
+	if len(d3) != 4 { // frames 0,3,6,9
+		t.Fatalf("Decimate(10,3) = %d frames, want 4", len(d3))
+	}
+	if !d3[1].Equal(fr[3]) {
+		t.Fatal("Decimate did not keep every 3rd frame")
+	}
+	d1 := Decimate(fr, 1)
+	if len(d1) != 10 {
+		t.Fatal("factor 1 must keep all frames")
+	}
+	d1[0] = nil // must be a copy of the slice header
+	if fr[0] == nil {
+		t.Fatal("Decimate aliases the input slice")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	names := map[Profile]string{
+		MissAmerica: "Miss America",
+		Carphone:    "Carphone",
+		Foreman:     "Foreman",
+		TableTennis: "Table",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Profile(99).String() == "" {
+		t.Error("unknown profile must still format")
+	}
+}
+
+func TestGlobalMotionSequenceExactness(t *testing.T) {
+	ref := ReferenceFrame(Foreman, frame.SQCIF, 11)
+	mvs := DefaultGlobalMVs
+	seq, err := GlobalMotionSequence(ref, mvs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(mvs)+1 {
+		t.Fatalf("got %d frames, want %d", len(seq), len(mvs)+1)
+	}
+	// Interior blocks of frame i+1 must match frame i displaced by mv
+	// exactly (SAD 0).
+	for i, mv := range mvs {
+		dx, dy := mv.FullPel()
+		cur, prev := seq[i+1], seq[i]
+		bx, by := 48, 40 // interior block far from borders
+		if got := metrics.SAD(cur, bx, by, prev, bx-dx, by-dy, 16, 16); got != 0 {
+			t.Fatalf("step %d: interior SAD = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestGlobalMotionSequenceRejectsHalfPel(t *testing.T) {
+	ref := frame.NewPlane(32, 32)
+	_, err := GlobalMotionSequence(ref, []mvfield.MV{{X: 1, Y: 0}})
+	if err == nil {
+		t.Fatal("half-pel global MV accepted")
+	}
+	var bad *BadMVError
+	if !asBadMV(err, &bad) {
+		t.Fatalf("error type %T, want *BadMVError", err)
+	}
+}
+
+func asBadMV(err error, target **BadMVError) bool {
+	b, ok := err.(*BadMVError)
+	if ok {
+		*target = b
+	}
+	return ok
+}
+
+func TestCameraZoomChangesScale(t *testing.T) {
+	// With 2x zoom, the world window halves: a feature at world (10,0)
+	// appears 20px right of centre instead of 10.
+	cam := Camera{Zoom: func(int) float64 { return 2 }}
+	wx, _ := cam.world(84, 48, 128, 96, 0) // 20px right of centre
+	if math.Abs(wx-10) > 1e-9 {
+		t.Fatalf("world x = %v, want 10", wx)
+	}
+}
+
+func TestSpriteSoftEdge(t *testing.T) {
+	s := &Sprite{
+		CX: func(int) float64 { return 0 }, CY: func(int) float64 { return 0 },
+		RX: 10, RY: 10,
+		Tex: Noise{Seed: 1, Scale: 8, Octaves: 1}, Base: 200, Amp: 0,
+	}
+	if _, a := s.Sample(0, 0, 0); a != 1 {
+		t.Fatal("centre not fully covered")
+	}
+	if _, a := s.Sample(20, 0, 0); a != 0 {
+		t.Fatal("far outside not empty")
+	}
+	if _, a := s.Sample(9.8, 0, 0); a <= 0 || a > 1 {
+		t.Fatalf("edge alpha = %v, want in (0,1]", a)
+	}
+}
+
+func TestSensorNoiseChangesPerFrame(t *testing.T) {
+	sc := WithSensorNoise(MissAmerica.Scene(1), 2.0, 7)
+	a := sc.Render(frame.SQCIF, 0)
+	b := sc.Render(frame.SQCIF, 0) // same frame index: identical
+	if !a.Equal(b) {
+		t.Fatal("sensor noise not deterministic per frame index")
+	}
+	// Between frames the noise decorrelates: even a static scene differs.
+	static := &Scene{Layers: []Layer{&Background{Tex: Noise{Seed: 1, Scale: 20, Octaves: 2}, Base: 128, Amp: 10}}}
+	static = WithSensorNoise(static, 2.0, 7)
+	f0 := static.Render(frame.SQCIF, 0)
+	f1 := static.Render(frame.SQCIF, 1)
+	mse, _ := frame.MSE(f0.Y, f1.Y)
+	if mse == 0 {
+		t.Fatal("sensor noise identical across frames")
+	}
+	if mse > 20 {
+		t.Fatalf("sensor noise too strong: MSE %.1f", mse)
+	}
+}
+
+func TestSensorNoiseRaisesSADFloor(t *testing.T) {
+	clean := MissAmerica.Scene(3)
+	noisy := WithSensorNoise(MissAmerica.Scene(3), 2.0, 3)
+	sadAt := func(sc *Scene) int {
+		a := sc.Render(frame.SQCIF, 10)
+		b := sc.Render(frame.SQCIF, 11)
+		return metrics.SAD(b.Y, 48, 40, a.Y, 48, 40, 16, 16)
+	}
+	if sadAt(noisy) <= sadAt(clean) {
+		t.Fatal("sensor noise did not raise the matching error floor")
+	}
+}
