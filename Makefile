@@ -1,0 +1,29 @@
+# CI/dev entry points for the ACBM reproduction.
+#
+#   make build        — vet + compile everything
+#   make test         — full test suite, plus the codec package under the
+#                       race detector (certifies the wavefront encoder)
+#   make bench-smoke  — 1-iteration pass over every benchmark so bench
+#                       code cannot rot, plus the perf-trajectory artifact
+#   make bench-speed  — regenerate BENCH_speed.json (ns/frame, fps,
+#                       points/block for each searcher × worker count)
+
+GO ?= go
+
+.PHONY: build test bench-smoke bench-speed ci
+
+build:
+	$(GO) vet ./...
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench-speed:
+	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json
+
+ci: test bench-smoke

@@ -273,6 +273,53 @@ func BenchmarkEncodeFrame_PBM(b *testing.B) {
 	benchEncodeFrame(b, func() search.Searcher { return &search.PBM{} })
 }
 
+// benchEncodeFrameWorkers measures the wavefront-parallel encoder at a
+// fixed worker count, reporting encode throughput in MB/s (luma source
+// bytes per wall-clock second) and the Table 1 points/block metric —
+// which must not move with the worker count.
+func benchEncodeFrameWorkers(b *testing.B, workers int) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 4, 1)
+	lumaBytes := float64(len(frames)) * float64(frame.QCIF.W*frame.QCIF.H)
+	var stats *codec.SequenceStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		stats, _, err = codec.EncodeSequence(codec.Config{
+			Qp: 16, Searcher: core.New(core.DefaultParams), Workers: workers,
+		}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.AvgSearchPointsPerMB(), "points/block")
+	b.ReportMetric(lumaBytes*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+}
+
+func BenchmarkEncodeFrame_Workers1(b *testing.B) { benchEncodeFrameWorkers(b, 1) }
+func BenchmarkEncodeFrame_Workers4(b *testing.B) { benchEncodeFrameWorkers(b, 4) }
+
+// BenchmarkSADCapped_Spiral measures the full search with the
+// centre-outward scan: the spiral visits near-zero vectors first, so
+// SADCapped's cap is near-minimal for almost all of the (2p+1)²
+// candidates and losing candidates abort within a few rows. Reports
+// effective throughput over all candidate block bytes.
+func BenchmarkSADCapped_Spiral(b *testing.B) {
+	cur, ref, ip := benchPlanes()
+	in := &search.Input{
+		Cur: cur, Ref: ref, RefI: ip,
+		BX: 80, BY: 64, W: 16, H: 16, Range: 15, Qp: 16,
+	}
+	f := &search.FSBM{NoHalfPel: true}
+	b.ResetTimer()
+	var pts int
+	for i := 0; i < b.N; i++ {
+		pts = f.Search(in).Points
+	}
+	b.ReportMetric(float64(pts), "points/block")
+	// Bytes a raster scan would read if no candidate terminated early.
+	b.ReportMetric(float64(pts)*256*float64(b.N)/1e6/b.Elapsed().Seconds(), "candidate-MB/s")
+}
+
 func BenchmarkDecodeSequence(b *testing.B) {
 	frames := video.Generate(video.Carphone, frame.QCIF, 4, 1)
 	_, bs, err := codec.EncodeSequence(codec.Config{Qp: 16}, frames)

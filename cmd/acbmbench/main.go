@@ -12,6 +12,9 @@
 //	acbmbench -experiment headline       # §4 claims
 //	acbmbench -frames 30 -qps 30,24,18   # reduced sweep for quick runs
 //	acbmbench -alpha 2000 -beta 4        # explore the quality/cost knobs
+//	acbmbench -experiment speed -workers 4 -json BENCH_speed.json
+//	                                     # encoder wall-clock: ns/frame, fps,
+//	                                     # points/MB per searcher × workers
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|all")
+		expName  = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|speed|all")
 		frames   = flag.Int("frames", experiment.DefaultFrames, "sequence length at 30 fps")
 		sizeName = flag.String("size", "qcif", "frame format: sqcif|qcif|cif")
 		seed     = flag.Uint64("seed", experiment.DefaultSeed, "texture seed")
@@ -38,6 +41,8 @@ func main() {
 		beta     = flag.Int("beta", core.DefaultParams.Beta, "ACBM β parameter")
 		gammaNum = flag.Int("gamma-num", core.DefaultParams.GammaNum, "ACBM γ numerator")
 		gammaDen = flag.Int("gamma-den", core.DefaultParams.GammaDen, "ACBM γ denominator")
+		workers  = flag.Int("workers", 0, "encoder worker goroutines for the speed experiment (0 = measure 1 and GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "write the speed experiment result to this JSON file (e.g. BENCH_speed.json)")
 	)
 	flag.Parse()
 
@@ -187,6 +192,32 @@ func main() {
 					}
 					fmt.Println()
 				}
+			}
+			return nil
+		})
+	}
+	if want("speed") {
+		ran = true
+		run("Encoder speed (wavefront workers, SWAR SAD, spiral FSBM)", func() error {
+			cfg := experiment.SpeedConfig{
+				Profile: video.Foreman, Size: size, Frames: *frames, Seed: *seed,
+			}
+			if *workers > 0 {
+				cfg.Workers = []int{1, *workers}
+				if *workers == 1 {
+					cfg.Workers = []int{1}
+				}
+			}
+			res, err := experiment.RunSpeed(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatSpeed(res))
+			if *jsonPath != "" {
+				if err := res.WriteJSON(*jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
 			}
 			return nil
 		})

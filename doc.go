@@ -10,4 +10,32 @@
 // inventory); runnable entry points are the examples/ programs and the
 // cmd/acbmbench, cmd/mvstudy and cmd/seqgen tools. The benchmarks in
 // bench_test.go regenerate the paper's Table 1 and Figures 4-6.
+//
+// # Performance architecture
+//
+// The encode hot path is optimised at three layers, none of which change
+// a single output bit (the golden bitstream tests and the parallel
+// equivalence tests in internal/codec pin this):
+//
+//   - internal/metrics runs the SAD family on SWAR kernels — 8 pixels per
+//     uint64 load, split into 16-bit lanes — with the scalar loops kept
+//     as differential-test references.
+//   - search.FSBM scans candidates centre-outward ("spiral", sorted by L1
+//     then raster order), so the SADCapped early-termination cap is
+//     near-minimal after the first ring; the visit order is chosen so the
+//     winner is identical to the raster scan's under the shorter-vector
+//     tie-break.
+//   - internal/codec analyses macroblocks on a wavefront worker pool
+//     (codec.Config.Workers): motion estimation, mode decision,
+//     transform/quantisation and reconstruction are scheduled per
+//     anti-diagonal d = x + 2y, because the predictive searchers read
+//     only the left/up-left/up/up-right motion-field neighbours. Each
+//     worker owns a forked searcher (search.Forker; core.ACBM is not
+//     concurrency-safe and merges its stats additively in Join), scratch
+//     is recycled through sync.Pools, and entropy coding stays serial —
+//     bitstreams are bit-identical for every worker count.
+//
+// `make bench-speed` (or `acbmbench -experiment speed -json
+// BENCH_speed.json`) records the encoder's speed trajectory — ns/frame,
+// fps and points/block per searcher and worker count.
 package repro

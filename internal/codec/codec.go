@@ -13,6 +13,7 @@ package codec
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/dct"
 	"repro/internal/frame"
@@ -71,6 +72,14 @@ type Config struct {
 	// this target at Config.FPS. 0 keeps the constant Qp of the paper's
 	// experiments.
 	TargetKbps float64
+	// Workers sets how many goroutines analyse macroblocks concurrently
+	// (motion estimation, mode decision, transform/quantisation and
+	// reconstruction, scheduled per anti-diagonal wavefront; entropy
+	// coding stays serial, so the bitstream and all statistics are
+	// bit-identical for every worker count). 0 selects GOMAXPROCS, 1
+	// forces sequential analysis. Searchers that do not implement
+	// search.Forker are always analysed sequentially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FPS <= 0 {
 		c.FPS = 30
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	c.Qp = dct.ClampQp(c.Qp)
 	return c

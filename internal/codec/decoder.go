@@ -166,9 +166,12 @@ func (d *Decoder) refreshReference(recon *frame.Frame, qp int) {
 		deblockFrame(recon, qp)
 	}
 	d.recon = recon
-	d.reconY = frame.Interpolate(recon.Y)
-	d.reconCb = frame.Interpolate(recon.Cb)
-	d.reconCr = frame.Interpolate(recon.Cr)
+	d.reconY.Release()
+	d.reconCb.Release()
+	d.reconCr.Release()
+	d.reconY = frame.InterpolatePooled(recon.Y)
+	d.reconCb = frame.InterpolatePooled(recon.Cb)
+	d.reconCr = frame.InterpolatePooled(recon.Cr)
 }
 
 // readCoeffs parses (run, level, last) events into b (raster order).

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dct"
 	"repro/internal/frame"
@@ -18,6 +19,49 @@ const (
 	mbInter
 	mbIntra
 )
+
+// The encoder runs every frame in two phases:
+//
+//  1. analyze — motion estimation, mode decision, transform/quantisation
+//     and reconstruction per macroblock. Results land in an mbResult per
+//     MB and reconstructed pixels go straight into the (disjoint) MB
+//     regions of the recon frame. This phase touches no entropy state, so
+//     it can run across a worker pool (see parallel.go): macroblocks are
+//     scheduled per anti-diagonal because the PBM/ACBM predictors read
+//     only the left, up-left, up and up-right neighbours of the current
+//     motion field.
+//  2. write — serial raster-order serialisation of the stored results.
+//     The entropy coder (including the adaptive arithmetic contexts) sees
+//     exactly the sequence of symbols the seed's interleaved encoder
+//     produced, so bitstreams are bit-identical for every worker count.
+//
+// mbResult captures everything phase 2 needs from phase 1.
+type mbResult struct {
+	mode   mbMode
+	four   bool       // inter: four-vector (Annex F) macroblock
+	mv     mvfield.MV // inter 1V: the macroblock vector
+	subMV  [4]mvfield.MV
+	points int     // candidate positions evaluated (Table 1 metric)
+	coded  [6]bool // inter: per-block coded flags (Y0..Y3, Cb, Cr)
+	// levels holds the quantised coefficients in coding order: the four
+	// luma blocks, then Cb, then Cr — intra and inter modes both use it.
+	levels [6]dct.Block
+}
+
+// mbResultsPool recycles the per-frame result slabs (~1.6 KiB per MB)
+// across frames and encoder instances.
+var mbResultsPool sync.Pool // stores *[]mbResult
+
+func getMBResults(n int) []mbResult {
+	if v, _ := mbResultsPool.Get().(*[]mbResult); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]mbResult, n)
+}
+
+func putMBResults(rs []mbResult) {
+	mbResultsPool.Put(&rs)
+}
 
 // Encoder encodes a sequence of equally sized frames: the first as an
 // I-frame, the rest as P-frames referencing the previous reconstruction
@@ -59,6 +103,21 @@ func NewEncoder(cfg Config) *Encoder {
 		e.rc = newRateController(cfg.TargetKbps, cfg.FPS, cfg.Qp)
 	}
 	return e
+}
+
+// workerCount resolves how many goroutines may analyse macroblocks
+// concurrently. Only searchers that opt in via search.Forker run in
+// parallel; anything else keeps the exact sequential semantics (a
+// stateful searcher like core.Budgeted adapts across blocks in scan
+// order, which a worker pool would perturb).
+func (e *Encoder) workerCount() int {
+	if e.cfg.Workers <= 1 {
+		return 1
+	}
+	if _, ok := e.cfg.Searcher.(search.Forker); !ok {
+		return 1
+	}
+	return e.cfg.Workers
 }
 
 // Stats returns per-frame statistics for everything encoded so far. In
@@ -183,15 +242,19 @@ func writeCoeffs(sw symWriter, b *dct.Block) {
 	}
 }
 
-// refreshReference installs recon as the prediction reference.
+// refreshReference installs recon as the prediction reference, recycling
+// the previous frame's half-pel grids through the frame package's pool.
 func (e *Encoder) refreshReference(recon *frame.Frame) {
 	if e.cfg.Deblock {
 		deblockFrame(recon, e.curQp)
 	}
 	e.recon = recon
-	e.reconY = frame.Interpolate(recon.Y)
-	e.reconCb = frame.Interpolate(recon.Cb)
-	e.reconCr = frame.Interpolate(recon.Cr)
+	e.reconY.Release()
+	e.reconCb.Release()
+	e.reconCr.Release()
+	e.reconY = frame.InterpolatePooled(recon.Y)
+	e.reconCb = frame.InterpolatePooled(recon.Cb)
+	e.reconCr = frame.InterpolatePooled(recon.Cr)
 }
 
 func (e *Encoder) encodeIntraFrame(f *frame.Frame) FrameStats {
@@ -199,45 +262,53 @@ func (e *Encoder) encodeIntraFrame(f *frame.Frame) FrameStats {
 	recon := frame.NewFrame(e.size)
 	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
 	fs := FrameStats{Type: IFrame, Macroblocks: cols * rows, IntraMBs: cols * rows}
-	for mby := 0; mby < rows; mby++ {
-		for mbx := 0; mbx < cols; mbx++ {
-			e.codeIntraMB(f, recon, mbx, mby)
-		}
+	results := getMBResults(cols * rows)
+	e.analyzeFrame(f, recon, nil, results, true)
+	for i := range results {
+		e.writeIntraMB(&results[i])
 	}
+	putMBResults(results)
 	e.refreshReference(recon)
 	e.prevField = mvfield.NewField(cols, rows) // all-zero motion
 	return fs
 }
 
-// codeIntraMB writes and reconstructs the six intra blocks of MB (mbx,mby).
-func (e *Encoder) codeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+// analyzeIntraMB transforms, quantises and reconstructs the six intra
+// blocks of MB (mbx, mby), leaving the levels in r for the write phase.
+func (e *Encoder) analyzeIntraMB(src, recon *frame.Frame, mbx, mby int, r *mbResult) {
+	r.mode = mbIntra
+	r.four = false
+	r.points = 0
 	x, y := 16*mbx, 16*mby
-	var cur, levels, rec dct.Block
-	code := func(p, rp *frame.Plane, bx, by int) {
+	var cur, rec dct.Block
+	code := func(p, rp *frame.Plane, bx, by int, levels *dct.Block) {
 		loadBlock(&cur, p, bx, by)
-		encodeIntraBlock(&levels, &cur, e.curQp)
-		e.writeIntraBlock(&levels)
-		reconIntraBlock(&rec, &levels, e.curQp)
+		encodeIntraBlock(levels, &cur, e.curQp)
+		reconIntraBlock(&rec, levels, e.curQp)
 		storeBlock(rp, bx, by, &rec)
 	}
-	for _, off := range lumaBlockOffsets {
-		code(src.Y, recon.Y, x+off[0], y+off[1])
+	for i, off := range lumaBlockOffsets {
+		code(src.Y, recon.Y, x+off[0], y+off[1], &r.levels[i])
 	}
-	code(src.Cb, recon.Cb, 8*mbx, 8*mby)
-	code(src.Cr, recon.Cr, 8*mbx, 8*mby)
+	code(src.Cb, recon.Cb, 8*mbx, 8*mby, &r.levels[4])
+	code(src.Cr, recon.Cr, 8*mbx, 8*mby, &r.levels[5])
 }
 
-// writeIntraBlock codes DC as an 8-bit FLC and AC as TCOEF events behind a
-// coded flag, mirroring the H.263 INTRADC + TCOEF structure.
-func (e *Encoder) writeIntraBlock(levels *dct.Block) {
-	e.sw.Bits(uint64(levels[0]), 8)
-	if acCoded(levels) {
-		e.sw.Flag(sctxACFlag, true)
-		ac := *levels
-		ac[0] = 0
-		writeCoeffs(e.sw, &ac)
-	} else {
-		e.sw.Flag(sctxACFlag, false)
+// writeIntraMB serialises the six intra blocks analysed into r. DC is an
+// 8-bit FLC and AC are TCOEF events behind a coded flag, mirroring the
+// H.263 INTRADC + TCOEF structure.
+func (e *Encoder) writeIntraMB(r *mbResult) {
+	for i := range r.levels {
+		levels := &r.levels[i]
+		e.sw.Bits(uint64(levels[0]), 8)
+		if acCoded(levels) {
+			e.sw.Flag(sctxACFlag, true)
+			ac := *levels
+			ac[0] = 0
+			writeCoeffs(e.sw, &ac)
+		} else {
+			e.sw.Flag(sctxACFlag, false)
+		}
 	}
 }
 
@@ -247,17 +318,21 @@ func (e *Encoder) encodeInterFrame(f *frame.Frame) FrameStats {
 	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
 	fs := FrameStats{Type: PFrame, Macroblocks: cols * rows}
 	curField := mvfield.NewField(cols, rows)
+	results := getMBResults(cols * rows)
+
+	e.analyzeFrame(f, recon, curField, results, false)
 
 	for mby := 0; mby < rows; mby++ {
 		for mbx := 0; mbx < cols; mbx++ {
-			mode, four, pts := e.codeInterMB(f, recon, curField, mbx, mby)
-			fs.SearchPoints += pts
-			switch mode {
+			r := &results[mby*cols+mbx]
+			e.writeInterMB(r, curField, mbx, mby)
+			fs.SearchPoints += r.points
+			switch r.mode {
 			case mbSkip:
 				fs.SkipMBs++
 			case mbInter:
 				fs.InterMBs++
-				if four {
+				if r.four {
 					fs.Inter4VMBs++
 				}
 			case mbIntra:
@@ -265,14 +340,19 @@ func (e *Encoder) encodeInterFrame(f *frame.Frame) FrameStats {
 			}
 		}
 	}
+	putMBResults(results)
 	e.refreshReference(recon)
 	e.prevField = curField
 	return fs
 }
 
-// codeInterMB performs motion estimation, mode decision, residual coding
-// and reconstruction for one P-frame macroblock, then serialises it.
-func (e *Encoder) codeInterMB(src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int) (mbMode, bool, int) {
+// analyzeInterMB performs motion estimation, mode decision, residual
+// coding and reconstruction for one P-frame macroblock, recording the
+// outcome in r. It must observe only the left/up-left/up/up-right
+// neighbours of curField (the wavefront invariant parallel.go schedules
+// around) and may write solely to its own MB region of recon, its own
+// curField entry, and r.
+func (e *Encoder) analyzeInterMB(s search.Searcher, src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int, r *mbResult) {
 	x, y := 16*mbx, 16*mby
 	in := &search.Input{
 		Cur: src.Y, Ref: e.recon.Y, RefI: e.reconY,
@@ -282,17 +362,16 @@ func (e *Encoder) codeInterMB(src, recon *frame.Frame, curField *mvfield.Field, 
 		MBX: mbx, MBY: mby,
 		PixelDecimation: e.cfg.PixelDecimation,
 	}
-	res := e.cfg.Searcher.Search(in)
+	res := s.Search(in)
 
 	// Mode decision (TMN-style): intra wins when the block's internal
 	// variation is clearly below the best matching error.
 	intraSAD := metrics.IntraSAD(src.Y, x, y, 16, 16)
 	if intraSAD < res.SAD-e.cfg.IntraBias {
-		e.sw.Flag(sctxCOD, false) // coded
-		e.sw.Flag(sctxMode, true) // intra
-		e.codeIntraMB(src, recon, mbx, mby)
+		e.analyzeIntraMB(src, recon, mbx, mby, r)
+		r.points = res.Points
 		curField.Set(mbx, mby, mvfield.Zero)
-		return mbIntra, false, res.Points
+		return
 	}
 
 	mv := res.MV
@@ -316,8 +395,10 @@ func (e *Encoder) codeInterMB(src, recon *frame.Frame, curField *mvfield.Field, 
 			sum8 += ssad
 		}
 		if sum8 < res.SAD-e.cfg.Inter4VBias {
-			e.codeInter4VMB(src, recon, curField, mbx, mby, subMV)
-			return mbInter, true, pts
+			e.analyzeInter4VMB(src, recon, mbx, mby, subMV, r)
+			r.points = pts
+			curField.Set(mbx, mby, avgMV(subMV))
+			return
 		}
 	}
 
@@ -325,77 +406,87 @@ func (e *Encoder) codeInterMB(src, recon *frame.Frame, curField *mvfield.Field, 
 
 	// Transform and quantise all six blocks first so the skip decision
 	// can see the coded-block pattern.
-	var lumaLv [4]dct.Block
 	var lumaPred [4]dct.Block
-	var coded [6]bool
 	var cur dct.Block
 	for i, off := range lumaBlockOffsets {
 		loadBlock(&cur, src.Y, x+off[0], y+off[1])
 		predBlock(&lumaPred[i], e.reconY, x+off[0], y+off[1], mv)
-		coded[i] = encodeInterBlock(&lumaLv[i], &cur, &lumaPred[i], e.curQp)
+		r.coded[i] = encodeInterBlock(&r.levels[i], &cur, &lumaPred[i], e.curQp)
 	}
-	var cbLv, crLv, cbPred, crPred dct.Block
+	var cbPred, crPred dct.Block
 	cx, cy := 8*mbx, 8*mby
 	loadBlock(&cur, src.Cb, cx, cy)
 	predBlock(&cbPred, e.reconCb, cx, cy, cmv)
-	coded[4] = encodeInterBlock(&cbLv, &cur, &cbPred, e.curQp)
+	r.coded[4] = encodeInterBlock(&r.levels[4], &cur, &cbPred, e.curQp)
 	loadBlock(&cur, src.Cr, cx, cy)
 	predBlock(&crPred, e.reconCr, cx, cy, cmv)
-	coded[5] = encodeInterBlock(&crLv, &cur, &crPred, e.curQp)
+	r.coded[5] = encodeInterBlock(&r.levels[5], &cur, &crPred, e.curQp)
 
 	anyCoded := false
-	for _, c := range coded {
+	for _, c := range r.coded {
 		anyCoded = anyCoded || c
 	}
 
+	r.points = pts
+	r.four = false
+	r.mv = mv
 	if mv == mvfield.Zero && !anyCoded {
-		// Skip: reconstruction copies the reference.
-		e.sw.Flag(sctxCOD, true)
-		var rec dct.Block
-		for i, off := range lumaBlockOffsets {
-			reconInterBlock(&rec, &lumaPred[i], nil, false, e.curQp)
-			storeBlock(recon.Y, x+off[0], y+off[1], &rec)
-		}
-		reconInterBlock(&rec, &cbPred, nil, false, e.curQp)
-		storeBlock(recon.Cb, cx, cy, &rec)
-		reconInterBlock(&rec, &crPred, nil, false, e.curQp)
-		storeBlock(recon.Cr, cx, cy, &rec)
-		curField.Set(mbx, mby, mvfield.Zero)
-		return mbSkip, false, pts
+		r.mode = mbSkip
+	} else {
+		r.mode = mbInter
 	}
 
-	// Inter macroblock, single vector.
-	e.sw.Flag(sctxCOD, false)     // coded
-	e.sw.Flag(sctxMode, false)    // inter
-	e.sw.Flag(sctxInter4V, false) // one vector
-	pred := curField.MedianPredictor(mbx, mby)
-	d := mv.Sub(pred)
-	e.sw.SE(sctxMVX, int32(d.X))
-	e.sw.SE(sctxMVY, int32(d.Y))
-	for _, c := range coded {
-		e.sw.Flag(sctxCBP, c)
-	}
 	var rec dct.Block
 	for i, off := range lumaBlockOffsets {
-		if coded[i] {
-			writeCoeffs(e.sw, &lumaLv[i])
-		}
-		reconInterBlock(&rec, &lumaPred[i], &lumaLv[i], coded[i], e.curQp)
+		reconInterBlock(&rec, &lumaPred[i], &r.levels[i], r.mode == mbInter && r.coded[i], e.curQp)
 		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
 	}
-	if coded[4] {
-		writeCoeffs(e.sw, &cbLv)
-	}
-	reconInterBlock(&rec, &cbPred, &cbLv, coded[4], e.curQp)
+	reconInterBlock(&rec, &cbPred, &r.levels[4], r.mode == mbInter && r.coded[4], e.curQp)
 	storeBlock(recon.Cb, cx, cy, &rec)
-	if coded[5] {
-		writeCoeffs(e.sw, &crLv)
-	}
-	reconInterBlock(&rec, &crPred, &crLv, coded[5], e.curQp)
+	reconInterBlock(&rec, &crPred, &r.levels[5], r.mode == mbInter && r.coded[5], e.curQp)
 	storeBlock(recon.Cr, cx, cy, &rec)
 
-	curField.Set(mbx, mby, mv)
-	return mbInter, false, pts
+	curField.Set(mbx, mby, r.mv)
+}
+
+// writeInterMB serialises one analysed P-frame macroblock. The median MV
+// predictor reads only causal (left/up/up-right) field entries, whose
+// values are final after analysis, so the emitted symbols match the
+// seed's interleaved encoder exactly.
+func (e *Encoder) writeInterMB(r *mbResult, curField *mvfield.Field, mbx, mby int) {
+	switch r.mode {
+	case mbSkip:
+		e.sw.Flag(sctxCOD, true)
+		return
+	case mbIntra:
+		e.sw.Flag(sctxCOD, false) // coded
+		e.sw.Flag(sctxMode, true) // intra
+		e.writeIntraMB(r)
+		return
+	}
+	e.sw.Flag(sctxCOD, false)      // coded
+	e.sw.Flag(sctxMode, false)     // inter
+	e.sw.Flag(sctxInter4V, r.four) // one or four vectors
+	pred := curField.MedianPredictor(mbx, mby)
+	if r.four {
+		for _, mv := range r.subMV {
+			d := mv.Sub(pred)
+			e.sw.SE(sctxMVX, int32(d.X))
+			e.sw.SE(sctxMVY, int32(d.Y))
+		}
+	} else {
+		d := r.mv.Sub(pred)
+		e.sw.SE(sctxMVX, int32(d.X))
+		e.sw.SE(sctxMVY, int32(d.Y))
+	}
+	for _, c := range r.coded {
+		e.sw.Flag(sctxCBP, c)
+	}
+	for i := range r.levels {
+		if r.coded[i] {
+			writeCoeffs(e.sw, &r.levels[i])
+		}
+	}
 }
 
 // EncodeSequence encodes frames with cfg and returns the statistics and

@@ -80,64 +80,44 @@ func avgMV(mvs [4]mvfield.MV) mvfield.MV {
 	return mvfield.MV{X: div4(sx), Y: div4(sy)}
 }
 
-// codeInter4VMB serialises and reconstructs a four-vector macroblock. The
-// COD/mode/inter4v flags are written here.
-func (e *Encoder) codeInter4VMB(src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int, subMV [4]mvfield.MV) {
+// analyzeInter4VMB transforms, quantises and reconstructs a four-vector
+// macroblock, recording levels and coded flags in r for the write phase
+// (writeInterMB emits the flags, the four MVDs against the shared median
+// predictor, the CBP and the coefficients).
+func (e *Encoder) analyzeInter4VMB(src, recon *frame.Frame, mbx, mby int, subMV [4]mvfield.MV, r *mbResult) {
 	x, y := 16*mbx, 16*mby
 	cx, cy := 8*mbx, 8*mby
-	e.sw.Flag(sctxCOD, false)    // coded
-	e.sw.Flag(sctxMode, false)   // inter
-	e.sw.Flag(sctxInter4V, true) // four vectors
-
-	pred := curField.MedianPredictor(mbx, mby)
-	for _, mv := range subMV {
-		d := mv.Sub(pred)
-		e.sw.SE(sctxMVX, int32(d.X))
-		e.sw.SE(sctxMVY, int32(d.Y))
-	}
+	r.mode = mbInter
+	r.four = true
+	r.subMV = subMV
 
 	avg := avgMV(subMV)
 	cmv := chromaMV(avg)
 
-	var lumaLv, lumaPred [4]dct.Block
-	var coded [6]bool
+	var lumaPred [4]dct.Block
 	var cur dct.Block
 	for i, off := range lumaBlockOffsets {
 		loadBlock(&cur, src.Y, x+off[0], y+off[1])
 		predBlock(&lumaPred[i], e.reconY, x+off[0], y+off[1], subMV[i])
-		coded[i] = encodeInterBlock(&lumaLv[i], &cur, &lumaPred[i], e.curQp)
+		r.coded[i] = encodeInterBlock(&r.levels[i], &cur, &lumaPred[i], e.curQp)
 	}
-	var cbLv, crLv, cbPred, crPred dct.Block
+	var cbPred, crPred dct.Block
 	loadBlock(&cur, src.Cb, cx, cy)
 	predBlock(&cbPred, e.reconCb, cx, cy, cmv)
-	coded[4] = encodeInterBlock(&cbLv, &cur, &cbPred, e.curQp)
+	r.coded[4] = encodeInterBlock(&r.levels[4], &cur, &cbPred, e.curQp)
 	loadBlock(&cur, src.Cr, cx, cy)
 	predBlock(&crPred, e.reconCr, cx, cy, cmv)
-	coded[5] = encodeInterBlock(&crLv, &cur, &crPred, e.curQp)
+	r.coded[5] = encodeInterBlock(&r.levels[5], &cur, &crPred, e.curQp)
 
-	for _, c := range coded {
-		e.sw.Flag(sctxCBP, c)
-	}
 	var rec dct.Block
 	for i, off := range lumaBlockOffsets {
-		if coded[i] {
-			writeCoeffs(e.sw, &lumaLv[i])
-		}
-		reconInterBlock(&rec, &lumaPred[i], &lumaLv[i], coded[i], e.curQp)
+		reconInterBlock(&rec, &lumaPred[i], &r.levels[i], r.coded[i], e.curQp)
 		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
 	}
-	if coded[4] {
-		writeCoeffs(e.sw, &cbLv)
-	}
-	reconInterBlock(&rec, &cbPred, &cbLv, coded[4], e.curQp)
+	reconInterBlock(&rec, &cbPred, &r.levels[4], r.coded[4], e.curQp)
 	storeBlock(recon.Cb, cx, cy, &rec)
-	if coded[5] {
-		writeCoeffs(e.sw, &crLv)
-	}
-	reconInterBlock(&rec, &crPred, &crLv, coded[5], e.curQp)
+	reconInterBlock(&rec, &crPred, &r.levels[5], r.coded[5], e.curQp)
 	storeBlock(recon.Cr, cx, cy, &rec)
-
-	curField.Set(mbx, mby, avg)
 }
 
 // decodeInter4VMB mirrors codeInter4VMB after the inter4v flag has been

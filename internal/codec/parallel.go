@@ -1,0 +1,127 @@
+package codec
+
+import (
+	"sync"
+
+	"repro/internal/frame"
+	"repro/internal/mvfield"
+	"repro/internal/search"
+)
+
+// Wavefront-parallel macroblock analysis.
+//
+// The only cross-macroblock dependency in the analysis phase is the
+// motion-field neighbourhood the predictive searchers read: PBM (and so
+// ACBM) gathers candidates from the left (x−1,y), up-left (x−1,y−1), up
+// (x,y−1) and up-right (x+1,y−1) entries of the current field. Under the
+// anti-diagonal index d = x + 2y those neighbours live on diagonals d−1,
+// d−3, d−2 and d−1 — all strictly earlier — so every macroblock of one
+// diagonal can be analysed concurrently once the previous diagonal is
+// complete. This is the same wavefront H.264/HEVC encoders use, adapted
+// to this field's up-right (rather than up-left-only) reach.
+//
+// Each worker owns a forked Searcher (search.Forker) for the frame;
+// core.ACBM documents that it is not concurrency-safe, so every worker
+// gets its own instance and the additive Stats merge back in Join. All
+// other shared writes are disjoint: each macroblock touches only its own
+// 16×16 (8×8 chroma) region of the reconstruction, its own motion-field
+// entry and its own mbResult slot. The WaitGroup barrier between
+// diagonals publishes those writes to the workers of later diagonals.
+//
+// Determinism: the set of field entries visible to a macroblock equals
+// exactly the causal set the sequential raster scan would have computed
+// (Candidates reads only the four neighbours above), so every mbResult —
+// and with it the serial entropy pass — is bit-identical for any worker
+// count ≥ 1.
+
+// analyzeFrame fills results (and recon, and curField for P-frames) for
+// every macroblock of src, using the configured number of workers. Intra
+// frames have no cross-MB dependencies and skip the wavefront barriers.
+func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field, results []mbResult, intra bool) {
+	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
+	nw := e.workerCount()
+	if nw > rows*cols {
+		nw = rows * cols
+	}
+	if nw <= 1 {
+		for mby := 0; mby < rows; mby++ {
+			for mbx := 0; mbx < cols; mbx++ {
+				if intra {
+					e.analyzeIntraMB(src, recon, mbx, mby, &results[mby*cols+mbx])
+				} else {
+					e.analyzeInterMB(e.cfg.Searcher, src, recon, curField, mbx, mby, &results[mby*cols+mbx])
+				}
+			}
+		}
+		return
+	}
+
+	// Fork one searcher per worker for the duration of the frame.
+	searchers := make([]search.Searcher, nw)
+	if intra {
+		// Intra analysis never runs motion search.
+	} else {
+		f := e.cfg.Searcher.(search.Forker)
+		for i := range searchers {
+			searchers[i] = f.Fork()
+		}
+	}
+
+	jobs := make(chan int, cols+rows)
+	var wg sync.WaitGroup
+	var workers sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		workers.Add(1)
+		go func(s search.Searcher) {
+			defer workers.Done()
+			for idx := range jobs {
+				mbx, mby := idx%cols, idx/cols
+				if intra {
+					e.analyzeIntraMB(src, recon, mbx, mby, &results[idx])
+				} else {
+					e.analyzeInterMB(s, src, recon, curField, mbx, mby, &results[idx])
+				}
+				wg.Done()
+			}
+		}(searchers[w])
+	}
+
+	if intra {
+		wg.Add(rows * cols)
+		for idx := 0; idx < rows*cols; idx++ {
+			jobs <- idx
+		}
+		wg.Wait()
+	} else {
+		for d := 0; d <= (cols-1)+2*(rows-1); d++ {
+			n := 0
+			loY := (d - (cols - 1) + 1) / 2
+			if loY < 0 {
+				loY = 0
+			}
+			hiY := d / 2
+			if hiY > rows-1 {
+				hiY = rows - 1
+			}
+			n = hiY - loY + 1
+			if n <= 0 {
+				continue
+			}
+			wg.Add(n)
+			for mby := loY; mby <= hiY; mby++ {
+				mbx := d - 2*mby
+				jobs <- mby*cols + mbx
+			}
+			wg.Wait() // barrier: diagonal complete, writes published
+		}
+	}
+	close(jobs)
+	workers.Wait()
+
+	if !intra {
+		f := e.cfg.Searcher.(search.Forker)
+		for _, s := range searchers {
+			f.Join(s)
+		}
+	}
+}

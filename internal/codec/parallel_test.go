@@ -1,0 +1,134 @@
+package codec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/search"
+)
+
+// parallelFrames builds a seeded synthetic sequence with real motion, some
+// flat (skip-prone) area and a texture step, so every macroblock mode —
+// skip, inter, inter-4V, intra — shows up in the P-frames.
+func parallelFrames(n int) []*frame.Frame {
+	mk := func(t int) *frame.Frame {
+		f := frame.NewFrame(frame.QCIF)
+		for y := 0; y < f.Y.H; y++ {
+			for x := 0; x < f.Y.W; x++ {
+				switch {
+				case y < 48: // translating texture
+					f.Y.Set(x, y, uint8((x+2*t)*5+(y+t)*3))
+				case x < 80: // flat, static
+					f.Y.Set(x, y, 96)
+				default: // flickering texture: drives intra decisions
+					f.Y.Set(x, y, uint8((x*x+y*y*7+t*61)%253))
+				}
+			}
+		}
+		for y := 0; y < f.Cb.H; y++ {
+			for x := 0; x < f.Cb.W; x++ {
+				f.Cb.Set(x, y, uint8(118+(x+t)%20))
+				f.Cr.Set(x, y, uint8(140-(y+2*t)%20))
+			}
+		}
+		return f
+	}
+	out := make([]*frame.Frame, n)
+	for t := range out {
+		out[t] = mk(t)
+	}
+	return out
+}
+
+// encodeWith encodes the shared sequence with the given worker count and
+// returns bitstream, sequence stats and ACBM stats.
+func encodeWith(t *testing.T, workers int, cfg Config) ([]byte, *SequenceStats, core.Stats) {
+	t.Helper()
+	acbm := core.New(core.DefaultParams)
+	cfg.Searcher = acbm
+	cfg.Workers = workers
+	stats, bs, err := EncodeSequence(cfg, parallelFrames(6))
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return bs, stats, acbm.Stats()
+}
+
+// TestParallelEncoderBitIdentical is the golden guarantee of the wavefront
+// design: for every worker count the bitstream, the per-frame statistics
+// and the merged ACBM statistics must be byte-for-byte what the
+// sequential encoder produces. Run with -race in CI (see Makefile) to
+// also certify the scheduling.
+func TestParallelEncoderBitIdentical(t *testing.T) {
+	for _, cfg := range []Config{
+		{Qp: 14, AdvancedPrediction: true, IntraPeriod: 3},
+		{Qp: 22, Entropy: EntropyArith, Deblock: true},
+	} {
+		refBS, refStats, refACBM := encodeWith(t, 1, cfg)
+		for _, workers := range []int{2, 4, 7} {
+			bs, stats, acbm := encodeWith(t, workers, cfg)
+			if !bytes.Equal(bs, refBS) {
+				t.Errorf("cfg=%+v workers=%d: bitstream differs from sequential (%d vs %d bytes)",
+					cfg, workers, len(bs), len(refBS))
+			}
+			if !reflect.DeepEqual(stats, refStats) {
+				t.Errorf("cfg=%+v workers=%d: sequence stats differ\n got %+v\nwant %+v", cfg, workers, stats, refStats)
+			}
+			if acbm != refACBM {
+				t.Errorf("cfg=%+v workers=%d: ACBM stats differ\n got %+v\nwant %+v", cfg, workers, acbm, refACBM)
+			}
+		}
+	}
+}
+
+// TestParallelDecodesToSameFrames checks the parallel encoder's stream
+// stays decodable and reconstructs exactly the encoder's reference loop.
+func TestParallelDecodesToSameFrames(t *testing.T) {
+	acbm := core.New(core.DefaultParams)
+	e := NewEncoder(Config{Qp: 16, Searcher: acbm, Workers: 4})
+	var lastRecon *frame.Frame
+	for _, f := range parallelFrames(4) {
+		if _, err := e.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+		lastRecon = e.Reconstruction()
+	}
+	frames, err := Decode(e.Bitstream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("decoded %d frames, want 4", len(frames))
+	}
+	if !frames[3].Equal(lastRecon) {
+		t.Error("decoded frame 3 differs from encoder reconstruction")
+	}
+}
+
+// TestWorkerCountFallback verifies stateful searchers without Fork/Join
+// stay sequential (core.Budgeted's complexity servo depends on scan
+// order) while Forker implementations parallelise.
+func TestWorkerCountFallback(t *testing.T) {
+	bd, err := core.NewBudgeted(150, core.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		s    search.Searcher
+		want int
+	}{
+		{bd, 1},
+		{core.New(core.DefaultParams), 5},
+		{&search.FSBM{}, 5},
+		{&search.PBM{}, 5},
+		{&search.TSS{}, 1},
+	} {
+		e := NewEncoder(Config{Qp: 16, Searcher: tc.s, Workers: 5})
+		if got := e.workerCount(); got != tc.want {
+			t.Errorf("%s: workerCount=%d, want %d", tc.s.Name(), got, tc.want)
+		}
+	}
+}

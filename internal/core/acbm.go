@@ -161,6 +161,22 @@ func (a *ACBM) Search(in *search.Input) search.Result {
 	return r
 }
 
+// Fork implements search.Forker: the returned instance shares the parent's
+// parameters but owns its statistics, so each encoder worker can run ACBM
+// without synchronisation.
+func (a *ACBM) Fork() search.Searcher {
+	return &ACBM{Params: a.Params, PBM: a.PBM, FSBM: a.FSBM}
+}
+
+// Join implements search.Forker: it adds a forked instance's statistics
+// back into the parent. Stats fields are plain sums, so the merged totals
+// are independent of worker scheduling.
+func (a *ACBM) Join(w search.Searcher) {
+	if f, ok := w.(*ACBM); ok && f != a {
+		a.stats.Add(f.stats)
+	}
+}
+
 // SearchTrace runs ACBM on one block and returns the decision evidence
 // alongside the result.
 func (a *ACBM) SearchTrace(in *search.Input) (search.Result, Trace) {

@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/search"
+	"repro/internal/video"
+)
+
+// SpeedConfig configures the encoder speed benchmark: wall-clock per
+// frame for each searcher across worker counts, on one synthetic
+// sequence (Profile defaults to the zero value, Miss America; acbmbench
+// passes Foreman). It is the reproducible counterpart of `go test -bench
+// EncodeFrame` that cmd/acbmbench can emit as JSON (BENCH_speed.json),
+// so the perf trajectory of the encoder is tracked PR over PR.
+type SpeedConfig struct {
+	Profile video.Profile
+	Size    frame.Size
+	Frames  int
+	Qp      int
+	Seed    uint64
+	// Workers lists the codec.Config.Workers values to measure. Default
+	// {1, GOMAXPROCS} (deduplicated).
+	Workers []int
+	// Repeats is how many times each encode runs; the fastest repeat is
+	// reported (default 3).
+	Repeats int
+}
+
+func (c SpeedConfig) withDefaults() SpeedConfig {
+	if c.Size == (frame.Size{}) {
+		c.Size = frame.QCIF
+	}
+	if c.Frames <= 0 {
+		c.Frames = 30
+	}
+	if c.Qp <= 0 {
+		c.Qp = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1}
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			c.Workers = append(c.Workers, n)
+		}
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// SpeedPoint is one (searcher, workers) measurement.
+type SpeedPoint struct {
+	Searcher    string  `json:"searcher"`
+	Workers     int     `json:"workers"`
+	NsPerFrame  float64 `json:"ns_per_frame"`
+	FPS         float64 `json:"fps"`
+	PointsPerMB float64 `json:"points_per_block"`
+	PSNRY       float64 `json:"psnr_y_db"`
+	// Speedup is relative to this searcher's first configured worker
+	// count (the baseline row, workers=1 in the default sweeps).
+	Speedup float64 `json:"speedup_vs_first"`
+}
+
+// SpeedResult is the full speed report, serialisable to BENCH_speed.json.
+type SpeedResult struct {
+	Profile   string       `json:"profile"`
+	Size      string       `json:"size"`
+	Frames    int          `json:"frames"`
+	Qp        int          `json:"qp"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Points    []SpeedPoint `json:"points"`
+}
+
+// RunSpeed measures encode wall-clock for FSBM, PBM and ACBM across the
+// configured worker counts. Bitstreams are identical across worker counts
+// (the wavefront encoder guarantees it), so the numbers are directly
+// comparable.
+func RunSpeed(cfg SpeedConfig) (*SpeedResult, error) {
+	cfg = cfg.withDefaults()
+	frames := video.Generate(cfg.Profile, cfg.Size, cfg.Frames, cfg.Seed)
+	res := &SpeedResult{
+		Profile:   cfg.Profile.String(),
+		Size:      fmt.Sprintf("%dx%d", cfg.Size.W, cfg.Size.H),
+		Frames:    cfg.Frames,
+		Qp:        cfg.Qp,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	searchers := []struct {
+		name string
+		mk   func() search.Searcher
+	}{
+		{"ACBM", func() search.Searcher { return core.New(core.DefaultParams) }},
+		{"FSBM", func() search.Searcher { return &search.FSBM{} }},
+		{"PBM", func() search.Searcher { return &search.PBM{} }},
+	}
+	for _, s := range searchers {
+		base := 0.0
+		for _, workers := range cfg.Workers {
+			var best time.Duration
+			var stats *codec.SequenceStats
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				start := time.Now()
+				st, _, err := codec.EncodeSequence(codec.Config{
+					Qp: cfg.Qp, Searcher: s.mk(), Workers: workers,
+				}, frames)
+				el := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("speed %s workers=%d: %w", s.name, workers, err)
+				}
+				if rep == 0 || el < best {
+					best, stats = el, st
+				}
+			}
+			perFrame := float64(best.Nanoseconds()) / float64(cfg.Frames)
+			pt := SpeedPoint{
+				Searcher:    s.name,
+				Workers:     workers,
+				NsPerFrame:  perFrame,
+				FPS:         1e9 / perFrame,
+				PointsPerMB: stats.AvgSearchPointsPerMB(),
+				PSNRY:       stats.AvgPSNRY(),
+			}
+			if base == 0 {
+				base = perFrame
+			}
+			pt.Speedup = base / perFrame
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result to path (pretty-printed, trailing newline).
+func (r *SpeedResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatSpeed renders the result as the aligned text table acbmbench
+// prints alongside (or instead of) the JSON artifact.
+func FormatSpeed(r *SpeedResult) string {
+	out := fmt.Sprintf("encoder speed: %s %s, %d frames, Qp %d, GOMAXPROCS %d\n",
+		r.Profile, r.Size, r.Frames, r.Qp, r.GoMaxProc)
+	out += fmt.Sprintf("%-6s %8s %12s %8s %10s %9s %8s\n",
+		"algo", "workers", "ns/frame", "fps", "points/MB", "PSNR-Y", "speedup")
+	for _, p := range r.Points {
+		out += fmt.Sprintf("%-6s %8d %12.0f %8.2f %10.1f %9.2f %7.2fx\n",
+			p.Searcher, p.Workers, p.NsPerFrame, p.FPS, p.PointsPerMB, p.PSNRY, p.Speedup)
+	}
+	return out
+}

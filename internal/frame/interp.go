@@ -1,5 +1,7 @@
 package frame
 
+import "sync"
+
 // Interpolated is a half-pel upsampled view of a plane, built with the
 // H.263 bilinear interpolation rules (rounding up, +1 before the shift).
 //
@@ -26,6 +28,45 @@ type Interpolated struct {
 func Interpolate(p *Plane) *Interpolated {
 	w2, h2 := 2*p.W, 2*p.H
 	ip := &Interpolated{W: w2, H: h2, Pix: make([]uint8, w2*h2)}
+	interpolateInto(ip, p)
+	return ip
+}
+
+// interpPool recycles half-pel grids between frames: the encoder and
+// decoder build three per frame (Y, Cb, Cr) and drop the previous frame's
+// three at the same moment, so pooling removes the dominant per-frame
+// allocations of the reconstruction loop.
+var interpPool = sync.Pool{New: func() any { return new(Interpolated) }}
+
+// InterpolatePooled is Interpolate drawing its grid from an internal
+// sync.Pool. The caller must hand the grid back with Release once no
+// reference to it (or to sub-slices of Pix) remains.
+func InterpolatePooled(p *Plane) *Interpolated {
+	w2, h2 := 2*p.W, 2*p.H
+	ip := interpPool.Get().(*Interpolated)
+	ip.W, ip.H = w2, h2
+	if cap(ip.Pix) < w2*h2 {
+		ip.Pix = make([]uint8, w2*h2)
+	} else {
+		ip.Pix = ip.Pix[:w2*h2]
+	}
+	interpolateInto(ip, p)
+	return ip
+}
+
+// Release returns a grid obtained from InterpolatePooled to the pool. It
+// is safe to call on nil and on grids from Interpolate (their buffers then
+// become poolable too).
+func (ip *Interpolated) Release() {
+	if ip == nil {
+		return
+	}
+	interpPool.Put(ip)
+}
+
+// interpolateInto fills ip (already sized (2W)×(2H)) from p.
+func interpolateInto(ip *Interpolated, p *Plane) {
+	w2 := ip.W
 	for y := 0; y < p.H; y++ {
 		yB := y + 1
 		if yB >= p.H {
@@ -50,7 +91,6 @@ func Interpolate(p *Plane) *Interpolated {
 			out1[2*x+1] = uint8((a + b + c + d + 2) >> 2)
 		}
 	}
-	return ip
 }
 
 // At returns the half-pel grid sample at (hx, hy), where even coordinates

@@ -3,6 +3,11 @@
 // Intra_SAD (Σ|p−µ| over a block), the SAD_deviation statistic of the
 // Fig. 4 study, and the Lagrangian cost J = D + λ·R used to compare motion
 // estimators.
+//
+// The SAD family runs on word-parallel (SWAR) kernels that process 8
+// pixels per uint64 load when the block width is a multiple of 8; other
+// widths use the scalar loops, which also serve as the reference
+// implementations for the differential tests in swar_test.go.
 package metrics
 
 import (
@@ -10,10 +15,51 @@ import (
 	"repro/internal/mvfield"
 )
 
+// swarRowGroup returns how many rows of width w can accumulate in the
+// 16-bit SWAR lanes before a fold is required (worst case 255 per sample).
+func swarRowGroup(w int) int {
+	g := 256 / w
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // SAD returns the sum of absolute differences between the w×h block of cur
 // anchored at (cx, cy) and the block of ref anchored at (rx, ry). Both
 // blocks must lie inside their planes.
 func SAD(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	if w%8 != 0 || w > 256 {
+		// Beyond 256 samples a single row overflows the 16-bit lane fold.
+		return sadScalar(cur, cx, cy, ref, rx, ry, w, h)
+	}
+	sum := 0
+	group := swarRowGroup(w)
+	for y0 := 0; y0 < h; y0 += group {
+		y1 := y0 + group
+		if y1 > h {
+			y1 = h
+		}
+		var acc uint64
+		for y := y0; y < y1; y++ {
+			co := (cy+y)*cur.Stride + cx
+			ro := (ry+y)*ref.Stride + rx
+			c := cur.Pix[co : co+w]
+			r := ref.Pix[ro : ro+w]
+			for x := 0; x+8 <= w; x += 8 {
+				a := load8(c[x:])
+				b := load8(r[x:])
+				acc += absDiffLanes(a&laneLo, b&laneLo) +
+					absDiffLanes((a>>8)&laneLo, (b>>8)&laneLo)
+			}
+		}
+		sum += foldLanes(acc)
+	}
+	return sum
+}
+
+// sadScalar is the scalar reference for SAD.
+func sadScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
 	sum := 0
 	for y := 0; y < h; y++ {
 		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
@@ -30,10 +76,38 @@ func SAD(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
 }
 
 // SADCapped is SAD with early termination: it returns a value > cap (not
-// necessarily the exact SAD) as soon as the running sum exceeds cap. Using
-// it never changes which candidate wins a minimisation, only how much work
-// losing candidates cost.
+// necessarily the exact SAD) as soon as the running sum exceeds cap after
+// any row. Using it never changes which candidate wins a minimisation,
+// only how much work losing candidates cost.
 func SADCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	if w%8 != 0 || w*h > 256 {
+		return sadCappedScalar(cur, cx, cy, ref, rx, ry, w, h, cap)
+	}
+	// The whole block fits one lane accumulator, so the running sum is one
+	// fold away at every row — same early-exit points as the scalar code.
+	var acc uint64
+	sum := 0
+	for y := 0; y < h; y++ {
+		co := (cy+y)*cur.Stride + cx
+		ro := (ry+y)*ref.Stride + rx
+		c := cur.Pix[co : co+w]
+		r := ref.Pix[ro : ro+w]
+		for x := 0; x+8 <= w; x += 8 {
+			a := load8(c[x:])
+			b := load8(r[x:])
+			acc += absDiffLanes(a&laneLo, b&laneLo) +
+				absDiffLanes((a>>8)&laneLo, (b>>8)&laneLo)
+		}
+		sum = foldLanes(acc)
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+// sadCappedScalar is the scalar reference for SADCapped.
+func sadCappedScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
 	sum := 0
 	for y := 0; y < h; y++ {
 		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
@@ -57,21 +131,58 @@ func SADCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap
 // reference at grid position (hx, hy) = full-pel anchor ×2 plus the motion
 // vector in half-pel units.
 func SADHalfPel(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
-	sum := 0
 	if hx >= 0 && hy >= 0 && hx+2*w-1 < ref.W && hy+2*h-1 < ref.H {
-		for y := 0; y < h; y++ {
-			c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
-			r := ref.Pix[(hy+2*y)*ref.W+hx:]
-			for x, cv := range c {
-				d := int(cv) - int(r[2*x])
-				if d < 0 {
-					d = -d
-				}
-				sum += d
+		if w%8 != 0 || w > 256 {
+			return sadHalfPelInterior(cur, cx, cy, ref, hx, hy, w, h)
+		}
+		sum := 0
+		group := swarRowGroup(w)
+		for y0 := 0; y0 < h; y0 += group {
+			y1 := y0 + group
+			if y1 > h {
+				y1 = h
 			}
+			var acc uint64
+			for y := y0; y < y1; y++ {
+				co := (cy+y)*cur.Stride + cx
+				c := cur.Pix[co : co+w]
+				r := ref.Pix[(hy+2*y)*ref.W+hx:]
+				for x := 0; x+8 <= w; x += 8 {
+					a := load8(c[x:])
+					// Even bytes of the 16 reference bytes are already in
+					// 16-bit lane layout.
+					acc += absDiffLanes(unpack4(uint32(a)), load8(r[2*x:])&laneLo) +
+						absDiffLanes(unpack4(uint32(a>>32)), load8(r[2*x+8:])&laneLo)
+				}
+			}
+			sum += foldLanes(acc)
 		}
 		return sum
 	}
+	return sadHalfPelClamped(cur, cx, cy, ref, hx, hy, w, h)
+}
+
+// sadHalfPelInterior is the scalar fast path for fully interior positions.
+func sadHalfPelInterior(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
+	sum := 0
+	for y := 0; y < h; y++ {
+		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
+		r := ref.Pix[(hy+2*y)*ref.W+hx:]
+		for x, cv := range c {
+			d := int(cv) - int(r[2*x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// sadHalfPelClamped handles positions that touch the border, with edge
+// replication.
+func sadHalfPelClamped(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
+	sum := 0
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			d := int(cur.At(cx+x, cy+y)) - int(ref.AtClamped(hx+2*x, hy+2*y))
@@ -82,6 +193,11 @@ func SADHalfPel(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w
 		}
 	}
 	return sum
+}
+
+// sadHalfPelScalar is the scalar reference for SADHalfPel.
+func sadHalfPelScalar(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
+	return sadHalfPelClamped(cur, cx, cy, ref, hx, hy, w, h)
 }
 
 // SADMV returns the SAD for candidate motion vector mv (half-pel units)
@@ -130,11 +246,31 @@ func SADHalfPelDecimated(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, 
 // (x, y), rounded to nearest.
 func Mean(p *frame.Plane, x, y, w, h int) int {
 	sum := 0
-	for yy := 0; yy < h; yy++ {
-		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
-		for _, v := range row {
-			sum += int(v)
+	if w%8 != 0 || w > 256 {
+		for yy := 0; yy < h; yy++ {
+			row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+			for _, v := range row {
+				sum += int(v)
+			}
 		}
+		return (sum + w*h/2) / (w * h)
+	}
+	group := swarRowGroup(w)
+	for y0 := 0; y0 < h; y0 += group {
+		y1 := y0 + group
+		if y1 > h {
+			y1 = h
+		}
+		var acc uint64
+		for yy := y0; yy < y1; yy++ {
+			o := (y+yy)*p.Stride + x
+			c := p.Pix[o : o+w]
+			for xx := 0; xx+8 <= w; xx += 8 {
+				a := load8(c[xx:])
+				acc += a&laneLo + (a>>8)&laneLo
+			}
+		}
+		sum += foldLanes(acc)
 	}
 	return (sum + w*h/2) / (w * h)
 }
@@ -145,6 +281,51 @@ func Mean(p *frame.Plane, x, y, w, h int) int {
 func IntraSAD(p *frame.Plane, x, y, w, h int) int {
 	mu := Mean(p, x, y, w, h)
 	sum := 0
+	if w%8 != 0 || w > 256 {
+		for yy := 0; yy < h; yy++ {
+			row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+			for _, v := range row {
+				d := int(v) - mu
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		return sum
+	}
+	mub := uint64(mu) * laneOnes
+	group := swarRowGroup(w)
+	for y0 := 0; y0 < h; y0 += group {
+		y1 := y0 + group
+		if y1 > h {
+			y1 = h
+		}
+		var acc uint64
+		for yy := y0; yy < y1; yy++ {
+			o := (y+yy)*p.Stride + x
+			c := p.Pix[o : o+w]
+			for xx := 0; xx+8 <= w; xx += 8 {
+				a := load8(c[xx:])
+				acc += absDiffLanes(a&laneLo, mub) + absDiffLanes((a>>8)&laneLo, mub)
+			}
+		}
+		sum += foldLanes(acc)
+	}
+	return sum
+}
+
+// intraSADScalar is the scalar reference for IntraSAD.
+func intraSADScalar(p *frame.Plane, x, y, w, h int) int {
+	sum := 0
+	mean := 0
+	for yy := 0; yy < h; yy++ {
+		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+		for _, v := range row {
+			mean += int(v)
+		}
+	}
+	mu := (mean + w*h/2) / (w * h)
 	for yy := 0; yy < h; yy++ {
 		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
 		for _, v := range row {

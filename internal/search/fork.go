@@ -1,0 +1,35 @@
+package search
+
+// Forker is implemented by Searchers that support the parallel encoder's
+// worker model: Fork returns an instance the worker goroutine owns
+// exclusively for one frame, and Join merges any state that instance
+// accumulated (statistics, adaptation) back into the parent after the
+// frame's analysis completes.
+//
+// Stateless searchers return themselves from Fork and make Join a no-op.
+// Stateful searchers whose state is merely additive statistics (core.ACBM)
+// fork a fresh instance and add the counters back in Join; the merge must
+// be order-independent so the encode stays deterministic. Searchers with
+// control state that feeds back into the search itself (core.Budgeted's
+// complexity servo) must NOT implement Forker — the encoder falls back to
+// sequential analysis for them, which is always correct.
+type Forker interface {
+	Searcher
+	// Fork returns a Searcher for exclusive use by one worker goroutine.
+	Fork() Searcher
+	// Join merges state accumulated by a Searcher previously returned from
+	// Fork on this instance. Called once per fork, after analysis.
+	Join(Searcher)
+}
+
+// Fork implements Forker. FSBM is stateless, so the instance is shared.
+func (f *FSBM) Fork() Searcher { return f }
+
+// Join implements Forker (no state to merge).
+func (f *FSBM) Join(Searcher) {}
+
+// Fork implements Forker. PBM is stateless, so the instance is shared.
+func (p *PBM) Fork() Searcher { return p }
+
+// Join implements Forker (no state to merge).
+func (p *PBM) Join(Searcher) {}

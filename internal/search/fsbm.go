@@ -20,28 +20,26 @@ func (f *FSBM) Name() string {
 	return "FSBM"
 }
 
-// Search implements Searcher. Candidates are scanned in raster order with
-// ties broken toward the shorter vector, so the result is deterministic
-// and matches the exhaustive minimum of the SAD surface.
+// Search implements Searcher. Candidates are scanned centre-outward (the
+// spiral order of spiral.go) with ties broken toward the shorter vector;
+// the result is deterministic, matches the exhaustive minimum of the SAD
+// surface, and is identical — winner and Points — to a raster scan.
 func (f *FSBM) Search(in *Input) Result {
 	best := mvfield.Zero
 	bestSAD := -1
 	pts := 0
-	for v := -in.Range; v <= in.Range; v++ {
-		for u := -in.Range; u <= in.Range; u++ {
-			mv := mvfield.FromFullPel(u, v)
-			if !in.Legal(mv) {
-				continue
-			}
-			pts++
-			if bestSAD < 0 {
-				best, bestSAD = mv, in.SAD(mv)
-				continue
-			}
-			s := in.sadCapped(mv, bestSAD)
-			if better(s, mv, bestSAD, best) {
-				best, bestSAD = mv, s
-			}
+	for _, mv := range spiralOffsets(in.Range) {
+		if !in.Legal(mv) {
+			continue
+		}
+		pts++
+		if bestSAD < 0 {
+			best, bestSAD = mv, in.SAD(mv)
+			continue
+		}
+		s := in.sadCapped(mv, bestSAD)
+		if better(s, mv, bestSAD, best) {
+			best, bestSAD = mv, s
 		}
 	}
 	if bestSAD < 0 {
