@@ -298,6 +298,30 @@ func benchEncodeFrameWorkers(b *testing.B, workers int) {
 func BenchmarkEncodeFrame_Workers1(b *testing.B) { benchEncodeFrameWorkers(b, 1) }
 func BenchmarkEncodeFrame_Workers4(b *testing.B) { benchEncodeFrameWorkers(b, 4) }
 
+// benchEncodeSequence compares the serial EncodeFrame loop with the
+// cross-frame pipeline (entropy coding of frame n overlapped with
+// analysis of frame n+1). Both produce byte-identical streams; only the
+// wall clock may differ, reported as frames per second.
+func benchEncodeSequence(b *testing.B, workers int, pipeline bool) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := codec.EncodeSequence(codec.Config{
+			Qp: 16, Searcher: core.New(core.DefaultParams),
+			Workers: workers, Pipeline: pipeline,
+		}, frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkEncodeSequence_Serial(b *testing.B)            { benchEncodeSequence(b, 1, false) }
+func BenchmarkEncodeSequence_Pipeline(b *testing.B)          { benchEncodeSequence(b, 1, true) }
+func BenchmarkEncodeSequence_Workers4(b *testing.B)          { benchEncodeSequence(b, 4, false) }
+func BenchmarkEncodeSequence_Workers4_Pipeline(b *testing.B) { benchEncodeSequence(b, 4, true) }
+
 // BenchmarkSADCapped_Spiral measures the full search with the
 // centre-outward scan: the spiral visits near-zero vectors first, so
 // SADCapped's cap is near-minimal for almost all of the (2p+1)²

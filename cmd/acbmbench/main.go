@@ -14,7 +14,9 @@
 //	acbmbench -alpha 2000 -beta 4        # explore the quality/cost knobs
 //	acbmbench -experiment speed -workers 4 -json BENCH_speed.json
 //	                                     # encoder wall-clock: ns/frame, fps,
-//	                                     # points/MB per searcher × workers
+//	                                     # the analysis/entropy phase split and
+//	                                     # points/MB per searcher × workers ×
+//	                                     # pipeline on/off
 package main
 
 import (

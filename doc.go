@@ -18,13 +18,27 @@
 // equivalence tests in internal/codec pin this):
 //
 //   - internal/metrics runs the SAD family on SWAR kernels — 8 pixels per
-//     uint64 load, split into 16-bit lanes — with the scalar loops kept
-//     as differential-test references.
+//     uint64 load, split into 16-bit lanes, with an unrolled fast path for
+//     the 16-wide macroblock case — with the scalar loops kept as
+//     differential-test references.
 //   - search.FSBM scans candidates centre-outward ("spiral", sorted by L1
 //     then raster order), so the SADCapped early-termination cap is
 //     near-minimal after the first ring; the visit order is chosen so the
 //     winner is identical to the raster scan's under the shorter-vector
 //     tie-break.
+//   - internal/bitstream runs word-at-a-time: the Writer gathers bits in
+//     a 64-bit accumulator and the entropy layer packs whole syntax
+//     elements — Exp-Golomb codes, (run, level, last) TCOEF events, MVD
+//     pairs — into single WriteBits calls. The original per-bit engine is
+//     kept as the differential/fuzz-test reference.
+//   - internal/dct restructures the separable float DCT around hoisted
+//     row conversion and contiguous basis tables, with a DC-only inverse
+//     fast path; every reordering preserves the reference kernels'
+//     floating-point operation order, so int32(math.Round) outputs are
+//     bit-identical (enforced by differential tests against the kept
+//     reference kernels). All-zero residual blocks skip the transform and
+//     quantiser entirely, and uncoded blocks reconstruct by copying their
+//     prediction — exact by construction.
 //   - internal/codec analyses macroblocks on a wavefront worker pool
 //     (codec.Config.Workers): motion estimation, mode decision,
 //     transform/quantisation and reconstruction are scheduled per
@@ -34,8 +48,16 @@
 //     concurrency-safe and merges its stats additively in Join), scratch
 //     is recycled through sync.Pools, and entropy coding stays serial —
 //     bitstreams are bit-identical for every worker count.
+//   - codec.Pipeline (codec.Config.Pipeline in EncodeSequence) overlaps
+//     the serial entropy coding of frame n with the analysis of frame
+//     n+1: analysis of n+1 needs only frame n's reconstruction and motion
+//     field, both final when frame n's analysis ends, while the entropy
+//     coder — whose (arithmetic) state spans frames — consumes jobs
+//     strictly in frame order on one writer goroutine. One frame is in
+//     flight; output stays byte-identical for every worker count.
 //
 // `make bench-speed` (or `acbmbench -experiment speed -json
 // BENCH_speed.json`) records the encoder's speed trajectory — ns/frame,
-// fps and points/block per searcher and worker count.
+// fps, the analysis/entropy phase split and points/block per searcher,
+// worker count and pipeline mode.
 package repro

@@ -1,9 +1,17 @@
 // Package bitstream provides MSB-first bit-level I/O used by the entropy
 // layer (internal/entropy) and the hybrid codec (internal/codec). Writers
 // accumulate into an internal buffer; readers consume a byte slice.
+//
+// Both sides run word-at-a-time: the Writer gathers bits into a 64-bit
+// accumulator and flushes eight bytes at once, and the Reader extracts
+// whole fields with one or two word loads, so WriteBits/ReadBits cost is
+// independent of the field width instead of linear in it. The original
+// per-bit implementations are kept in reference.go and pinned against
+// this engine by differential and fuzz tests.
 package bitstream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -12,21 +20,24 @@ import (
 var ErrOutOfBits = errors.New("bitstream: out of bits")
 
 // Writer accumulates bits MSB-first. The zero value is ready to use.
+//
+// Pending bits live right-aligned in a 64-bit accumulator; WriteBits
+// appends a whole field with one shift-or and the accumulator is flushed
+// to the byte buffer eight bytes at a time when it fills.
 type Writer struct {
 	buf  []byte
-	cur  uint8
-	nCur uint // bits currently held in cur (0..7)
-	n    int  // total bits written
+	acc  uint64 // pending bits, right-aligned (bit nAcc-1 is the oldest)
+	nAcc uint   // bits currently held in acc (0..63)
+	n    int    // total bits written
 }
 
 // WriteBit appends a single bit (0 or 1).
 func (w *Writer) WriteBit(b uint) {
-	w.cur = w.cur<<1 | uint8(b&1)
-	w.nCur++
+	w.acc = w.acc<<1 | uint64(b&1)
+	w.nAcc++
 	w.n++
-	if w.nCur == 8 {
-		w.buf = append(w.buf, w.cur)
-		w.cur, w.nCur = 0, 0
+	if w.nAcc == 64 {
+		w.flushAcc()
 	}
 }
 
@@ -36,9 +47,26 @@ func (w *Writer) WriteBits(v uint64, n uint) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
 	}
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(uint(v >> uint(i) & 1))
+	v &= uint64(1)<<n - 1 // n==64: shift yields 0, mask is all ones
+	free := 64 - w.nAcc
+	if n < free {
+		w.acc = w.acc<<n | v
+		w.nAcc += n
+	} else {
+		spill := n - free
+		w.acc = w.acc<<(free&63) | v>>spill // acc now holds exactly 64 bits
+		w.nAcc = 64
+		w.flushAcc()
+		w.acc = v & (uint64(1)<<spill - 1)
+		w.nAcc = spill
 	}
+	w.n += int(n)
+}
+
+// flushAcc drains a full 64-bit accumulator into the byte buffer.
+func (w *Writer) flushAcc() {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, w.acc)
+	w.acc, w.nAcc = 0, 0
 }
 
 // Len returns the total number of bits written so far.
@@ -47,10 +75,12 @@ func (w *Writer) Len() int { return w.n }
 // Bytes returns the written bits padded with zero bits to a byte boundary.
 // The writer remains usable; Bytes may be called repeatedly.
 func (w *Writer) Bytes() []byte {
-	out := make([]byte, len(w.buf), len(w.buf)+1)
+	out := make([]byte, len(w.buf), len(w.buf)+8)
 	copy(out, w.buf)
-	if w.nCur > 0 {
-		out = append(out, w.cur<<(8-w.nCur))
+	if w.nAcc > 0 {
+		var tail [8]byte
+		binary.BigEndian.PutUint64(tail[:], w.acc<<(64-w.nAcc))
+		out = append(out, tail[:(w.nAcc+7)/8]...)
 	}
 	return out
 }
@@ -58,7 +88,7 @@ func (w *Writer) Bytes() []byte {
 // Reset discards all written bits.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
-	w.cur, w.nCur, w.n = 0, 0, 0
+	w.acc, w.nAcc, w.n = 0, 0, 0
 }
 
 // Reader consumes bits MSB-first from a byte slice.
@@ -81,19 +111,50 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits returns the next n bits as an unsigned integer, MSB first.
-// n must be in [0, 64].
+// n must be in [0, 64]. On ErrOutOfBits the position is left unchanged.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
 	}
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		v = v<<1 | uint64(b)
+	if r.pos+int(n) > 8*len(r.data) {
+		return 0, ErrOutOfBits
 	}
+	i := r.pos >> 3
+	off := uint(r.pos & 7)
+	if i+8 <= len(r.data) {
+		// One aligned-enough word load covers the field; a field that
+		// straddles the ninth byte takes its low bits from data[i+8]
+		// (which the length check above guarantees exists).
+		word := binary.BigEndian.Uint64(r.data[i:])
+		v := word << off >> (64 - n) // n==0: shift by 64 yields 0
+		if spill := off + n; spill > 64 {
+			v |= uint64(r.data[i+8] >> (72 - spill))
+		}
+		r.pos += int(n)
+		return v, nil
+	}
+	// Tail path (fewer than 8 bytes remain): assemble byte by byte.
+	var v uint64
+	pos := r.pos
+	if off != 0 && n > 0 {
+		take := 8 - off
+		if take > n {
+			take = n
+		}
+		v = uint64(r.data[pos>>3]>>(8-off-take)) & (uint64(1)<<take - 1)
+		n -= take
+		pos += int(take)
+	}
+	for n >= 8 {
+		v = v<<8 | uint64(r.data[pos>>3])
+		n -= 8
+		pos += 8
+	}
+	if n > 0 {
+		v = v<<n | uint64(r.data[pos>>3]>>(8-n))
+		pos += int(n)
+	}
+	r.pos = pos
 	return v, nil
 }
 

@@ -1,0 +1,82 @@
+package bitstream
+
+// Reference per-bit engine: the original bit-at-a-time Writer/Reader this
+// package shipped before the word-based rewrite. It is kept as the oracle
+// for the differential and fuzz tests in reference_test.go, exactly like
+// the scalar SAD kernels kept next to the SWAR ones in internal/metrics.
+// It must not be used on hot paths.
+
+// RefWriter is the per-bit reference implementation of Writer.
+type RefWriter struct {
+	buf  []byte
+	cur  uint8
+	nCur uint // bits currently held in cur (0..7)
+	n    int  // total bits written
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *RefWriter) WriteBit(b uint) {
+	w.cur = w.cur<<1 | uint8(b&1)
+	w.nCur++
+	w.n++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the n least-significant bits of v, most significant
+// first, one bit at a time. n must be in [0, 64].
+func (w *RefWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// Len returns the total number of bits written so far.
+func (w *RefWriter) Len() int { return w.n }
+
+// Bytes returns the written bits padded with zero bits to a byte boundary.
+func (w *RefWriter) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nCur > 0 {
+		out = append(out, w.cur<<(8-w.nCur))
+	}
+	return out
+}
+
+// RefReader is the per-bit reference implementation of Reader.
+type RefReader struct {
+	data []byte
+	pos  int
+}
+
+// NewRefReader returns a per-bit reference reader over data.
+func NewRefReader(data []byte) *RefReader { return &RefReader{data: data} }
+
+// ReadBit returns the next bit.
+func (r *RefReader) ReadBit() (uint, error) {
+	if r.pos >= 8*len(r.data) {
+		return 0, ErrOutOfBits
+	}
+	b := r.data[r.pos>>3] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return uint(b), nil
+}
+
+// ReadBits returns the next n bits, assembled one bit at a time.
+func (r *RefReader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Pos returns the current bit position.
+func (r *RefReader) Pos() int { return r.pos }

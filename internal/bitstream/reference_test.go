@@ -1,0 +1,192 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// opStream derives a deterministic sequence of (value, width) write
+// operations from a byte string, covering widths 0..64.
+func opStream(seed []byte, maxOps int) (vals []uint64, widths []uint) {
+	rng := rand.New(rand.NewSource(int64(len(seed))))
+	for i := 0; i < maxOps && i < len(seed); i++ {
+		w := uint(seed[i]) % 65
+		v := rng.Uint64()
+		if i%3 == 0 { // mix in small values, the entropy layer's common case
+			v &= 0xFF
+		}
+		vals = append(vals, v)
+		widths = append(widths, w)
+	}
+	return vals, widths
+}
+
+// TestWriterMatchesReference drives the word-based Writer and the per-bit
+// RefWriter through identical operation sequences — every width 0..64,
+// boundary-straddling accumulator states, interleaved WriteBit calls —
+// and demands identical Len and Bytes at every step.
+func TestWriterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var w Writer
+		var ref RefWriter
+		ops := rng.Intn(60) + 1
+		for op := 0; op < ops; op++ {
+			if rng.Intn(4) == 0 {
+				b := uint(rng.Intn(2))
+				w.WriteBit(b)
+				ref.WriteBit(b)
+			} else {
+				n := uint(rng.Intn(65))
+				v := rng.Uint64()
+				w.WriteBits(v, n)
+				ref.WriteBits(v, n)
+			}
+			if w.Len() != ref.Len() {
+				t.Fatalf("trial %d op %d: Len %d != ref %d", trial, op, w.Len(), ref.Len())
+			}
+			if !bytes.Equal(w.Bytes(), ref.Bytes()) {
+				t.Fatalf("trial %d op %d: Bytes diverge\n got  %x\n want %x",
+					trial, op, w.Bytes(), ref.Bytes())
+			}
+		}
+	}
+}
+
+// TestWriterAccumulatorBoundaries pins the exact accumulator-full cases:
+// writes that land on, just before and just after the 64-bit boundary.
+func TestWriterAccumulatorBoundaries(t *testing.T) {
+	for _, pre := range []uint{0, 1, 7, 8, 62, 63} {
+		for _, n := range []uint{0, 1, 2, 63, 64} {
+			var w Writer
+			var ref RefWriter
+			w.WriteBits(^uint64(0), pre)
+			ref.WriteBits(^uint64(0), pre)
+			w.WriteBits(0xA5A5A5A5DEADBEEF, n)
+			ref.WriteBits(0xA5A5A5A5DEADBEEF, n)
+			w.WriteBits(1, 3)
+			ref.WriteBits(1, 3)
+			if !bytes.Equal(w.Bytes(), ref.Bytes()) {
+				t.Errorf("pre=%d n=%d: %x != ref %x", pre, n, w.Bytes(), ref.Bytes())
+			}
+		}
+	}
+}
+
+// TestReaderMatchesReference reads identical field sequences through the
+// word-based Reader and the per-bit RefReader over shared random data,
+// including the out-of-bits boundary.
+func TestReaderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, rng.Intn(40))
+		rng.Read(data)
+		r := NewReader(data)
+		ref := NewRefReader(data)
+		for op := 0; op < 30; op++ {
+			n := uint(rng.Intn(65))
+			got, errGot := r.ReadBits(n)
+			want, errWant := ref.ReadBits(n)
+			if (errGot == nil) != (errWant == nil) {
+				t.Fatalf("trial %d op %d n=%d: err %v vs ref %v", trial, op, n, errGot, errWant)
+			}
+			if errGot != nil {
+				break // positions may differ after a failed read; stop here
+			}
+			if got != want {
+				t.Fatalf("trial %d op %d n=%d: %#x != ref %#x", trial, op, n, got, want)
+			}
+			if r.Pos() != ref.Pos() {
+				t.Fatalf("trial %d op %d: Pos %d != ref %d", trial, op, r.Pos(), ref.Pos())
+			}
+		}
+	}
+}
+
+// FuzzWriterReaderRoundTrip fuzzes arbitrary write sequences through both
+// engines and then reads everything back through both readers: the four
+// corners (word writer × word reader, word × ref, ref × word, ref × ref)
+// must all agree.
+func FuzzWriterReaderRoundTrip(f *testing.F) {
+	f.Add([]byte{64, 1, 0, 33, 8, 17})
+	f.Add([]byte{63, 63, 63, 2})
+	f.Add([]byte("bitstream"))
+	f.Fuzz(func(t *testing.T, seed []byte) {
+		vals, widths := opStream(seed, 64)
+		var w Writer
+		var ref RefWriter
+		for i := range vals {
+			w.WriteBits(vals[i], widths[i])
+			ref.WriteBits(vals[i], widths[i])
+		}
+		if !bytes.Equal(w.Bytes(), ref.Bytes()) {
+			t.Fatalf("writer bytes diverge: %x vs %x", w.Bytes(), ref.Bytes())
+		}
+		r := NewReader(w.Bytes())
+		rr := NewRefReader(ref.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(widths[i])
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			want, err := rr.ReadBits(widths[i])
+			if err != nil {
+				t.Fatalf("op %d (ref): %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("op %d width %d: %#x != ref %#x", i, widths[i], got, want)
+			}
+			mask := uint64(1)<<widths[i] - 1
+			if widths[i] == 64 {
+				mask = ^uint64(0)
+			}
+			if got != vals[i]&mask {
+				t.Fatalf("op %d width %d: read %#x, wrote %#x", i, widths[i], got, vals[i]&mask)
+			}
+		}
+	})
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	// The entropy layer's realistic mix: many short fields, a few long.
+	widths := [8]uint{3, 5, 1, 9, 7, 2, 13, 32}
+	b.SetBytes(9) // 72 bits per inner loop
+	b.ReportAllocs()
+	var w Writer
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j, n := range widths {
+			w.WriteBits(uint64(j)*0x9E3779B97F4A7C15, n)
+		}
+	}
+}
+
+func BenchmarkWriteBitsRef(b *testing.B) {
+	widths := [8]uint{3, 5, 1, 9, 7, 2, 13, 32}
+	b.SetBytes(9)
+	for i := 0; i < b.N; i++ {
+		var w RefWriter
+		for j, n := range widths {
+			w.WriteBits(uint64(j)*0x9E3779B97F4A7C15, n)
+		}
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	var w Writer
+	for i := 0; i < 1000; i++ {
+		w.WriteBits(uint64(i)*0x9E3779B97F4A7C15, uint(i%33)+1)
+	}
+	data := w.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(data)
+		for j := 0; j < 1000; j++ {
+			if _, err := r.ReadBits(uint(j%33) + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

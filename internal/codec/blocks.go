@@ -42,12 +42,36 @@ func predBlock(b *dct.Block, ref *frame.Interpolated, x, y int, mv mvfield.MV) {
 	}
 }
 
+// storePredBlock writes the motion-compensated prediction for an uncoded
+// block straight into p as bytes. The reconstruction of an uncoded block
+// is exactly its prediction and prediction samples are already 8-bit, so
+// this equals predBlock + reconInterBlock(coded=false) + storeBlock while
+// skipping both int32 conversions and the clamp.
+func storePredBlock(p *frame.Plane, x, y int, ref *frame.Interpolated, mv mvfield.MV) {
+	var tmp [64]uint8
+	ref.Block(tmp[:], 2*x+mv.X, 2*y+mv.Y, 8, 8)
+	for r := 0; r < 8; r++ {
+		copy(p.Pix[(y+r)*p.Stride+x:(y+r)*p.Stride+x+8], tmp[r*8:r*8+8])
+	}
+}
+
 // encodeInterBlock transforms and quantises the residual cur−pred.
 // It returns the quantised levels and whether any level is non-zero.
+// A perfect prediction (all-zero residual, common on static content)
+// skips the transform and quantiser entirely: the DCT of a zero block is
+// zero and the dead-zone quantiser maps zero to zero, so the outcome is
+// exact by construction.
 func encodeInterBlock(levels *dct.Block, cur, pred *dct.Block, qp int) bool {
 	var resid dct.Block
+	zero := true
 	for i := range resid {
-		resid[i] = cur[i] - pred[i]
+		d := cur[i] - pred[i]
+		resid[i] = d
+		zero = zero && d == 0
+	}
+	if zero {
+		*levels = dct.Block{}
+		return false
 	}
 	dct.Forward(&resid, &resid)
 	dct.QuantizeInter(levels, &resid, qp)

@@ -72,6 +72,13 @@ type Config struct {
 	// this target at Config.FPS. 0 keeps the constant Qp of the paper's
 	// experiments.
 	TargetKbps float64
+	// Pipeline makes EncodeSequence overlap the serial entropy coding of
+	// frame n with the analysis of frame n+1 (one frame in flight; see
+	// codec.Pipeline). The bitstream and statistics are byte-identical to
+	// a serial encode for every Workers value. Rate-controlled encodes
+	// (TargetKbps > 0) fall back to serial: the quantiser servo needs
+	// frame n's bit count before frame n+1's analysis may start.
+	Pipeline bool
 	// Workers sets how many goroutines analyse macroblocks concurrently
 	// (motion estimation, mode decision, transform/quantisation and
 	// reconstruction, scheduled per anti-diagonal wavefront; entropy

@@ -288,19 +288,12 @@ func (d *Decoder) decodeInterMB(recon *frame.Frame, curField *mvfield.Field, qp,
 	if err != nil {
 		return err
 	}
-	if cod { // skip
-		var pred, rec dct.Block
+	if cod { // skip: the reconstruction is the zero-MV prediction, copied as bytes
 		for _, off := range lumaBlockOffsets {
-			predBlock(&pred, d.reconY, x+off[0], y+off[1], mvfield.Zero)
-			reconInterBlock(&rec, &pred, nil, false, qp)
-			storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+			storePredBlock(recon.Y, x+off[0], y+off[1], d.reconY, mvfield.Zero)
 		}
-		predBlock(&pred, d.reconCb, cx, cy, mvfield.Zero)
-		reconInterBlock(&rec, &pred, nil, false, qp)
-		storeBlock(recon.Cb, cx, cy, &rec)
-		predBlock(&pred, d.reconCr, cx, cy, mvfield.Zero)
-		reconInterBlock(&rec, &pred, nil, false, qp)
-		storeBlock(recon.Cr, cx, cy, &rec)
+		storePredBlock(recon.Cb, cx, cy, d.reconCb, mvfield.Zero)
+		storePredBlock(recon.Cr, cx, cy, d.reconCr, mvfield.Zero)
 		curField.Set(mbx, mby, mvfield.Zero)
 		return nil
 	}
@@ -340,35 +333,33 @@ func (d *Decoder) decodeInterMB(recon *frame.Frame, curField *mvfield.Field, qp,
 	}
 	cmv := chromaMV(mv)
 	var levels, pred, rec dct.Block
+	codeBlock := func(p *frame.Plane, bx, by int, ip *frame.Interpolated, bmv mvfield.MV, c bool) error {
+		if !c { // uncoded: reconstruction = prediction, copied as bytes
+			storePredBlock(p, bx, by, ip, bmv)
+			return nil
+		}
+		if err := readCoeffs(d.sr, &levels); err != nil {
+			return err
+		}
+		predBlock(&pred, ip, bx, by, bmv)
+		reconInterBlock(&rec, &pred, &levels, true, qp)
+		storeBlock(p, bx, by, &rec)
+		return nil
+	}
 	for i, off := range lumaBlockOffsets {
 		levels = dct.Block{}
-		if coded[i] {
-			if err := readCoeffs(d.sr, &levels); err != nil {
-				return err
-			}
-		}
-		predBlock(&pred, d.reconY, x+off[0], y+off[1], mv)
-		reconInterBlock(&rec, &pred, &levels, coded[i], qp)
-		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
-	}
-	levels = dct.Block{}
-	if coded[4] {
-		if err := readCoeffs(d.sr, &levels); err != nil {
+		if err := codeBlock(recon.Y, x+off[0], y+off[1], d.reconY, mv, coded[i]); err != nil {
 			return err
 		}
 	}
-	predBlock(&pred, d.reconCb, cx, cy, cmv)
-	reconInterBlock(&rec, &pred, &levels, coded[4], qp)
-	storeBlock(recon.Cb, cx, cy, &rec)
 	levels = dct.Block{}
-	if coded[5] {
-		if err := readCoeffs(d.sr, &levels); err != nil {
-			return err
-		}
+	if err := codeBlock(recon.Cb, cx, cy, d.reconCb, cmv, coded[4]); err != nil {
+		return err
 	}
-	predBlock(&pred, d.reconCr, cx, cy, cmv)
-	reconInterBlock(&rec, &pred, &levels, coded[5], qp)
-	storeBlock(recon.Cr, cx, cy, &rec)
+	levels = dct.Block{}
+	if err := codeBlock(recon.Cr, cx, cy, d.reconCr, cmv, coded[5]); err != nil {
+		return err
+	}
 
 	curField.Set(mbx, mby, mv)
 	return nil

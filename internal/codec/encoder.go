@@ -3,6 +3,7 @@ package codec
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dct"
 	"repro/internal/frame"
@@ -87,7 +88,21 @@ type Encoder struct {
 	prevField *mvfield.Field
 	frames    int
 
+	// Cumulative wall clock per phase. In pipelined encodes the two
+	// fields are owned by different goroutines (analysis by the caller,
+	// entropy by the writer) and only read after Flush.
+	analysisTime time.Duration
+	entropyTime  time.Duration
+
 	stats SequenceStats
+}
+
+// PhaseTimes returns the cumulative wall clock spent in phase 1
+// (macroblock analysis: motion search, transforms, reconstruction) and
+// phase 2 (entropy coding and statistics). In pipeline mode the phases
+// overlap, so the sum can exceed the encode's wall-clock time.
+func (e *Encoder) PhaseTimes() (analysis, entropy time.Duration) {
+	return e.analysisTime, e.entropyTime
 }
 
 // NewEncoder returns an encoder for the given configuration.
@@ -148,47 +163,140 @@ func (e *Encoder) Reconstruction() *frame.Frame {
 	return e.recon.Clone()
 }
 
-// EncodeFrame appends one frame to the stream and returns its statistics.
-func (e *Encoder) EncodeFrame(f *frame.Frame) (FrameStats, error) {
+// frameJob carries one analysed frame from phase 1 (analysis) to phase 2
+// (entropy coding). Everything the write phase needs is captured here, so
+// the two phases can run on different goroutines for *different* frames:
+// entropy coding of frame n only reads its job, while analysis of frame
+// n+1 reads the encoder's reference state — which is final once the job
+// for frame n has been built (see pipeline.go for the overlap contract).
+type frameJob struct {
+	index    int            // frame number within the sequence
+	src      *frame.Frame   // source frame (PSNR); must not change until written
+	recon    *frame.Frame   // this frame's deblocked reconstruction (PSNR)
+	results  []mbResult     // per-macroblock analysis output (pooled)
+	curField *mvfield.Field // P-frames: final motion field for MVD prediction
+	intra    bool
+	qp       int
+}
+
+// analyzeFrameJob runs phase 1 for f: motion estimation, mode decision,
+// transform/quantisation and reconstruction for every macroblock, then
+// installs the new reconstruction as the prediction reference. It touches
+// no entropy state.
+func (e *Encoder) analyzeFrameJob(f *frame.Frame) (*frameJob, error) {
 	if e.finished {
-		return FrameStats{}, fmt.Errorf("codec: encoder finalised by Bitstream; cannot add frames")
+		return nil, fmt.Errorf("codec: encoder finalised by Bitstream; cannot add frames")
 	}
 	if e.frames == 0 {
 		if err := validateSize(f.Size()); err != nil {
-			return FrameStats{}, err
+			return nil, err
 		}
 		e.size = f.Size()
-		e.writeSequenceHeader()
 	} else if f.Size() != e.size {
-		return FrameStats{}, fmt.Errorf("codec: frame size changed from %v to %v", e.size, f.Size())
+		return nil, fmt.Errorf("codec: frame size changed from %v to %v", e.size, f.Size())
 	}
-
 	if e.rc != nil {
 		e.curQp = e.rc.currentQp()
 	}
-	startBits := e.sw.Len()
-	e.sw.Flag(sctxMore, true)
+	start := time.Now()
 	intra := e.frames == 0 ||
 		(e.cfg.IntraPeriod > 0 && e.frames%e.cfg.IntraPeriod == 0)
-	var fs FrameStats
+	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
+	j := &frameJob{index: e.frames, src: f, intra: intra, qp: e.curQp}
+	recon := frame.NewFrame(e.size)
+	j.results = getMBResults(cols * rows)
 	if intra {
-		fs = e.encodeIntraFrame(f)
+		e.analyzeFrame(f, recon, nil, j.results, true)
+		e.refreshReference(recon)
+		e.prevField = mvfield.NewField(cols, rows) // all-zero motion
 	} else {
-		fs = e.encodeInterFrame(f)
+		j.curField = mvfield.NewField(cols, rows)
+		e.analyzeFrame(f, recon, j.curField, j.results, false)
+		e.refreshReference(recon)
+		e.prevField = j.curField
 	}
+	j.recon = e.recon // the deblocked reconstruction
+	e.frames++
+	e.analysisTime += time.Since(start)
+	return j, nil
+}
+
+// writeFrameJob runs phase 2 for an analysed frame: the serial entropy
+// coding of the stored results, plus bit accounting and PSNR statistics.
+// Jobs must be written in frame order (the entropy coder is stateful).
+func (e *Encoder) writeFrameJob(j *frameJob) FrameStats {
+	start := time.Now()
+	if j.index == 0 {
+		e.writeSequenceHeader()
+	}
+	startBits := e.sw.Len()
+	e.sw.Flag(sctxMore, true)
+	fs := e.writeFrameBody(j)
 	fs.Bits = e.sw.Len() - startBits
-	fs.Qp = e.curQp
+	fs.Qp = j.qp
+	e.entropyTime += time.Since(start)
+
+	py, _ := frame.PSNR(j.src.Y, j.recon.Y)
+	pcb, _ := frame.PSNR(j.src.Cb, j.recon.Cb)
+	pcr, _ := frame.PSNR(j.src.Cr, j.recon.Cr)
+	fs.PSNRY, fs.PSNRCb, fs.PSNRCr = py, pcb, pcr
+
+	e.stats.Frames = append(e.stats.Frames, fs)
+	return fs
+}
+
+// writeFrameBody serialises the frame header and every macroblock of j,
+// returning the type and macroblock-mode statistics. The results slab is
+// returned to the pool. Shared by the stream writer (writeFrameJob) and
+// the packetized transport (EncodePackets), which frame the body
+// differently.
+func (e *Encoder) writeFrameBody(j *frameJob) FrameStats {
+	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
+	fs := FrameStats{Macroblocks: cols * rows}
+	if j.intra {
+		fs.Type = IFrame
+		fs.IntraMBs = cols * rows
+		e.writeFrameHeader(IFrame, j.qp)
+		for i := range j.results {
+			e.writeIntraMB(&j.results[i])
+		}
+	} else {
+		fs.Type = PFrame
+		e.writeFrameHeader(PFrame, j.qp)
+		for mby := 0; mby < rows; mby++ {
+			for mbx := 0; mbx < cols; mbx++ {
+				r := &j.results[mby*cols+mbx]
+				e.writeInterMB(r, j.curField, mbx, mby)
+				fs.SearchPoints += r.points
+				switch r.mode {
+				case mbSkip:
+					fs.SkipMBs++
+				case mbInter:
+					fs.InterMBs++
+					if r.four {
+						fs.Inter4VMBs++
+					}
+				case mbIntra:
+					fs.IntraMBs++
+				}
+			}
+		}
+	}
+	putMBResults(j.results)
+	j.results = nil
+	return fs
+}
+
+// EncodeFrame appends one frame to the stream and returns its statistics.
+func (e *Encoder) EncodeFrame(f *frame.Frame) (FrameStats, error) {
+	j, err := e.analyzeFrameJob(f)
+	if err != nil {
+		return FrameStats{}, err
+	}
+	fs := e.writeFrameJob(j)
 	if e.rc != nil {
 		e.rc.observe(fs.Bits)
 	}
-
-	py, _ := frame.PSNR(f.Y, e.recon.Y)
-	pcb, _ := frame.PSNR(f.Cb, e.recon.Cb)
-	pcr, _ := frame.PSNR(f.Cr, e.recon.Cr)
-	fs.PSNRY, fs.PSNRCb, fs.PSNRCr = py, pcb, pcr
-
-	e.frames++
-	e.stats.Frames = append(e.stats.Frames, fs)
 	return fs, nil
 }
 
@@ -200,13 +308,13 @@ func (e *Encoder) writeSequenceHeader() {
 	e.sw.BeginData()
 }
 
-func (e *Encoder) writeFrameHeader(t FrameType) {
+func (e *Encoder) writeFrameHeader(t FrameType, qp int) {
 	if t == IFrame {
 		e.sw.Bits(0, 1)
 	} else {
 		e.sw.Bits(1, 1)
 	}
-	e.sw.Bits(uint64(e.curQp), 5)
+	e.sw.Bits(uint64(qp), 5)
 	if e.cfg.Deblock {
 		e.sw.Bits(1, 1)
 	} else {
@@ -235,9 +343,7 @@ func writeCoeffs(sw symWriter, b *dct.Block) {
 			run++
 			continue
 		}
-		sw.UE(sctxRun, uint32(run))
-		sw.SE(sctxLevel, c)
-		sw.Flag(sctxLast, i == lastNZ)
+		sw.RunLevelLast(uint32(run), c, i == lastNZ)
 		run = 0
 	}
 }
@@ -257,51 +363,38 @@ func (e *Encoder) refreshReference(recon *frame.Frame) {
 	e.reconCr = frame.InterpolatePooled(recon.Cr)
 }
 
-func (e *Encoder) encodeIntraFrame(f *frame.Frame) FrameStats {
-	e.writeFrameHeader(IFrame)
-	recon := frame.NewFrame(e.size)
-	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
-	fs := FrameStats{Type: IFrame, Macroblocks: cols * rows, IntraMBs: cols * rows}
-	results := getMBResults(cols * rows)
-	e.analyzeFrame(f, recon, nil, results, true)
-	for i := range results {
-		e.writeIntraMB(&results[i])
-	}
-	putMBResults(results)
-	e.refreshReference(recon)
-	e.prevField = mvfield.NewField(cols, rows) // all-zero motion
-	return fs
-}
-
 // analyzeIntraMB transforms, quantises and reconstructs the six intra
-// blocks of MB (mbx, mby), leaving the levels in r for the write phase.
+// blocks of MB (mbx, mby), leaving the levels — and the per-block AC-coded
+// flags, so the write phase never re-scans the coefficients — in r.
 func (e *Encoder) analyzeIntraMB(src, recon *frame.Frame, mbx, mby int, r *mbResult) {
 	r.mode = mbIntra
 	r.four = false
 	r.points = 0
 	x, y := 16*mbx, 16*mby
 	var cur, rec dct.Block
-	code := func(p, rp *frame.Plane, bx, by int, levels *dct.Block) {
+	code := func(p, rp *frame.Plane, bx, by int, levels *dct.Block) bool {
 		loadBlock(&cur, p, bx, by)
 		encodeIntraBlock(levels, &cur, e.curQp)
 		reconIntraBlock(&rec, levels, e.curQp)
 		storeBlock(rp, bx, by, &rec)
+		return acCoded(levels)
 	}
 	for i, off := range lumaBlockOffsets {
-		code(src.Y, recon.Y, x+off[0], y+off[1], &r.levels[i])
+		r.coded[i] = code(src.Y, recon.Y, x+off[0], y+off[1], &r.levels[i])
 	}
-	code(src.Cb, recon.Cb, 8*mbx, 8*mby, &r.levels[4])
-	code(src.Cr, recon.Cr, 8*mbx, 8*mby, &r.levels[5])
+	r.coded[4] = code(src.Cb, recon.Cb, 8*mbx, 8*mby, &r.levels[4])
+	r.coded[5] = code(src.Cr, recon.Cr, 8*mbx, 8*mby, &r.levels[5])
 }
 
 // writeIntraMB serialises the six intra blocks analysed into r. DC is an
 // 8-bit FLC and AC are TCOEF events behind a coded flag, mirroring the
-// H.263 INTRADC + TCOEF structure.
+// H.263 INTRADC + TCOEF structure. The AC-coded flags were computed during
+// analysis (r.coded).
 func (e *Encoder) writeIntraMB(r *mbResult) {
 	for i := range r.levels {
 		levels := &r.levels[i]
 		e.sw.Bits(uint64(levels[0]), 8)
-		if acCoded(levels) {
+		if r.coded[i] {
 			e.sw.Flag(sctxACFlag, true)
 			ac := *levels
 			ac[0] = 0
@@ -310,40 +403,6 @@ func (e *Encoder) writeIntraMB(r *mbResult) {
 			e.sw.Flag(sctxACFlag, false)
 		}
 	}
-}
-
-func (e *Encoder) encodeInterFrame(f *frame.Frame) FrameStats {
-	e.writeFrameHeader(PFrame)
-	recon := frame.NewFrame(e.size)
-	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
-	fs := FrameStats{Type: PFrame, Macroblocks: cols * rows}
-	curField := mvfield.NewField(cols, rows)
-	results := getMBResults(cols * rows)
-
-	e.analyzeFrame(f, recon, curField, results, false)
-
-	for mby := 0; mby < rows; mby++ {
-		for mbx := 0; mbx < cols; mbx++ {
-			r := &results[mby*cols+mbx]
-			e.writeInterMB(r, curField, mbx, mby)
-			fs.SearchPoints += r.points
-			switch r.mode {
-			case mbSkip:
-				fs.SkipMBs++
-			case mbInter:
-				fs.InterMBs++
-				if r.four {
-					fs.Inter4VMBs++
-				}
-			case mbIntra:
-				fs.IntraMBs++
-			}
-		}
-	}
-	putMBResults(results)
-	e.refreshReference(recon)
-	e.prevField = curField
-	return fs
 }
 
 // analyzeInterMB performs motion estimation, mode decision, residual
@@ -436,15 +495,30 @@ func (e *Encoder) analyzeInterMB(s search.Searcher, src, recon *frame.Frame, cur
 		r.mode = mbInter
 	}
 
+	// Reconstruction: coded blocks run dequant + inverse DCT + add; an
+	// uncoded block's reconstruction IS its prediction, so it stores
+	// directly without the inverse-transform round trip.
 	var rec dct.Block
 	for i, off := range lumaBlockOffsets {
-		reconInterBlock(&rec, &lumaPred[i], &r.levels[i], r.mode == mbInter && r.coded[i], e.curQp)
-		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+		if r.mode == mbInter && r.coded[i] {
+			reconInterBlock(&rec, &lumaPred[i], &r.levels[i], true, e.curQp)
+			storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+		} else {
+			storeBlock(recon.Y, x+off[0], y+off[1], &lumaPred[i])
+		}
 	}
-	reconInterBlock(&rec, &cbPred, &r.levels[4], r.mode == mbInter && r.coded[4], e.curQp)
-	storeBlock(recon.Cb, cx, cy, &rec)
-	reconInterBlock(&rec, &crPred, &r.levels[5], r.mode == mbInter && r.coded[5], e.curQp)
-	storeBlock(recon.Cr, cx, cy, &rec)
+	if r.mode == mbInter && r.coded[4] {
+		reconInterBlock(&rec, &cbPred, &r.levels[4], true, e.curQp)
+		storeBlock(recon.Cb, cx, cy, &rec)
+	} else {
+		storeBlock(recon.Cb, cx, cy, &cbPred)
+	}
+	if r.mode == mbInter && r.coded[5] {
+		reconInterBlock(&rec, &crPred, &r.levels[5], true, e.curQp)
+		storeBlock(recon.Cr, cx, cy, &rec)
+	} else {
+		storeBlock(recon.Cr, cx, cy, &crPred)
+	}
 
 	curField.Set(mbx, mby, r.mv)
 }
@@ -471,13 +545,11 @@ func (e *Encoder) writeInterMB(r *mbResult, curField *mvfield.Field, mbx, mby in
 	if r.four {
 		for _, mv := range r.subMV {
 			d := mv.Sub(pred)
-			e.sw.SE(sctxMVX, int32(d.X))
-			e.sw.SE(sctxMVY, int32(d.Y))
+			e.sw.MVD(int32(d.X), int32(d.Y))
 		}
 	} else {
 		d := r.mv.Sub(pred)
-		e.sw.SE(sctxMVX, int32(d.X))
-		e.sw.SE(sctxMVY, int32(d.Y))
+		e.sw.MVD(int32(d.X), int32(d.Y))
 	}
 	for _, c := range r.coded {
 		e.sw.Flag(sctxCBP, c)
@@ -490,10 +562,22 @@ func (e *Encoder) writeInterMB(r *mbResult, curField *mvfield.Field, mbx, mby in
 }
 
 // EncodeSequence encodes frames with cfg and returns the statistics and
-// the finalised bitstream.
+// the finalised bitstream. With cfg.Pipeline set it drives the
+// cross-frame pipeline (pipeline.go); the output is byte-identical either
+// way.
 func EncodeSequence(cfg Config, frames []*frame.Frame) (*SequenceStats, []byte, error) {
 	if len(frames) == 0 {
 		return nil, nil, fmt.Errorf("codec: no frames to encode")
+	}
+	if cfg.Pipeline {
+		p := NewPipeline(cfg)
+		for i, f := range frames {
+			if err := p.EncodeFrame(f); err != nil {
+				p.Flush() // drain the writer goroutine before bailing
+				return nil, nil, fmt.Errorf("codec: frame %d: %w", i, err)
+			}
+		}
+		return p.Flush()
 	}
 	e := NewEncoder(cfg)
 	for i, f := range frames {

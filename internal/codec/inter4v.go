@@ -109,15 +109,29 @@ func (e *Encoder) analyzeInter4VMB(src, recon *frame.Frame, mbx, mby int, subMV 
 	predBlock(&crPred, e.reconCr, cx, cy, cmv)
 	r.coded[5] = encodeInterBlock(&r.levels[5], &cur, &crPred, e.curQp)
 
+	// As in analyzeInterMB, uncoded blocks reconstruct to their prediction
+	// and store it directly, skipping the inverse transform round trip.
 	var rec dct.Block
 	for i, off := range lumaBlockOffsets {
-		reconInterBlock(&rec, &lumaPred[i], &r.levels[i], r.coded[i], e.curQp)
-		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+		if r.coded[i] {
+			reconInterBlock(&rec, &lumaPred[i], &r.levels[i], true, e.curQp)
+			storeBlock(recon.Y, x+off[0], y+off[1], &rec)
+		} else {
+			storeBlock(recon.Y, x+off[0], y+off[1], &lumaPred[i])
+		}
 	}
-	reconInterBlock(&rec, &cbPred, &r.levels[4], r.coded[4], e.curQp)
-	storeBlock(recon.Cb, cx, cy, &rec)
-	reconInterBlock(&rec, &crPred, &r.levels[5], r.coded[5], e.curQp)
-	storeBlock(recon.Cr, cx, cy, &rec)
+	if r.coded[4] {
+		reconInterBlock(&rec, &cbPred, &r.levels[4], true, e.curQp)
+		storeBlock(recon.Cb, cx, cy, &rec)
+	} else {
+		storeBlock(recon.Cb, cx, cy, &cbPred)
+	}
+	if r.coded[5] {
+		reconInterBlock(&rec, &crPred, &r.levels[5], true, e.curQp)
+		storeBlock(recon.Cr, cx, cy, &rec)
+	} else {
+		storeBlock(recon.Cr, cx, cy, &crPred)
+	}
 }
 
 // decodeInter4VMB mirrors codeInter4VMB after the inter4v flag has been
@@ -149,35 +163,33 @@ func (d *Decoder) decodeInter4VMB(recon *frame.Frame, curField *mvfield.Field, q
 	avg := avgMV(subMV)
 	cmv := chromaMV(avg)
 	var levels, pred8, rec dct.Block
+	codeBlock := func(p *frame.Plane, bx, by int, ip *frame.Interpolated, bmv mvfield.MV, c bool) error {
+		if !c { // uncoded: reconstruction = prediction, copied as bytes
+			storePredBlock(p, bx, by, ip, bmv)
+			return nil
+		}
+		if err := readCoeffs(d.sr, &levels); err != nil {
+			return err
+		}
+		predBlock(&pred8, ip, bx, by, bmv)
+		reconInterBlock(&rec, &pred8, &levels, true, qp)
+		storeBlock(p, bx, by, &rec)
+		return nil
+	}
 	for i, off := range lumaBlockOffsets {
 		levels = dct.Block{}
-		if coded[i] {
-			if err := readCoeffs(d.sr, &levels); err != nil {
-				return fmt.Errorf("codec: 4v luma block %d: %w", i, err)
-			}
+		if err := codeBlock(recon.Y, x+off[0], y+off[1], d.reconY, subMV[i], coded[i]); err != nil {
+			return fmt.Errorf("codec: 4v luma block %d: %w", i, err)
 		}
-		predBlock(&pred8, d.reconY, x+off[0], y+off[1], subMV[i])
-		reconInterBlock(&rec, &pred8, &levels, coded[i], qp)
-		storeBlock(recon.Y, x+off[0], y+off[1], &rec)
 	}
 	levels = dct.Block{}
-	if coded[4] {
-		if err := readCoeffs(d.sr, &levels); err != nil {
-			return err
-		}
+	if err := codeBlock(recon.Cb, cx, cy, d.reconCb, cmv, coded[4]); err != nil {
+		return err
 	}
-	predBlock(&pred8, d.reconCb, cx, cy, cmv)
-	reconInterBlock(&rec, &pred8, &levels, coded[4], qp)
-	storeBlock(recon.Cb, cx, cy, &rec)
 	levels = dct.Block{}
-	if coded[5] {
-		if err := readCoeffs(d.sr, &levels); err != nil {
-			return err
-		}
+	if err := codeBlock(recon.Cr, cx, cy, d.reconCr, cmv, coded[5]); err != nil {
+		return err
 	}
-	predBlock(&pred8, d.reconCr, cx, cy, cmv)
-	reconInterBlock(&rec, &pred8, &levels, coded[5], qp)
-	storeBlock(recon.Cr, cx, cy, &rec)
 
 	curField.Set(mbx, mby, avg)
 	return nil

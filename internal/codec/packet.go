@@ -39,33 +39,24 @@ func EncodePackets(cfg Config, frames []*frame.Frame) ([][]byte, *SequenceStats,
 	packets := [][]byte{hw.Bytes()}
 
 	for i, f := range frames {
-		if f.Size() != e.size {
-			return nil, nil, fmt.Errorf("codec: frame %d size %v differs from %v", i, f.Size(), e.size)
+		// Analysis first (it also applies the rate controller's
+		// quantiser), then a fresh per-packet syntax writer — no sequence
+		// header, no continuation flags — for the frame body.
+		j, err := e.analyzeFrameJob(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("codec: frame %d: %w", i, err)
 		}
-		// Fresh per-packet syntax writer (no sequence header, no
-		// continuation flags).
 		e.sw = newSymWriter(cfg.Entropy)
 		e.sw.BeginData()
-		if e.rc != nil {
-			e.curQp = e.rc.currentQp()
-		}
-		intra := e.frames == 0 ||
-			(cfg.IntraPeriod > 0 && e.frames%cfg.IntraPeriod == 0)
-		var fs FrameStats
-		if intra {
-			fs = e.encodeIntraFrame(f)
-		} else {
-			fs = e.encodeInterFrame(f)
-		}
+		fs := e.writeFrameBody(j)
 		pkt := e.sw.Finish()
 		fs.Bits = 8 * len(pkt)
-		fs.Qp = e.curQp
+		fs.Qp = j.qp
 		if e.rc != nil {
 			e.rc.observe(fs.Bits)
 		}
-		py, _ := frame.PSNR(f.Y, e.recon.Y)
+		py, _ := frame.PSNR(j.src.Y, j.recon.Y)
 		fs.PSNRY = py
-		e.frames++
 		e.stats.Frames = append(e.stats.Frames, fs)
 		packets = append(packets, pkt)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/search"
+	"repro/internal/video"
 )
 
 // parallelFrames builds a seeded synthetic sequence with real motion, some
@@ -105,6 +106,107 @@ func TestParallelDecodesToSameFrames(t *testing.T) {
 	}
 	if !frames[3].Equal(lastRecon) {
 		t.Error("decoded frame 3 differs from encoder reconstruction")
+	}
+}
+
+// TestPipelineBitIdentical is the golden guarantee of the cross-frame
+// pipeline: for every Table 1 profile and for Workers ∈ {1, 4}, the
+// pipelined EncodeSequence must produce the byte-for-byte bitstream and
+// statistics of a sequential EncodeFrame loop. Run with -race in CI (see
+// Makefile) to also certify the analysis/entropy overlap.
+func TestPipelineBitIdentical(t *testing.T) {
+	for _, prof := range video.Profiles {
+		frames := video.Generate(prof, frame.QCIF, 4, 7)
+		// Serial reference: an explicit EncodeFrame loop.
+		ref := NewEncoder(Config{Qp: 16, Searcher: core.New(core.DefaultParams), Workers: 1})
+		for _, f := range frames {
+			if _, err := ref.EncodeFrame(f); err != nil {
+				t.Fatalf("%v: %v", prof, err)
+			}
+		}
+		refBS := ref.Bitstream()
+		refStats := ref.Stats()
+		for _, workers := range []int{1, 4} {
+			stats, bs, err := EncodeSequence(Config{
+				Qp: 16, Searcher: core.New(core.DefaultParams),
+				Workers: workers, Pipeline: true,
+			}, frames)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", prof, workers, err)
+			}
+			if !bytes.Equal(bs, refBS) {
+				t.Errorf("%v workers=%d: pipelined bitstream differs from serial (%d vs %d bytes)",
+					prof, workers, len(bs), len(refBS))
+			}
+			if !reflect.DeepEqual(stats, refStats) {
+				t.Errorf("%v workers=%d: pipelined stats differ\n got %+v\nwant %+v",
+					prof, workers, stats, refStats)
+			}
+		}
+	}
+}
+
+// TestPipelineModesAndRateControl covers the pipeline's edge configs: the
+// arithmetic entropy backend (whose coder state spans frame boundaries),
+// intra periods, deblocking — and rate control, where the pipeline must
+// degrade to serial and still match exactly.
+func TestPipelineModesAndRateControl(t *testing.T) {
+	frames := parallelFrames(6)
+	for _, cfg := range []Config{
+		{Qp: 14, AdvancedPrediction: true, IntraPeriod: 3},
+		{Qp: 22, Entropy: EntropyArith, Deblock: true},
+		{Qp: 16, TargetKbps: 80, FPS: 30},
+	} {
+		serial := cfg
+		serial.Workers = 1
+		_, refBS, err := EncodeSequence(serial, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		piped := cfg
+		piped.Pipeline = true
+		piped.Workers = 4
+		_, bs, err := EncodeSequence(piped, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bs, refBS) {
+			t.Errorf("cfg=%+v: pipelined bitstream differs (%d vs %d bytes)", cfg, len(bs), len(refBS))
+		}
+	}
+}
+
+// TestPipelineFlushSemantics pins the driver API: Flush is idempotent,
+// EncodeFrame after Flush fails, and the decoder reconstructs a pipelined
+// stream exactly.
+func TestPipelineFlushSemantics(t *testing.T) {
+	frames := parallelFrames(3)
+	p := NewPipeline(Config{Qp: 16, Workers: 2})
+	for _, f := range frames {
+		if err := p.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, bs, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Frames) != 3 {
+		t.Fatalf("stats cover %d frames, want 3", len(stats.Frames))
+	}
+	_, bs2, err := p.Flush()
+	if err != nil || !bytes.Equal(bs, bs2) {
+		t.Fatalf("Flush not idempotent: %v", err)
+	}
+	if err := p.EncodeFrame(frames[0]); err == nil {
+		t.Fatal("EncodeFrame after Flush did not fail")
+	}
+	decoded, err := Decode(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d frames, want 3", len(decoded))
 	}
 }
 

@@ -1,0 +1,115 @@
+package codec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/frame"
+)
+
+// Pipeline is the cross-frame two-phase encode driver: it overlaps the
+// serial entropy coding (phase 2) of frame n with the — possibly
+// wavefront-parallel — macroblock analysis (phase 1) of frame n+1.
+//
+// The overlap is legal because the two phases touch disjoint state for
+// different frames:
+//
+//   - entropy coding of frame n reads only its frameJob (results slab,
+//     motion field, source and reconstruction) plus the entropy coder,
+//     which no analysis step ever touches;
+//   - analysis of frame n+1 needs only frame n's reconstruction and
+//     motion field as prediction context, and both are final when
+//     analyzeFrameJob for frame n returns — before its job is handed to
+//     the writer.
+//
+// Exactly one frame is in flight: EncodeFrame hands the analysed job to
+// the writer goroutine over an unbuffered channel, so analysis of the
+// next frame proceeds while the previous frame is serialised. Jobs reach
+// the writer in frame order, which keeps the (stateful) entropy coder —
+// in particular the adaptive arithmetic contexts — seeing the exact
+// symbol sequence of a serial encode: bitstreams are byte-identical to an
+// EncodeFrame loop for every Config.Workers value, which
+// TestPipelineBitIdentical enforces.
+//
+// Buffer safety: the mbResult slabs and half-pel reference grids are
+// pooled (sync.Pool), and the pipeline naturally double-buffers them —
+// frame n's slab is returned to the pool only after phase 2 finishes, by
+// which time frame n+1's analysis has already drawn a fresh one. The
+// source frame passed to EncodeFrame must not be mutated until Flush (or
+// the next EncodeFrame call) returns, since PSNR statistics read it on
+// the writer goroutine.
+//
+// Rate control is the one coupling that defeats the overlap: the
+// quantiser servo needs frame n's actual bit count (phase 2 output)
+// before choosing frame n+1's quantiser (phase 1 input). With
+// Config.TargetKbps > 0 the pipeline therefore degrades to strictly
+// serial encoding — same API, same bits, no overlap.
+type Pipeline struct {
+	e       *Encoder
+	overlap bool
+	jobs    chan *frameJob
+	done    chan struct{}
+	flushed bool
+}
+
+// NewPipeline returns a pipelined encoder for cfg. Frames are submitted
+// with EncodeFrame; Flush finalises the stream.
+func NewPipeline(cfg Config) *Pipeline {
+	e := NewEncoder(cfg)
+	p := &Pipeline{e: e, overlap: e.rc == nil}
+	if p.overlap {
+		p.jobs = make(chan *frameJob) // unbuffered: exactly one frame in flight
+		p.done = make(chan struct{})
+		go func() {
+			defer close(p.done)
+			for j := range p.jobs {
+				p.e.writeFrameJob(j)
+			}
+		}()
+	}
+	return p
+}
+
+// EncodeFrame analyses f and queues it for entropy coding. It returns
+// once the analysis phase is complete; the frame's bits may still be in
+// flight on the writer goroutine (per-frame statistics are therefore
+// available only from Stats after Flush).
+func (p *Pipeline) EncodeFrame(f *frame.Frame) error {
+	if p.flushed {
+		return fmt.Errorf("codec: pipeline already flushed")
+	}
+	if !p.overlap {
+		_, err := p.e.EncodeFrame(f)
+		return err
+	}
+	j, err := p.e.analyzeFrameJob(f)
+	if err != nil {
+		return err
+	}
+	p.jobs <- j
+	return nil
+}
+
+// Flush drains the writer, finalises the bitstream and returns the
+// sequence statistics and encoded bytes. It is idempotent; EncodeFrame
+// must not be called afterwards.
+func (p *Pipeline) Flush() (*SequenceStats, []byte, error) {
+	if !p.flushed {
+		if p.overlap {
+			close(p.jobs)
+			<-p.done
+		}
+		p.flushed = true
+	}
+	return p.e.Stats(), p.e.Bitstream(), nil
+}
+
+// PhaseTimes returns the cumulative per-phase wall clock (see
+// Encoder.PhaseTimes). Valid only after Flush: before that the writer
+// goroutine still owns the entropy counter.
+func (p *Pipeline) PhaseTimes() (analysis, entropy time.Duration) {
+	if !p.flushed {
+		panic("codec: Pipeline.PhaseTimes before Flush")
+	}
+	return p.e.PhaseTimes()
+}

@@ -63,8 +63,15 @@ type symWriter interface {
 	UE(ctx int, v uint32)
 	SE(ctx int, v int32)
 	Bits(v uint64, n uint) // fixed-length field (intra DC)
-	Len() int              // bits so far (approximate in arithmetic mode)
-	Finish() []byte        // finalise and return the stream
+	// RunLevelLast emits one TCOEF event — UE(sctxRun), SE(sctxLevel),
+	// Flag(sctxLast) — letting the Exp-Golomb backend pack all three
+	// codes into a single word write.
+	RunLevelLast(run uint32, level int32, last bool)
+	// MVD emits a motion-vector difference — SE(sctxMVX), SE(sctxMVY) —
+	// again packed into one word write by the Exp-Golomb backend.
+	MVD(dx, dy int32)
+	Len() int       // bits so far (approximate in arithmetic mode)
+	Finish() []byte // finalise and return the stream
 }
 
 // symReader mirrors symWriter.
@@ -107,8 +114,12 @@ func (e *egWriter) Flag(_ int, b bool) {
 func (e *egWriter) UE(_ int, v uint32)    { entropy.WriteUE(&e.w, v) }
 func (e *egWriter) SE(_ int, v int32)     { entropy.WriteSE(&e.w, v) }
 func (e *egWriter) Bits(v uint64, n uint) { e.w.WriteBits(v, n) }
-func (e *egWriter) Len() int              { return e.w.Len() }
-func (e *egWriter) Finish() []byte        { return e.w.Bytes() }
+func (e *egWriter) RunLevelLast(run uint32, level int32, last bool) {
+	entropy.WriteRunLevelLast(&e.w, run, level, last)
+}
+func (e *egWriter) MVD(dx, dy int32) { entropy.WriteSEPair(&e.w, dx, dy) }
+func (e *egWriter) Len() int         { return e.w.Len() }
+func (e *egWriter) Finish() []byte   { return e.w.Bytes() }
 
 type egReader struct {
 	r *bitstream.Reader
@@ -175,6 +186,20 @@ func (a *arithWriter) UE(ctx int, v uint32) {
 }
 
 func (a *arithWriter) SE(ctx int, v int32) { a.UE(ctx, entropy.MapSigned(v)) }
+
+// RunLevelLast and MVD have no word path in arithmetic mode: they emit the
+// exact per-context symbol sequence, so the adaptive models see precisely
+// the bits the unbatched writer produced.
+func (a *arithWriter) RunLevelLast(run uint32, level int32, last bool) {
+	a.UE(sctxRun, run)
+	a.SE(sctxLevel, level)
+	a.Flag(sctxLast, last)
+}
+
+func (a *arithWriter) MVD(dx, dy int32) {
+	a.SE(sctxMVX, dx)
+	a.SE(sctxMVY, dy)
+}
 
 func (a *arithWriter) Bits(v uint64, n uint) {
 	for i := int(n) - 1; i >= 0; i-- {

@@ -1,0 +1,175 @@
+package dct
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestForwardMatchesReferenceBasis checks every single-coefficient input —
+// each of the 64 positions at a sweep of magnitudes, positive and
+// negative — plus constant planes, against the reference kernel.
+func TestTransformsMatchReferenceBasis(t *testing.T) {
+	mags := []int32{1, 2, 3, 8, 127, 255, 1024, 2047}
+	for pos := 0; pos < 64; pos++ {
+		for _, m := range mags {
+			for _, sign := range []int32{1, -1} {
+				var src Block
+				src[pos] = sign * m
+				var got, want Block
+				Forward(&got, &src)
+				forwardRef(&want, &src)
+				if got != want {
+					t.Fatalf("Forward basis pos=%d mag=%d: %v != ref %v", pos, sign*m, got, want)
+				}
+				Inverse(&got, &src)
+				inverseRef(&want, &src)
+				if got != want {
+					t.Fatalf("Inverse basis pos=%d mag=%d: %v != ref %v", pos, sign*m, got, want)
+				}
+			}
+		}
+	}
+	// Constant planes, including the all-zero block.
+	for _, c := range []int32{0, 1, -1, 128, -255, 255} {
+		var src, got, want Block
+		for i := range src {
+			src[i] = c
+		}
+		Forward(&got, &src)
+		forwardRef(&want, &src)
+		if got != want {
+			t.Fatalf("Forward constant %d: %v != ref %v", c, got, want)
+		}
+		Inverse(&got, &src)
+		inverseRef(&want, &src)
+		if got != want {
+			t.Fatalf("Inverse constant %d: %v != ref %v", c, got, want)
+		}
+	}
+}
+
+// TestTransformsMatchReferenceRandom sweeps dense random blocks over the
+// codec's value ranges: residuals in [−255, 255] for the forward path and
+// dequantised coefficients in [−2047, 2047] for the inverse path.
+func TestTransformsMatchReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		var resid, coef Block
+		for i := range resid {
+			resid[i] = int32(rng.Intn(511)) - 255
+			coef[i] = int32(rng.Intn(4095)) - 2047
+		}
+		if trial%4 == 0 { // sparse blocks: the fast-path decision region
+			for i := range coef {
+				if rng.Intn(8) != 0 {
+					coef[i] = 0
+				}
+			}
+		}
+		var got, want Block
+		Forward(&got, &resid)
+		forwardRef(&want, &resid)
+		if got != want {
+			t.Fatalf("Forward trial %d: %v != ref %v (src %v)", trial, got, want, resid)
+		}
+		Inverse(&got, &coef)
+		inverseRef(&want, &coef)
+		if got != want {
+			t.Fatalf("Inverse trial %d: %v != ref %v (src %v)", trial, got, want, coef)
+		}
+	}
+}
+
+// TestInverseDCOnlyFastPath pins the DC-only fast path against the
+// reference over every dequantised DC magnitude the codec can produce.
+func TestInverseDCOnlyFastPath(t *testing.T) {
+	for dc := int32(-2047); dc <= 2047; dc++ {
+		var src Block
+		src[0] = dc
+		var got, want Block
+		Inverse(&got, &src)
+		inverseRef(&want, &src)
+		if got != want {
+			t.Fatalf("Inverse DC-only dc=%d: got %d, ref %d", dc, got[0], want[0])
+		}
+	}
+}
+
+// TestTransformsAlias checks the documented src==dst aliasing contract on
+// the restructured kernels.
+func TestTransformsAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		var b Block
+		for i := range b {
+			b[i] = int32(rng.Intn(511)) - 255
+		}
+		want := b
+		forwardRef(&want, &want)
+		got := b
+		Forward(&got, &got)
+		if got != want {
+			t.Fatalf("aliased Forward diverges: %v != %v", got, want)
+		}
+		want = b
+		inverseRef(&want, &want)
+		got = b
+		Inverse(&got, &got)
+		if got != want {
+			t.Fatalf("aliased Inverse diverges: %v != %v", got, want)
+		}
+	}
+}
+
+// FuzzTransformsMatchReference feeds arbitrary block contents through both
+// kernels; any divergence from the reference operation order is a failure.
+func FuzzTransformsMatchReference(f *testing.F) {
+	f.Add([]byte{1, 255, 0, 3}, true)
+	f.Add(make([]byte, 128), false)
+	f.Fuzz(func(t *testing.T, data []byte, inv bool) {
+		var src Block
+		for i := range src {
+			var v int32
+			if 2*i+1 < len(data) {
+				v = int32(data[2*i]) | int32(data[2*i+1])<<8
+			}
+			src[i] = v%2048 - 1024
+		}
+		var got, want Block
+		if inv {
+			Inverse(&got, &src)
+			inverseRef(&want, &src)
+		} else {
+			Forward(&got, &src)
+			forwardRef(&want, &src)
+		}
+		if got != want {
+			t.Fatalf("inv=%v: %v != ref %v (src %v)", inv, got, want, src)
+		}
+	})
+}
+
+func BenchmarkForwardVsRef(b *testing.B) {
+	var src, dst Block
+	for i := range src {
+		src[i] = int32(i*7%255 - 128)
+	}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Forward(&dst, &src)
+		}
+	})
+	b.Run("ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			forwardRef(&dst, &src)
+		}
+	})
+}
+
+func BenchmarkInverseDCOnly(b *testing.B) {
+	var src, dst Block
+	src[0] = 355
+	for i := 0; i < b.N; i++ {
+		Inverse(&dst, &src)
+	}
+}

@@ -54,6 +54,31 @@ func BlockBits(b *dct.Block) int {
 	return bitsTotal
 }
 
+// WriteRunLevelLast appends one TCOEF event — UE(run), SE(level), one last
+// bit — as a single packed field on the word-based writer. Every event the
+// codec can produce (run ≤ 63, |level| ≤ 127) packs into at most 31 bits;
+// implausibly large symbols fall back to the per-code path, so the emitted
+// bits are always exactly the UE+SE+bit sequence.
+func WriteRunLevelLast(w *bitstream.Writer, run uint32, level int32, last bool) {
+	rp, rw := ueCode(run)
+	lp, lw := ueCode(MapSigned(level))
+	if total := rw + lw + 1; total <= 64 {
+		p := (rp<<lw | lp) << 1
+		if last {
+			p |= 1
+		}
+		w.WriteBits(p, total)
+		return
+	}
+	WriteUE(w, run)
+	WriteSE(w, level)
+	if last {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+}
+
 // WriteBlock appends the TCOEF events of the block. The block must contain
 // at least one non-zero coefficient (check CodedBlock first).
 func WriteBlock(w *bitstream.Writer, b *dct.Block) error {
@@ -75,13 +100,7 @@ func WriteBlock(w *bitstream.Writer, b *dct.Block) error {
 			run++
 			continue
 		}
-		WriteUE(w, uint32(run))
-		WriteSE(w, c)
-		if i == lastNZ {
-			w.WriteBit(1)
-		} else {
-			w.WriteBit(0)
-		}
+		WriteRunLevelLast(w, uint32(run), c, i == lastNZ)
 		run = 0
 	}
 	return nil

@@ -22,9 +22,25 @@ func UEBits(v uint32) int {
 	return 2*bits.Len64(uint64(v)+1) - 1
 }
 
-// WriteUE appends the unsigned Exp-Golomb code for v.
-func WriteUE(w *bitstream.Writer, v uint32) {
+// ueCode returns the Exp-Golomb bit pattern and code width for v. Because
+// x = v+1 occupies exactly Len(x) significant bits, writing x with width
+// 2·Len(x)−1 emits the Len(x)−1 leading zeros and the value in one field.
+// The width exceeds 64 only for v = MaxUint32 (a 65-bit code); callers
+// packing codes into a single word must fall back for that case.
+func ueCode(v uint32) (pattern uint64, width uint) {
 	x := uint64(v) + 1
+	return x, uint(2*bits.Len64(x) - 1)
+}
+
+// WriteUE appends the unsigned Exp-Golomb code for v. For every value
+// whose code fits a 64-bit word (all v < MaxUint32) the zeros and the
+// value land in a single WriteBits call on the word-based writer.
+func WriteUE(w *bitstream.Writer, v uint32) {
+	x, width := ueCode(v)
+	if width <= 64 {
+		w.WriteBits(x, width)
+		return
+	}
 	n := uint(bits.Len64(x))
 	w.WriteBits(0, n-1) // leading zeros
 	w.WriteBits(x, n)   // value with its leading one

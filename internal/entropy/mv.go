@@ -15,11 +15,25 @@ func MVDBits(mv, pred mvfield.MV) int {
 	return SEBits(int32(d.X)) + SEBits(int32(d.Y))
 }
 
+// WriteSEPair appends the signed Exp-Golomb codes of a and b, packed into
+// one field on the word-based writer whenever both codes fit 64 bits
+// together (always true for motion vector differences within the codec's
+// search ranges).
+func WriteSEPair(w *bitstream.Writer, a, b int32) {
+	ap, aw := ueCode(MapSigned(a))
+	bp, bw := ueCode(MapSigned(b))
+	if aw+bw <= 64 {
+		w.WriteBits(ap<<bw|bp, aw+bw)
+		return
+	}
+	WriteSE(w, a)
+	WriteSE(w, b)
+}
+
 // WriteMVD appends the coded difference mv − pred.
 func WriteMVD(w *bitstream.Writer, mv, pred mvfield.MV) {
 	d := mv.Sub(pred)
-	WriteSE(w, int32(d.X))
-	WriteSE(w, int32(d.Y))
+	WriteSEPair(w, int32(d.X), int32(d.Y))
 }
 
 // ReadMVD decodes a motion vector difference and returns pred + difference.

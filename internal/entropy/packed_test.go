@@ -1,0 +1,161 @@
+package entropy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// writeUERef emits the UE code the pre-word way: zeros, then the value.
+func writeUERef(w *bitstream.RefWriter, v uint32) {
+	x := uint64(v) + 1
+	n := 0
+	for x>>uint(n) != 0 {
+		n++
+	}
+	w.WriteBits(0, uint(n-1))
+	w.WriteBits(x, uint(n))
+}
+
+func writeSERef(w *bitstream.RefWriter, v int32) { writeUERef(w, MapSigned(v)) }
+
+// ueBoundaryValues covers every Exp-Golomb length transition plus the
+// 65-bit-code extreme.
+var ueBoundaryValues = []uint32{
+	0, 1, 2, 3, 4, 6, 7, 8, 14, 15, 16, 30, 31, 62, 63, 126, 127, 254, 255,
+	1<<16 - 2, 1<<16 - 1, 1 << 16, 1<<31 - 2, 1<<31 - 1, 1 << 31,
+	math.MaxUint32 - 1, math.MaxUint32,
+}
+
+// TestWriteUEMatchesReference pins the single-field WriteUE against the
+// zeros-then-value reference across all code-length boundaries, including
+// the 65-bit MaxUint32 code that cannot pack into one word.
+func TestWriteUEMatchesReference(t *testing.T) {
+	for _, v := range ueBoundaryValues {
+		var w bitstream.Writer
+		var ref bitstream.RefWriter
+		WriteUE(&w, v)
+		writeUERef(&ref, v)
+		if w.Len() != ref.Len() || !bytes.Equal(w.Bytes(), ref.Bytes()) {
+			t.Errorf("WriteUE(%d): %d bits %x, reference %d bits %x",
+				v, w.Len(), w.Bytes(), ref.Len(), ref.Bytes())
+		}
+		if w.Len() != UEBits(v) {
+			t.Errorf("WriteUE(%d): wrote %d bits, UEBits says %d", v, w.Len(), UEBits(v))
+		}
+	}
+}
+
+// TestWriteRunLevelLastMatchesSequence checks the packed TCOEF event
+// equals the UE+SE+bit sequence for the codec's full symbol range and for
+// hostile out-of-range symbols that must take the fallback path.
+func TestWriteRunLevelLastMatchesSequence(t *testing.T) {
+	runs := []uint32{0, 1, 5, 31, 63, 255, math.MaxUint32}
+	levels := []int32{1, -1, 2, -2, 127, -127, 1 << 20, -(1 << 20), math.MaxInt32, math.MinInt32 + 1}
+	for _, run := range runs {
+		for _, level := range levels {
+			for _, last := range []bool{false, true} {
+				var w bitstream.Writer
+				var ref bitstream.RefWriter
+				WriteRunLevelLast(&w, run, level, last)
+				writeUERef(&ref, run)
+				writeSERef(&ref, level)
+				if last {
+					ref.WriteBit(1)
+				} else {
+					ref.WriteBit(0)
+				}
+				if !bytes.Equal(w.Bytes(), ref.Bytes()) || w.Len() != ref.Len() {
+					t.Fatalf("run=%d level=%d last=%v: packed %d bits %x, sequence %d bits %x",
+						run, level, last, w.Len(), w.Bytes(), ref.Len(), ref.Bytes())
+				}
+			}
+		}
+	}
+}
+
+// TestWriteSEPairMatchesSequence checks the packed signed pair against two
+// sequential SE codes, including extremes that overflow the shared word.
+func TestWriteSEPairMatchesSequence(t *testing.T) {
+	vals := []int32{0, 1, -1, 7, -8, 62, -62, 127, -127, 1 << 15, math.MaxInt32, math.MinInt32 + 1}
+	for _, a := range vals {
+		for _, b := range vals {
+			var w bitstream.Writer
+			var ref bitstream.RefWriter
+			WriteSEPair(&w, a, b)
+			writeSERef(&ref, a)
+			writeSERef(&ref, b)
+			if !bytes.Equal(w.Bytes(), ref.Bytes()) || w.Len() != ref.Len() {
+				t.Fatalf("pair(%d,%d): packed %x, sequence %x", a, b, w.Bytes(), ref.Bytes())
+			}
+		}
+	}
+}
+
+// FuzzPackedCodesRoundTrip drives random symbols through the packed
+// writers and decodes them back through the standard readers.
+func FuzzPackedCodesRoundTrip(f *testing.F) {
+	f.Add(uint32(3), int32(-5), int32(12), true)
+	f.Add(uint32(0), int32(1), int32(0), false)
+	f.Fuzz(func(t *testing.T, run uint32, level, mvd int32, last bool) {
+		if level == 0 {
+			level = 1
+		}
+		if level == math.MinInt32 || mvd == math.MinInt32 {
+			return // MapSigned overflows int32 negation at MinInt32
+		}
+		var w bitstream.Writer
+		WriteRunLevelLast(&w, run, level, last)
+		WriteSEPair(&w, mvd, -mvd)
+		r := bitstream.NewReader(w.Bytes())
+		gotRun, err := ReadUE(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLevel, err := ReadSE(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLast, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := ReadSE(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadSE(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRun != run || gotLevel != level || (gotLast == 1) != last || a != mvd || b != -mvd {
+			t.Fatalf("round trip: got (%d,%d,%d,%d,%d), want (%d,%d,%v,%d,%d)",
+				gotRun, gotLevel, gotLast, a, b, run, level, last, mvd, -mvd)
+		}
+	})
+}
+
+func BenchmarkWriteUE(b *testing.B) {
+	vals := [16]uint32{0, 1, 2, 5, 9, 3, 0, 14, 40, 2, 1, 0, 7, 130, 3, 22}
+	b.ReportAllocs()
+	var w bitstream.Writer
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for _, v := range vals {
+			WriteUE(&w, v)
+		}
+	}
+}
+
+func BenchmarkWriteRunLevelLast(b *testing.B) {
+	b.ReportAllocs()
+	var w bitstream.Writer
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for j := 0; j < 16; j++ {
+			WriteRunLevelLast(&w, uint32(j%7), int32(j-8), j == 15)
+		}
+	}
+}

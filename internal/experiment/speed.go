@@ -59,16 +59,25 @@ func (c SpeedConfig) withDefaults() SpeedConfig {
 	return c
 }
 
-// SpeedPoint is one (searcher, workers) measurement.
+// SpeedPoint is one (searcher, workers, pipeline) measurement. The phase
+// split — analysis vs entropy wall clock per frame — tracks the encoder's
+// serial fraction: analysis parallelises across workers and overlaps the
+// entropy phase in pipeline mode, so the entropy column is the Amdahl
+// ceiling the bitstream/entropy optimisations must keep shrinking.
 type SpeedPoint struct {
-	Searcher    string  `json:"searcher"`
-	Workers     int     `json:"workers"`
-	NsPerFrame  float64 `json:"ns_per_frame"`
-	FPS         float64 `json:"fps"`
-	PointsPerMB float64 `json:"points_per_block"`
-	PSNRY       float64 `json:"psnr_y_db"`
-	// Speedup is relative to this searcher's first configured worker
-	// count (the baseline row, workers=1 in the default sweeps).
+	Searcher string `json:"searcher"`
+	Workers  int    `json:"workers"`
+	// Pipeline reports whether entropy coding of frame n overlapped
+	// analysis of frame n+1 (codec.Pipeline).
+	Pipeline           bool    `json:"pipeline"`
+	NsPerFrame         float64 `json:"ns_per_frame"`
+	FPS                float64 `json:"fps"`
+	AnalysisNsPerFrame float64 `json:"analysis_ns_per_frame"`
+	EntropyNsPerFrame  float64 `json:"entropy_ns_per_frame"`
+	PointsPerMB        float64 `json:"points_per_block"`
+	PSNRY              float64 `json:"psnr_y_db"`
+	// Speedup is relative to this searcher's first measured point
+	// (workers=1, pipeline off in the default sweeps).
 	Speedup float64 `json:"speedup_vs_first"`
 }
 
@@ -107,38 +116,75 @@ func RunSpeed(cfg SpeedConfig) (*SpeedResult, error) {
 	for _, s := range searchers {
 		base := 0.0
 		for _, workers := range cfg.Workers {
-			var best time.Duration
-			var stats *codec.SequenceStats
-			for rep := 0; rep < cfg.Repeats; rep++ {
-				start := time.Now()
-				st, _, err := codec.EncodeSequence(codec.Config{
-					Qp: cfg.Qp, Searcher: s.mk(), Workers: workers,
-				}, frames)
-				el := time.Since(start)
-				if err != nil {
-					return nil, fmt.Errorf("speed %s workers=%d: %w", s.name, workers, err)
+			for _, pipeline := range []bool{false, true} {
+				var best time.Duration
+				var stats *codec.SequenceStats
+				var analysis, entropy time.Duration
+				for rep := 0; rep < cfg.Repeats; rep++ {
+					ecfg := codec.Config{
+						Qp: cfg.Qp, Searcher: s.mk(), Workers: workers,
+					}
+					start := time.Now()
+					st, a, en, err := encodeTimed(ecfg, pipeline, frames)
+					el := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("speed %s workers=%d pipeline=%v: %w",
+							s.name, workers, pipeline, err)
+					}
+					if rep == 0 || el < best {
+						best, stats, analysis, entropy = el, st, a, en
+					}
 				}
-				if rep == 0 || el < best {
-					best, stats = el, st
+				perFrame := float64(best.Nanoseconds()) / float64(cfg.Frames)
+				pt := SpeedPoint{
+					Searcher:           s.name,
+					Workers:            workers,
+					Pipeline:           pipeline,
+					NsPerFrame:         perFrame,
+					FPS:                1e9 / perFrame,
+					AnalysisNsPerFrame: float64(analysis.Nanoseconds()) / float64(cfg.Frames),
+					EntropyNsPerFrame:  float64(entropy.Nanoseconds()) / float64(cfg.Frames),
+					PointsPerMB:        stats.AvgSearchPointsPerMB(),
+					PSNRY:              stats.AvgPSNRY(),
 				}
+				if base == 0 {
+					base = perFrame
+				}
+				pt.Speedup = base / perFrame
+				res.Points = append(res.Points, pt)
 			}
-			perFrame := float64(best.Nanoseconds()) / float64(cfg.Frames)
-			pt := SpeedPoint{
-				Searcher:    s.name,
-				Workers:     workers,
-				NsPerFrame:  perFrame,
-				FPS:         1e9 / perFrame,
-				PointsPerMB: stats.AvgSearchPointsPerMB(),
-				PSNRY:       stats.AvgPSNRY(),
-			}
-			if base == 0 {
-				base = perFrame
-			}
-			pt.Speedup = base / perFrame
-			res.Points = append(res.Points, pt)
 		}
 	}
 	return res, nil
+}
+
+// encodeTimed runs one encode and returns the stats plus the per-phase
+// wall clock (analysis vs entropy) the encoder accumulated.
+func encodeTimed(cfg codec.Config, pipeline bool, frames []*frame.Frame) (*codec.SequenceStats, time.Duration, time.Duration, error) {
+	if pipeline {
+		p := codec.NewPipeline(cfg)
+		for i, f := range frames {
+			if err := p.EncodeFrame(f); err != nil {
+				p.Flush() // drain the writer goroutine before bailing
+				return nil, 0, 0, fmt.Errorf("frame %d: %w", i, err)
+			}
+		}
+		stats, _, err := p.Flush()
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		a, en := p.PhaseTimes()
+		return stats, a, en, nil
+	}
+	e := codec.NewEncoder(cfg)
+	for i, f := range frames {
+		if _, err := e.EncodeFrame(f); err != nil {
+			return nil, 0, 0, fmt.Errorf("frame %d: %w", i, err)
+		}
+	}
+	e.Bitstream()
+	a, en := e.PhaseTimes()
+	return e.Stats(), a, en, nil
 }
 
 // WriteJSON writes the result to path (pretty-printed, trailing newline).
@@ -155,11 +201,16 @@ func (r *SpeedResult) WriteJSON(path string) error {
 func FormatSpeed(r *SpeedResult) string {
 	out := fmt.Sprintf("encoder speed: %s %s, %d frames, Qp %d, GOMAXPROCS %d\n",
 		r.Profile, r.Size, r.Frames, r.Qp, r.GoMaxProc)
-	out += fmt.Sprintf("%-6s %8s %12s %8s %10s %9s %8s\n",
-		"algo", "workers", "ns/frame", "fps", "points/MB", "PSNR-Y", "speedup")
+	out += fmt.Sprintf("%-6s %8s %5s %12s %8s %12s %12s %10s %9s %8s\n",
+		"algo", "workers", "pipe", "ns/frame", "fps", "analysis/fr", "entropy/fr", "points/MB", "PSNR-Y", "speedup")
 	for _, p := range r.Points {
-		out += fmt.Sprintf("%-6s %8d %12.0f %8.2f %10.1f %9.2f %7.2fx\n",
-			p.Searcher, p.Workers, p.NsPerFrame, p.FPS, p.PointsPerMB, p.PSNRY, p.Speedup)
+		pipe := "off"
+		if p.Pipeline {
+			pipe = "on"
+		}
+		out += fmt.Sprintf("%-6s %8d %5s %12.0f %8.2f %12.0f %12.0f %10.1f %9.2f %7.2fx\n",
+			p.Searcher, p.Workers, pipe, p.NsPerFrame, p.FPS,
+			p.AnalysisNsPerFrame, p.EntropyNsPerFrame, p.PointsPerMB, p.PSNRY, p.Speedup)
 	}
 	return out
 }

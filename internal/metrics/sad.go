@@ -80,6 +80,9 @@ func sadScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int)
 // any row. Using it never changes which candidate wins a minimisation,
 // only how much work losing candidates cost.
 func SADCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	if w == 16 && h <= 16 {
+		return sadCapped16(cur, cx, cy, ref, rx, ry, h, cap)
+	}
 	if w%8 != 0 || w*h > 256 {
 		return sadCappedScalar(cur, cx, cy, ref, rx, ry, w, h, cap)
 	}
@@ -102,6 +105,36 @@ func SADCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap
 		if sum > cap {
 			return sum
 		}
+	}
+	return sum
+}
+
+// sadCapped16 is SADCapped for the dominant 16-wide macroblock case: the
+// row is fully unrolled with hoisted offsets, so the motion-search inner
+// loop spends its cycles in the lane arithmetic rather than slice and
+// loop bookkeeping. Early-exit points and return values are identical to
+// the generic path (fold + cap check after every row).
+func sadCapped16(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, h, cap int) int {
+	cp, rp := cur.Pix, ref.Pix
+	co := cy*cur.Stride + cx
+	ro := ry*ref.Stride + rx
+	var acc uint64
+	sum := 0
+	for y := 0; y < h; y++ {
+		c := cp[co : co+16]
+		r := rp[ro : ro+16]
+		a, b := load8(c), load8(r)
+		acc += absDiffLanes(a&laneLo, b&laneLo) +
+			absDiffLanes((a>>8)&laneLo, (b>>8)&laneLo)
+		a, b = load8(c[8:]), load8(r[8:])
+		acc += absDiffLanes(a&laneLo, b&laneLo) +
+			absDiffLanes((a>>8)&laneLo, (b>>8)&laneLo)
+		sum = foldLanes(acc)
+		if sum > cap {
+			return sum
+		}
+		co += cur.Stride
+		ro += ref.Stride
 	}
 	return sum
 }
