@@ -1,16 +1,21 @@
 # CI/dev entry points for the ACBM reproduction.
 #
 #   make build        — vet + compile everything
-#   make test         — full test suite, plus the codec package under the
-#                       race detector (certifies the wavefront encoder)
+#   make test         — full test suite, plus the codec/server packages
+#                       under the race detector (certifies the wavefront
+#                       encoder and the multi-session serving layer)
 #   make bench-smoke  — 1-iteration pass over every benchmark so bench
 #                       code cannot rot, plus the perf-trajectory artifact
 #   make bench-speed  — regenerate BENCH_speed.json (ns/frame, fps,
 #                       points/block for each searcher × worker count)
+#   make serve-smoke  — boot vcodecd on a random port, run a verified
+#                       vload burst, require a clean SIGTERM drain
+#   make bench-serve  — regenerate BENCH_serve.json (throughput and
+#                       first-packet/per-frame latency × session count)
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed ci
+.PHONY: build test bench-smoke bench-speed serve-smoke bench-serve ci
 
 build:
 	$(GO) vet ./...
@@ -18,7 +23,7 @@ build:
 
 test: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -26,4 +31,13 @@ bench-smoke:
 bench-speed:
 	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json
 
-ci: test bench-smoke
+serve-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/vcodecd ./cmd/vcodecd
+	$(GO) build -o bin/vload ./cmd/vload
+	BIN=bin sh scripts/serve_smoke.sh
+
+bench-serve:
+	$(GO) run ./cmd/vload -selfhost -sessions 1,4,8 -frames 30 -size qcif -qp 16 -me acbm -verify -json BENCH_serve.json
+
+ci: test bench-smoke serve-smoke

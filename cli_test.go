@@ -4,11 +4,15 @@ package repro
 // and driven through its primary flows against a temp directory.
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/codec"
 )
 
 // buildTool compiles one cmd into a temp dir and returns the binary path.
@@ -140,5 +144,75 @@ func TestCLIRejectsBadFlags(t *testing.T) {
 	vcodec := buildTool(t, "vcodec")
 	if out, err := exec.Command(vcodec, "encode").CombinedOutput(); err == nil {
 		t.Fatalf("missing -i/-o accepted:\n%s", out)
+	}
+}
+
+// TestCLIPacketizedLossConcealment drives the -packets transport end to
+// end: encode, drop a P-frame record from the file (a lossy channel),
+// and check decode conceals the hole instead of erroring while info
+// reports the drop.
+func TestCLIPacketizedLossConcealment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seqgen := buildTool(t, "seqgen")
+	vcodec := buildTool(t, "vcodec")
+	dir := t.TempDir()
+	y4m := filepath.Join(dir, "clip.y4m")
+	pkt := filepath.Join(dir, "clip.pkt")
+	lossy := filepath.Join(dir, "lossy.pkt")
+	dec := filepath.Join(dir, "dec.y4m")
+
+	runTool(t, seqgen, "-profile", "carphone", "-frames", "9", "-size", "sqcif", "-o", y4m)
+	out := runTool(t, vcodec, "encode", "-i", y4m, "-o", pkt, "-qp", "14", "-gop", "4", "-packets", "-workers", "2", "-pipeline")
+	if !strings.Contains(out, "(packets)") {
+		t.Fatalf("vcodec encode output: %s", out)
+	}
+
+	// Rewrite the file without frame packet 2 (record index 2), duplicate
+	// record 4 (a relay hiccup) and splice in a record with an absurd
+	// index (a corrupted index varint) — decode must conceal the drop and
+	// discard the untrustworthy records, never error or balloon output.
+	data, err := os.ReadFile(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := codec.NewPacketReader(bytes.NewReader(data))
+	var buf bytes.Buffer
+	pw := codec.NewPacketWriter(&buf)
+	for {
+		idx, payload, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 2 {
+			continue // the channel ate this one
+		}
+		if err := pw.WritePacket(idx, payload); err != nil {
+			t.Fatal(err)
+		}
+		if idx == 4 {
+			if err := pw.WritePacket(idx, payload); err != nil { // duplicate
+				t.Fatal(err)
+			}
+			if err := pw.WritePacket(1<<30, payload); err != nil { // corrupt index
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := os.WriteFile(lossy, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out = runTool(t, vcodec, "info", "-i", lossy, "-packets")
+	if !strings.Contains(out, "8 frame packets (1 dropped, 2 untrustworthy records ignored)") {
+		t.Fatalf("vcodec info output: %s", out)
+	}
+	out = runTool(t, vcodec, "decode", "-i", lossy, "-o", dec, "-packets")
+	if !strings.Contains(out, "decoded 9 frames") || !strings.Contains(out, "1 concealed") {
+		t.Fatalf("vcodec decode output: %s", out)
 	}
 }

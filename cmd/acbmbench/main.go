@@ -48,7 +48,7 @@ func main() {
 	)
 	flag.Parse()
 
-	size, err := parseSize(*sizeName)
+	size, err := frame.SizeByName(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
@@ -227,18 +227,6 @@ func main() {
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *expName))
 	}
-}
-
-func parseSize(name string) (frame.Size, error) {
-	switch strings.ToLower(name) {
-	case "sqcif":
-		return frame.SQCIF, nil
-	case "qcif":
-		return frame.QCIF, nil
-	case "cif":
-		return frame.CIF, nil
-	}
-	return frame.Size{}, fmt.Errorf("unknown size %q (want sqcif, qcif or cif)", name)
 }
 
 func parseQps(arg string) ([]int, error) {

@@ -30,7 +30,7 @@ func main() {
 
 	cfg := experiment.MVStudyConfig{Size: frame.QCIF, Seed: *seed}
 	if *profName != "" {
-		p, err := parseProfile(*profName)
+		p, err := video.ProfileByName(*profName)
 		if err != nil {
 			fatal(err)
 		}
@@ -55,20 +55,6 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d scatter points to %s\n", len(res.Samples), *csvPath)
 	}
-}
-
-func parseProfile(name string) (video.Profile, error) {
-	switch strings.ToLower(name) {
-	case "carphone":
-		return video.Carphone, nil
-	case "foreman":
-		return video.Foreman, nil
-	case "missamerica", "miss-america":
-		return video.MissAmerica, nil
-	case "table", "tabletennis":
-		return video.TableTennis, nil
-	}
-	return 0, fmt.Errorf("unknown profile %q", name)
 }
 
 func fatal(err error) {

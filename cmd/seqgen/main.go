@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/frame"
 	"repro/internal/video"
@@ -31,11 +30,11 @@ func main() {
 	if *out == "" {
 		fatal(fmt.Errorf("-o output path is required"))
 	}
-	prof, err := parseProfile(*profName)
+	prof, err := video.ProfileByName(*profName)
 	if err != nil {
 		fatal(err)
 	}
-	size, err := parseSize(*sizeName)
+	size, err := frame.SizeByName(*sizeName)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,32 +58,6 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d frames of %v (%v) to %s\n", len(seq), prof, size, *out)
-}
-
-func parseProfile(name string) (video.Profile, error) {
-	switch strings.ToLower(name) {
-	case "carphone":
-		return video.Carphone, nil
-	case "foreman":
-		return video.Foreman, nil
-	case "missamerica", "miss-america":
-		return video.MissAmerica, nil
-	case "table", "tabletennis":
-		return video.TableTennis, nil
-	}
-	return 0, fmt.Errorf("unknown profile %q", name)
-}
-
-func parseSize(name string) (frame.Size, error) {
-	switch strings.ToLower(name) {
-	case "sqcif":
-		return frame.SQCIF, nil
-	case "qcif":
-		return frame.QCIF, nil
-	case "cif":
-		return frame.CIF, nil
-	}
-	return frame.Size{}, fmt.Errorf("unknown size %q", name)
 }
 
 func fatal(err error) {

@@ -15,6 +15,14 @@
 // next; both produce bitstreams byte-identical to the single-threaded
 // encoder (only wall-clock changes).
 //
+// -packets (all three subcommands) switches to the packetized transport:
+// each frame is an independently parseable record (uvarint index, uvarint
+// length, payload — the same framing vcodecd streams over HTTP), so a
+// lossy channel can drop packets without desynchronising the parser.
+// `decode -packets` conceals dropped or corrupt frame packets by
+// repeating the previous reconstruction instead of erroring, recovering
+// fully at the next intra frame (use -gop at encode time).
+//
 // Synthetic input for a self-contained demo:
 //
 //	go run ./cmd/seqgen -profile foreman -o f.y4m
@@ -23,8 +31,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -68,6 +78,7 @@ func runEncode(args []string) error {
 		beta    = fs.Int("beta", core.DefaultParams.Beta, "ACBM β")
 		workers = fs.Int("workers", 0, "macroblock-analysis goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
 		pipe    = fs.Bool("pipeline", false, "overlap entropy coding of frame n with analysis of frame n+1 (byte-identical output)")
+		packets = fs.Bool("packets", false, "write the packetized transport (independently parseable frame records) instead of the contiguous stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,19 +111,45 @@ func runEncode(args []string) error {
 	if fps == 0 {
 		fps = 30
 	}
-	stats, bs, err := codec.EncodeSequence(codec.Config{
+	cfg := codec.Config{
 		Qp: *qp, SearchRange: *rng, Searcher: searcher,
 		FPS: fps, IntraPeriod: *gop, Entropy: mode,
 		Workers: *workers, Pipeline: *pipe,
-	}, stream.Frames)
-	if err != nil {
-		return err
+	}
+	var (
+		stats *codec.SequenceStats
+		bs    []byte
+	)
+	if *packets {
+		pkts, st, err := codec.EncodePackets(cfg, stream.Frames)
+		if err != nil {
+			return err
+		}
+		stats = st
+		var buf bytes.Buffer
+		pw := codec.NewPacketWriter(&buf)
+		for i, pkt := range pkts {
+			if err := pw.WritePacket(i, pkt); err != nil {
+				return err
+			}
+		}
+		bs = buf.Bytes()
+	} else {
+		st, b, err := codec.EncodeSequence(cfg, stream.Frames)
+		if err != nil {
+			return err
+		}
+		stats, bs = st, b
 	}
 	if err := os.WriteFile(*out, bs, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("encoded %d frames (%v) with %s/%s at Qp %d\n",
-		len(stream.Frames), stream.Frames[0].Size(), searcher.Name(), mode, *qp)
+	format := "stream"
+	if *packets {
+		format = "packets"
+	}
+	fmt.Printf("encoded %d frames (%v) with %s/%s at Qp %d (%s)\n",
+		len(stream.Frames), stream.Frames[0].Size(), searcher.Name(), mode, *qp, format)
 	fmt.Printf("  %d bytes, %.1f kbit/s @ %.3g fps, PSNR-Y %.2f dB, %.0f search positions/MB\n",
 		len(bs), stats.BitrateKbps(), fps, stats.AvgPSNRY(), stats.AvgSearchPointsPerMB())
 	return nil
@@ -121,9 +158,10 @@ func runEncode(args []string) error {
 func runDecode(args []string) error {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	var (
-		in  = fs.String("i", "", "input bitstream path")
-		out = fs.String("o", "", "output .y4m path")
-		fps = fs.Int("fps", 30, "frame rate tag for the output Y4M")
+		in      = fs.String("i", "", "input bitstream path")
+		out     = fs.String("o", "", "output .y4m path")
+		fps     = fs.Int("fps", 30, "frame rate tag for the output Y4M")
+		packets = fs.Bool("packets", false, "input is the packetized transport; dropped or corrupt frame packets are concealed, not fatal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,7 +173,13 @@ func runDecode(args []string) error {
 	if err != nil {
 		return err
 	}
-	frames, err := codec.Decode(data)
+	var frames []*frame.Frame
+	concealed := 0
+	if *packets {
+		frames, concealed, err = decodePacketFile(data)
+	} else {
+		frames, err = codec.Decode(data)
+	}
 	if err != nil {
 		return err
 	}
@@ -150,13 +194,86 @@ func runDecode(args []string) error {
 	if err := frame.WriteY4M(outF, frames, *fps, 1); err != nil {
 		return err
 	}
-	fmt.Printf("decoded %d frames (%v) to %s\n", len(frames), frames[0].Size(), *out)
+	if concealed > 0 {
+		fmt.Printf("decoded %d frames (%v, %d concealed) to %s\n", len(frames), frames[0].Size(), concealed, *out)
+	} else {
+		fmt.Printf("decoded %d frames (%v) to %s\n", len(frames), frames[0].Size(), *out)
+	}
 	return nil
+}
+
+// maxConcealGap bounds how many consecutive missing frame packets decode
+// will conceal for one gap. A larger jump in record indices is far more
+// likely a corrupted index varint than a half-minute drop burst, and
+// trusting it would clone up to 2^32 concealment frames; such records
+// are discarded as corrupt instead.
+const maxConcealGap = 1024
+
+// decodePacketFile reconstructs a packetized file, concealing dropped
+// (missing index) and corrupt frame packets by repeating the previous
+// reconstruction — the loss behaviour of the paper's variable-bandwidth
+// channel, applied to a file a lossy relay already chewed on. Records
+// that cannot be trusted at all (duplicate, reordered or implausibly
+// far-ahead indices) are discarded: the predictive stream can only move
+// forward, so decode degrades, it does not error.
+func decodePacketFile(data []byte) ([]*frame.Frame, int, error) {
+	pr := codec.NewPacketReader(bytes.NewReader(data))
+	idx, hdr, err := pr.ReadPacket()
+	if err != nil {
+		return nil, 0, fmt.Errorf("decode: reading header packet: %w", err)
+	}
+	if idx != 0 {
+		return nil, 0, fmt.Errorf("decode: header packet missing (first record has index %d)", idx)
+	}
+	dec, err := codec.NewPacketDecoder(hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	var frames []*frame.Frame
+	concealed := 0
+	conceal := func() {
+		if f := dec.ConcealLoss(); f != nil {
+			frames = append(frames, f)
+			concealed++
+		}
+		// A loss before the first decoded frame has nothing to repeat;
+		// the frame is skipped entirely.
+	}
+	next := 1
+	for {
+		idx, pkt, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if idx < next || idx-next > maxConcealGap { // untrustworthy index
+			continue
+		}
+		for ; next < idx; next++ { // gap: packets dropped in transit
+			conceal()
+		}
+		f, err := dec.DecodePacket(pkt)
+		if err != nil { // corrupt payload: treat as lost
+			conceal()
+		} else {
+			frames = append(frames, f)
+		}
+		next = idx + 1
+	}
+	if len(frames) == 0 {
+		return nil, 0, fmt.Errorf("decode: no decodable frame packets (stream fully lost?)")
+	}
+	return frames, concealed, nil
 }
 
 func runInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	in := fs.String("i", "", "input bitstream path")
+	var (
+		in      = fs.String("i", "", "input bitstream path")
+		packets = fs.Bool("packets", false, "input is the packetized transport")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,6 +283,9 @@ func runInfo(args []string) error {
 	data, err := os.ReadFile(*in)
 	if err != nil {
 		return err
+	}
+	if *packets {
+		return packetInfo(*in, data)
 	}
 	d, err := codec.NewDecoder(data)
 	if err != nil {
@@ -183,35 +303,62 @@ func runInfo(args []string) error {
 	return nil
 }
 
+// packetInfo summarises a packetized file without reconstructing pixels:
+// record count, payload bytes, missing frame indices, and records whose
+// indices cannot be trusted (same policy as decodePacketFile).
+func packetInfo(name string, data []byte) error {
+	pr := codec.NewPacketReader(bytes.NewReader(data))
+	idx, hdr, err := pr.ReadPacket()
+	if err != nil {
+		return fmt.Errorf("info: reading header packet: %w", err)
+	}
+	if idx != 0 {
+		return fmt.Errorf("info: header packet missing (first record has index %d)", idx)
+	}
+	dec, err := codec.NewPacketDecoder(hdr)
+	if err != nil {
+		return err
+	}
+	frames, dropped, ignored, payload := 0, 0, 0, len(hdr)
+	next := 1
+	for {
+		idx, pkt, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if idx < next || idx-next > maxConcealGap {
+			ignored++
+			continue
+		}
+		dropped += idx - next
+		frames++
+		payload += len(pkt)
+		next = idx + 1
+	}
+	extra := ""
+	if ignored > 0 {
+		extra = fmt.Sprintf(", %d untrustworthy records ignored", ignored)
+	}
+	fmt.Printf("%s: %v, packets, %d frame packets (%d dropped%s), %d payload bytes, %d bytes\n",
+		name, dec.Size(), frames, dropped, extra, payload, len(data))
+	return nil
+}
+
+// makeSearcher resolves -me via the shared name table; only ACBM takes
+// the CLI's α/β overrides, so it is special-cased ahead of the lookup.
 func makeSearcher(name string, alpha, beta int) (search.Searcher, error) {
-	switch strings.ToLower(name) {
-	case "acbm":
+	if strings.ToLower(name) == "acbm" {
 		p := core.DefaultParams
 		p.Alpha, p.Beta = alpha, beta
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
 		return core.New(p), nil
-	case "fsbm":
-		return &search.FSBM{}, nil
-	case "rcfsbm":
-		return &search.RCFSBM{}, nil
-	case "pbm":
-		return &search.PBM{}, nil
-	case "tss":
-		return &search.TSS{}, nil
-	case "ntss":
-		return &search.NTSS{}, nil
-	case "4ss", "fss":
-		return &search.FSS{}, nil
-	case "ds", "diamond":
-		return &search.Diamond{}, nil
-	case "cds":
-		return &search.CrossDiamond{}, nil
-	case "hexbs", "hex":
-		return &search.HEXBS{}, nil
 	}
-	return nil, fmt.Errorf("unknown motion estimator %q", name)
+	return core.SearcherByName(name)
 }
 
 func parseEntropy(name string) (codec.EntropyMode, error) {

@@ -1,0 +1,104 @@
+// Command vcodecd is the encode-as-a-service daemon: it accepts raw
+// YUV4MPEG2 video over chunked HTTP POST and streams the packetized
+// bitstream back as frames complete, with N concurrent sessions sharing
+// one machine-sized analysis worker pool (internal/server).
+//
+// Usage:
+//
+//	vcodecd -addr :8323 -pool 8 -max-sessions 8 -max-queued 32
+//
+// Endpoints:
+//
+//	POST /encode?qp=16&me=acbm&entropy=arith&gop=30   Y4M in, packets out
+//	GET  /healthz                                     liveness + occupancy
+//	GET  /metrics                                     Prometheus text
+//
+// The response body is a stream of codec.PacketWriter records (uvarint
+// index, uvarint length, payload), flushed per packet; decode it with
+// `vcodec decode -packets` or codec.PacketReader + codec.PacketDecoder.
+// Session statistics arrive as X-Vcodec-* trailers.
+//
+// SIGINT/SIGTERM trigger graceful shutdown: new sessions get 503, the
+// /healthz status flips to "draining", and in-flight sessions stream to
+// completion (bounded by -drain-timeout) before the process exits.
+//
+// -addrfile writes the bound address (useful with -addr 127.0.0.1:0) so
+// scripts can discover the random port; see `make serve-smoke`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8323", "listen address")
+		addrfile = flag.String("addrfile", "", "write the bound address to this file once listening")
+		pool     = flag.Int("pool", 0, "shared analysis pool workers (0 = GOMAXPROCS)")
+		maxSess  = flag.Int("max-sessions", 8, "concurrent encode sessions")
+		maxQueue = flag.Int("max-queued", 32, "sessions allowed to wait for admission")
+		maxFrame = flag.Int("max-frames", 0, "per-session frame cap (0 = unlimited)")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight sessions")
+	)
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vcodecd: %v", err)
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("vcodecd: %v", err)
+		}
+	}
+
+	srv := server.New(server.Config{
+		PoolWorkers:         *pool,
+		MaxSessions:         *maxSess,
+		MaxQueued:           *maxQueue,
+		MaxFramesPerSession: *maxFrame,
+	})
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// No WriteTimeout: sessions are long-lived streams whose pace the
+		// client controls (backpressure is the feature, not a hang).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("vcodecd: listening on %s (pool %d, %d sessions + %d queued)",
+		ln.Addr(), *pool, *maxSess, *maxQueue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("vcodecd: %v — draining", s)
+	case err := <-errCh:
+		log.Fatalf("vcodecd: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("vcodecd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vcodecd: shutdown: %v", err)
+	}
+	srv.Close()
+	fmt.Println("vcodecd: drained, bye")
+}

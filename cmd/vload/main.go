@@ -1,0 +1,155 @@
+// Command vload is the load generator for vcodecd: it drives M
+// concurrent encode sessions against the daemon (uploading a synthetic
+// Y4M clip, streaming the packet response) across a sweep of session
+// counts and reports aggregate throughput plus first-packet and
+// per-frame latency percentiles — the numbers behind BENCH_serve.json.
+//
+// Usage:
+//
+//	vload -url http://127.0.0.1:8323 -sessions 1,4,8 -frames 30 -json BENCH_serve.json
+//	vload -selfhost -sessions 1,4,8 -verify -json BENCH_serve.json
+//
+// -selfhost boots an in-process vcodecd on a loopback port and drives it
+// over real HTTP — the one-command way to regenerate the artifact.
+// -verify additionally byte-compares one session per point against the
+// offline EncodePackets output, turning the throughput claim into a
+// correctness claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/frame"
+	"repro/internal/server"
+	"repro/internal/video"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "daemon base URL (e.g. http://127.0.0.1:8323)")
+		selfhost = flag.Bool("selfhost", false, "boot an in-process daemon on a loopback port and drive it")
+		pool     = flag.Int("pool", 0, "selfhost: analysis pool workers (0 = GOMAXPROCS)")
+		sessions = flag.String("sessions", "1,4,8", "comma-separated session counts to sweep")
+		frames   = flag.Int("frames", 30, "frames per session")
+		sizeName = flag.String("size", "qcif", "clip size: sqcif|qcif|cif")
+		profName = flag.String("profile", "foreman", "clip profile: carphone|foreman|missamerica|table")
+		qp       = flag.Int("qp", 16, "quantiser parameter")
+		me       = flag.String("me", "acbm", "motion estimator")
+		entropy  = flag.String("entropy", "", "entropy backend: expgolomb|arith")
+		seed     = flag.Uint64("seed", 0, "clip seed (0 = experiment default)")
+		verify   = flag.Bool("verify", false, "byte-compare one session per point against the offline encoder")
+		jsonPath = flag.String("json", "", "write the report to this path (BENCH_serve.json)")
+		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for /healthz before starting")
+	)
+	flag.Parse()
+
+	counts, err := parseSessions(*sessions)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := frame.SizeByName(*sizeName)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := video.ProfileByName(*profName)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *url
+	if *selfhost {
+		if base != "" {
+			fatal(fmt.Errorf("-url and -selfhost are mutually exclusive"))
+		}
+		maxSess := 0
+		for _, n := range counts {
+			if n > maxSess {
+				maxSess = n
+			}
+		}
+		srv := server.New(server.Config{PoolWorkers: *pool, MaxSessions: maxSess})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go http.Serve(ln, srv.Handler())
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("vload: self-hosted daemon on %s\n", base)
+	}
+	if base == "" {
+		fatal(fmt.Errorf("-url is required (or use -selfhost)"))
+	}
+	if err := waitHealthy(base, *wait); err != nil {
+		fatal(err)
+	}
+
+	res, err := experiment.RunServe(experiment.ServeConfig{
+		URL:      base,
+		Sessions: counts,
+		Frames:   *frames,
+		Size:     size,
+		Profile:  prof,
+		Qp:       *qp,
+		Seed:     *seed,
+		Searcher: *me,
+		Entropy:  *entropy,
+		Verify:   *verify,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.FormatServe(res))
+	if *jsonPath != "" {
+		if err := res.WriteJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// waitHealthy polls /healthz until the daemon answers 200.
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %v: %w", base, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func parseSessions(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad session count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no session counts in %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vload:", err)
+	os.Exit(1)
+}

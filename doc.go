@@ -8,8 +8,9 @@
 //
 // The library lives under internal/ (see DESIGN.md for the system
 // inventory); runnable entry points are the examples/ programs and the
-// cmd/acbmbench, cmd/mvstudy and cmd/seqgen tools. The benchmarks in
-// bench_test.go regenerate the paper's Table 1 and Figures 4-6.
+// cmd/acbmbench, cmd/mvstudy, cmd/seqgen, cmd/vcodec, cmd/vcodecd and
+// cmd/vload tools. The benchmarks in bench_test.go regenerate the paper's
+// Table 1 and Figures 4-6.
 //
 // # Performance architecture
 //
@@ -60,4 +61,39 @@
 // BENCH_speed.json`) records the encoder's speed trajectory — ns/frame,
 // fps, the analysis/entropy phase split and points/block per searcher,
 // worker count and pipeline mode.
+//
+// # Serving architecture
+//
+// On top of the engine sits an encode-as-a-service layer, the
+// "variable bandwidth channel" deployment the paper targets:
+//
+//   - codec.EncodeStream is the streaming session API: frames in one at
+//     a time, each finished frame out immediately as an independently
+//     parseable packet (first-byte latency of one frame, not one
+//     sequence). It reuses the analyzeFrameJob/writeFrameBody split and
+//     the pipeline overlap; a slow consumer throttles the encode (one
+//     frame in flight behind a blocked emit) instead of growing a queue.
+//     codec.EncodePackets is its batch wrapper, and the uvarint
+//     record framing (codec.PacketWriter/PacketReader) carries packet
+//     streams over files and HTTP alike — with explicit indices, so a
+//     lossy channel's drops are visible and concealable.
+//   - codec.Pool is the multi-session scheduler's substrate: one
+//     machine-sized analysis worker pool shared by every concurrent
+//     session (Config.Pool replaces per-session Config.Workers), with
+//     sessions interleaving at macroblock granularity on a FIFO queue —
+//     fair-share without oversubscription, bitstreams still
+//     bit-identical to the sequential encoder.
+//   - internal/server (cmd/vcodecd) serves POST /encode: chunked Y4M
+//     upload in, flushed packet records out, session stats in HTTP
+//     trailers; admission control (session cap + bounded queue, 503
+//     beyond), /healthz and /metrics (sessions, frames/s, per-phase
+//     latency), and graceful SIGTERM drain that completes in-flight
+//     streams while rejecting new ones.
+//   - cmd/vload is the load generator: M concurrent sessions across a
+//     sweep of session counts, reporting aggregate throughput plus
+//     first-packet and per-frame latency percentiles, optionally
+//     byte-verifying the served stream against the offline encoder.
+//     `make bench-serve` writes the artifact (BENCH_serve.json) and
+//     `make serve-smoke` gates CI on boot → verified burst → clean
+//     drain. See examples/serve for the walkthrough.
 package repro

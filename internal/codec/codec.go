@@ -79,6 +79,16 @@ type Config struct {
 	// (TargetKbps > 0) fall back to serial: the quantiser servo needs
 	// frame n's bit count before frame n+1's analysis may start.
 	Pipeline bool
+	// Pool, when non-nil, runs macroblock analysis on a shared worker
+	// pool instead of Workers frame-private goroutines. This is the
+	// multi-session serving mode (cmd/vcodecd): N concurrent encoder
+	// sessions share one machine-sized pool, interleaving at macroblock
+	// granularity, instead of oversubscribing the host with N×Workers
+	// goroutines. The wavefront schedule, its invariants and the output
+	// bits are identical to the private-worker path; Workers is ignored
+	// while Pool is set. Searchers that do not implement search.Forker
+	// still analyse sequentially on the session's own goroutine.
+	Pool *Pool
 	// Workers sets how many goroutines analyse macroblocks concurrently
 	// (motion estimation, mode decision, transform/quantisation and
 	// reconstruction, scheduled per anti-diagonal wavefront; entropy

@@ -18,49 +18,35 @@ import (
 // carries frame i. In arithmetic mode each packet has its own coder state
 // and contexts, trading a little compression for independence.
 
-// EncodePackets encodes frames as independent packets.
+// EncodePackets encodes frames as independent packets. It is the batch
+// wrapper around EncodeStream, so the full PR 1/PR 2 machinery applies:
+// analysis honours Config.Workers (wavefront) or Config.Pool (shared
+// pool), and Config.Pipeline overlaps entropy coding of frame n with
+// analysis of frame n+1. The packet bytes are identical for every such
+// setting (TestPacketsPipelineBitIdentical pins it).
 func EncodePackets(cfg Config, frames []*frame.Frame) ([][]byte, *SequenceStats, error) {
 	if len(frames) == 0 {
 		return nil, nil, fmt.Errorf("codec: no frames to encode")
 	}
-	cfg = cfg.withDefaults()
 	if err := validateSize(frames[0].Size()); err != nil {
 		return nil, nil, err
 	}
-	e := NewEncoder(cfg)
-	e.size = frames[0].Size()
-
-	// Packet 0: sequence header.
-	var hw bitstream.Writer
-	hw.WriteBits(Magic, 32)
-	entropy.WriteUE(&hw, uint32(e.size.W/16))
-	entropy.WriteUE(&hw, uint32(e.size.H/16))
-	hw.WriteBits(uint64(cfg.Entropy), 1)
-	packets := [][]byte{hw.Bytes()}
-
+	var packets [][]byte
+	s := NewEncodeStream(cfg, func(p Packet) error {
+		packets = append(packets, p.Data)
+		return nil
+	})
 	for i, f := range frames {
-		// Analysis first (it also applies the rate controller's
-		// quantiser), then a fresh per-packet syntax writer — no sequence
-		// header, no continuation flags — for the frame body.
-		j, err := e.analyzeFrameJob(f)
-		if err != nil {
+		if err := s.EncodeFrame(f); err != nil {
+			s.Close() // drain the writer goroutine before bailing
 			return nil, nil, fmt.Errorf("codec: frame %d: %w", i, err)
 		}
-		e.sw = newSymWriter(cfg.Entropy)
-		e.sw.BeginData()
-		fs := e.writeFrameBody(j)
-		pkt := e.sw.Finish()
-		fs.Bits = 8 * len(pkt)
-		fs.Qp = j.qp
-		if e.rc != nil {
-			e.rc.observe(fs.Bits)
-		}
-		py, _ := frame.PSNR(j.src.Y, j.recon.Y)
-		fs.PSNRY = py
-		e.stats.Frames = append(e.stats.Frames, fs)
-		packets = append(packets, pkt)
 	}
-	return packets, e.Stats(), nil
+	stats, err := s.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return packets, stats, nil
 }
 
 // PacketDecoder reconstructs a packetized stream, tolerating lost frame

@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Packet framing: the packetized transport needs a container when packets
+// travel over a byte stream (an HTTP response body, a file on disk). Each
+// record is
+//
+//	uvarint packet index | uvarint payload length | payload bytes
+//
+// concatenated with no trailer — streaming-friendly (a consumer can act on
+// each record as it arrives) and gap-tolerant (indices are explicit, so a
+// file or relay that dropped packets still identifies every survivor and
+// the decoder conceals the holes). Index 0 is the sequence header packet;
+// frame i travels as index i+1, matching Packet.Index.
+
+// maxFramedPacket caps a record's payload so a corrupt length field
+// cannot force a multi-gigabyte allocation.
+const maxFramedPacket = 1 << 28
+
+// PacketWriter frames packets onto an io.Writer.
+type PacketWriter struct {
+	w io.Writer
+}
+
+// NewPacketWriter returns a writer framing onto w. Writes are not
+// buffered: one WritePacket is at most two Write calls on w, so a
+// flushing transport (http.Flusher) can forward each packet immediately.
+func NewPacketWriter(w io.Writer) *PacketWriter {
+	return &PacketWriter{w: w}
+}
+
+// WritePacket appends one framed record.
+func (pw *PacketWriter) WritePacket(index int, data []byte) error {
+	if index < 0 {
+		return fmt.Errorf("codec: negative packet index %d", index)
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(index))
+	n += binary.PutUvarint(hdr[n:], uint64(len(data)))
+	if _, err := pw.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(data)
+	return err
+}
+
+// PacketReader parses a framed packet stream.
+type PacketReader struct {
+	br *bufio.Reader
+}
+
+// NewPacketReader returns a reader over r.
+func NewPacketReader(r io.Reader) *PacketReader {
+	return &PacketReader{br: bufio.NewReader(r)}
+}
+
+// ReadPacket returns the next record, or io.EOF at a clean end of stream.
+func (pr *PacketReader) ReadPacket() (index int, data []byte, err error) {
+	idx, err := binary.ReadUvarint(pr.br)
+	if err == io.EOF {
+		return 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("codec: reading packet index: %w", err)
+	}
+	size, err := binary.ReadUvarint(pr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("codec: reading packet length: %w", err)
+	}
+	if idx > 1<<32 || size > maxFramedPacket {
+		return 0, nil, fmt.Errorf("codec: implausible packet record (index %d, %d bytes)", idx, size)
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(pr.br, data); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("codec: reading packet payload: %w", err)
+	}
+	return int(idx), data, nil
+}

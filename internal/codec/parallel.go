@@ -35,9 +35,19 @@ import (
 // count ≥ 1.
 
 // analyzeFrame fills results (and recon, and curField for P-frames) for
-// every macroblock of src, using the configured number of workers. Intra
+// every macroblock of src, using the configured number of workers — or,
+// when Config.Pool is set, the shared cross-session worker pool. Intra
 // frames have no cross-MB dependencies and skip the wavefront barriers.
 func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field, results []mbResult, intra bool) {
+	if e.cfg.Pool != nil {
+		_, forker := e.cfg.Searcher.(search.Forker)
+		if intra || forker {
+			e.analyzeFramePool(src, recon, curField, results, intra)
+			return
+		}
+		// Non-Forker searchers keep exact sequential semantics, as in the
+		// private-worker path below.
+	}
 	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
 	nw := e.workerCount()
 	if nw > rows*cols {
@@ -123,5 +133,82 @@ func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field,
 		for _, s := range searchers {
 			f.Join(s)
 		}
+	}
+}
+
+// analyzeFramePool is analyzeFrame's shared-pool variant: identical
+// wavefront schedule and invariants, but the per-macroblock tasks run on
+// Config.Pool's cross-session workers instead of frame-private
+// goroutines. Forked searchers are borrowed from a buffered channel by
+// whichever pool worker picks the task up; the set is sized to the
+// largest possible concurrent task count (one anti-diagonal, itself
+// capped by the pool size), so borrowing never blocks. Searcher identity
+// does not affect the search result — forks share the parent's
+// parameters and differ only in their (additively merged) statistics — so
+// bitstreams stay bit-identical to the sequential encoder, exactly as in
+// the private-worker path.
+func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Field, results []mbResult, intra bool) {
+	pool := e.cfg.Pool
+	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
+	var wg sync.WaitGroup
+
+	if intra {
+		wg.Add(rows * cols)
+		for idx := 0; idx < rows*cols; idx++ {
+			idx := idx
+			pool.submit(func() {
+				e.analyzeIntraMB(src, recon, idx%cols, idx/cols, &results[idx])
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		return
+	}
+
+	// One anti-diagonal has at most min(rows, cols/2+1) macroblocks, and
+	// the pool runs at most pool.Size() tasks at once; forking the smaller
+	// count guarantees a searcher is always available to a running task.
+	f := e.cfg.Searcher.(search.Forker)
+	nf := rows
+	if c := cols/2 + 1; c < nf {
+		nf = c
+	}
+	if pool.Size() < nf {
+		nf = pool.Size()
+	}
+	searchers := make(chan search.Searcher, nf)
+	for i := 0; i < nf; i++ {
+		searchers <- f.Fork()
+	}
+
+	for d := 0; d <= (cols-1)+2*(rows-1); d++ {
+		loY := (d - (cols - 1) + 1) / 2
+		if loY < 0 {
+			loY = 0
+		}
+		hiY := d / 2
+		if hiY > rows-1 {
+			hiY = rows - 1
+		}
+		if hiY < loY {
+			continue
+		}
+		wg.Add(hiY - loY + 1)
+		for mby := loY; mby <= hiY; mby++ {
+			mbx := d - 2*mby
+			idx := mby*cols + mbx
+			mbx, mby := mbx, mby
+			pool.submit(func() {
+				s := <-searchers
+				e.analyzeInterMB(s, src, recon, curField, mbx, mby, &results[idx])
+				searchers <- s
+				wg.Done()
+			})
+		}
+		wg.Wait() // barrier: diagonal complete, writes published
+	}
+
+	for i := 0; i < nf; i++ {
+		f.Join(<-searchers)
 	}
 }

@@ -1,0 +1,76 @@
+package codec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a shared macroblock-analysis worker pool: a fixed set of
+// goroutines that execute analysis tasks for any number of concurrent
+// encoder sessions. It exists so a serving process (cmd/vcodecd) can cap
+// total analysis parallelism at the machine's core count instead of
+// letting every session spin up Config.Workers goroutines of its own —
+// N sessions share one pool rather than oversubscribing N×GOMAXPROCS.
+//
+// Scheduling and fairness: sessions submit one task per macroblock into a
+// single FIFO queue, so concurrent sessions interleave at macroblock
+// granularity — a session never holds a worker longer than one block's
+// analysis, and a newly admitted session starts drawing workers within
+// one macroblock's latency of every other session (fair-share by queue
+// position, not by priority). The wavefront barriers mean a session has
+// at most one anti-diagonal of tasks outstanding, which bounds how far
+// any session can run ahead in the queue.
+//
+// Deadlock freedom: pool workers never submit tasks and tasks never block
+// on other tasks (the per-frame searcher set is sized so a borrowed
+// searcher is always available; see analyzeFramePool), so every submitted
+// task eventually runs even when sessions outnumber workers.
+type Pool struct {
+	tasks chan func()
+	size  int
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers (0 or negative
+// selects GOMAXPROCS). Close releases the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		// A small buffer lets a session stage the next few macroblocks of
+		// a diagonal while workers finish the current ones; keeping it
+		// shallow is what preserves macroblock-level interleaving across
+		// sessions.
+		tasks: make(chan func(), workers),
+		size:  workers,
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return p.size }
+
+// submit enqueues one task; it blocks while the queue is full, which is
+// the fair-share backpressure between sessions.
+func (p *Pool) submit(fn func()) { p.tasks <- fn }
+
+// Close stops the workers once the queue drains. It must only be called
+// after every session using the pool has finished; it is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/search"
+)
+
+// SearcherByName builds a motion estimator from its CLI name — the
+// shared vocabulary of cmd/vcodec's -me flag, vcodecd's ?me= query
+// parameter and vload's benchmark config. ACBM uses DefaultParams;
+// callers needing custom α/β construct core.New directly.
+func SearcherByName(name string) (search.Searcher, error) {
+	switch strings.ToLower(name) {
+	case "", "acbm":
+		return New(DefaultParams), nil
+	case "fsbm":
+		return &search.FSBM{}, nil
+	case "rcfsbm":
+		return &search.RCFSBM{}, nil
+	case "pbm":
+		return &search.PBM{}, nil
+	case "tss":
+		return &search.TSS{}, nil
+	case "ntss":
+		return &search.NTSS{}, nil
+	case "4ss", "fss":
+		return &search.FSS{}, nil
+	case "ds", "diamond":
+		return &search.Diamond{}, nil
+	case "cds":
+		return &search.CrossDiamond{}, nil
+	case "hexbs", "hex":
+		return &search.HEXBS{}, nil
+	}
+	return nil, fmt.Errorf("unknown motion estimator %q", name)
+}

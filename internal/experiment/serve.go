@@ -1,0 +1,337 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/video"
+)
+
+// ServeConfig configures the serving benchmark: cmd/vload drives M
+// concurrent encode sessions against a running vcodecd and measures what
+// a client of the "variable bandwidth channel" deployment cares about —
+// time to first packet (stream startup) and per-frame packet cadence —
+// across a sweep of session counts. The JSON artifact (BENCH_serve.json)
+// is the serving counterpart of BENCH_speed.json.
+type ServeConfig struct {
+	// URL is the daemon base URL, e.g. http://127.0.0.1:8323.
+	URL string
+	// Sessions lists the concurrency levels to sweep (default {1, 4, 8}).
+	Sessions []int
+	// Frames per session (default 30).
+	Frames int
+	// Size and Profile describe the synthetic upload (default QCIF
+	// Foreman — the paper's hard case).
+	Size    frame.Size
+	Profile video.Profile
+	Qp      int    // default 16
+	Seed    uint64 // default DefaultSeed
+	// Searcher and Entropy are passed through as /encode query params.
+	Searcher string
+	Entropy  string
+	// Verify byte-compares one session's packets per point against the
+	// offline EncodePackets output — the "it serves traffic" claim is
+	// then also an "it serves the right bits" claim.
+	Verify bool
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if len(c.Sessions) == 0 {
+		c.Sessions = []int{1, 4, 8}
+	}
+	if c.Frames <= 0 {
+		c.Frames = 30
+	}
+	if c.Size == (frame.Size{}) {
+		c.Size = frame.QCIF
+	}
+	if c.Qp <= 0 {
+		c.Qp = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.Searcher == "" {
+		c.Searcher = "acbm"
+	}
+	return c
+}
+
+// ServePoint is one session-count measurement.
+type ServePoint struct {
+	Sessions         int     `json:"sessions"`
+	FramesPerSession int     `json:"frames_per_session"`
+	TotalFrames      int     `json:"total_frames"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	// FramesPerSec is aggregate serving throughput: frames streamed by
+	// all sessions over the sweep's wall clock.
+	FramesPerSec float64 `json:"frames_per_sec"`
+	BytesOut     int64   `json:"bytes_out"`
+	// FirstPacketMs* is the time from sending the request to receiving
+	// the first frame packet (stream startup latency), across sessions.
+	FirstPacketMsP50 float64 `json:"first_packet_ms_p50"`
+	FirstPacketMsP99 float64 `json:"first_packet_ms_p99"`
+	// FrameMs* is the gap between consecutive frame packets (steady-state
+	// per-frame latency), across all sessions' samples.
+	FrameMsP50 float64 `json:"frame_ms_p50"`
+	FrameMsP99 float64 `json:"frame_ms_p99"`
+	Errors     int     `json:"errors"`
+	Verified   bool    `json:"verified,omitempty"`
+}
+
+// ServeResult is the full serving report, serialisable to
+// BENCH_serve.json.
+type ServeResult struct {
+	URL       string       `json:"url"`
+	Profile   string       `json:"profile"`
+	Size      string       `json:"size"`
+	Frames    int          `json:"frames_per_session"`
+	Qp        int          `json:"qp"`
+	Searcher  string       `json:"searcher"`
+	Entropy   string       `json:"entropy,omitempty"`
+	GoMaxProc int          `json:"gomaxprocs"`
+	Points    []ServePoint `json:"points"`
+}
+
+// sessionSample is one client's observations.
+type sessionSample struct {
+	firstPacket time.Duration
+	frameGaps   []time.Duration
+	frames      int
+	bytes       int64
+	packets     [][]byte // retained only for the verified session
+	err         error
+}
+
+// RunServe sweeps the configured session counts against the daemon.
+func RunServe(cfg ServeConfig) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	frames := video.Generate(cfg.Profile, cfg.Size, cfg.Frames, cfg.Seed)
+	var body bytes.Buffer
+	if err := frame.WriteY4M(&body, frames, 30, 1); err != nil {
+		return nil, err
+	}
+	upload := body.Bytes()
+	url := fmt.Sprintf("%s/encode?qp=%d&me=%s&entropy=%s", cfg.URL, cfg.Qp, cfg.Searcher, cfg.Entropy)
+
+	var offline [][]byte
+	if cfg.Verify {
+		scfg, err := offlineConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		offline, _, err = codec.EncodePackets(scfg, frames)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &ServeResult{
+		URL:       cfg.URL,
+		Profile:   cfg.Profile.String(),
+		Size:      fmt.Sprintf("%dx%d", cfg.Size.W, cfg.Size.H),
+		Frames:    cfg.Frames,
+		Qp:        cfg.Qp,
+		Searcher:  cfg.Searcher,
+		Entropy:   cfg.Entropy,
+		GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	client := &http.Client{} // no timeout: sessions are long-lived streams
+	for _, n := range cfg.Sessions {
+		pt, err := runServePoint(client, url, upload, n, cfg, offline)
+		if err != nil {
+			return nil, fmt.Errorf("sessions=%d: %w", n, err)
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+// offlineConfig maps the benchmark parameters onto the library encoder
+// for the verification encode (Workers=1 — identity across worker counts
+// is the codec's own guarantee).
+func offlineConfig(cfg ServeConfig) (codec.Config, error) {
+	scfg := codec.Config{Qp: cfg.Qp, FPS: 30, Workers: 1}
+	switch cfg.Entropy {
+	case "", "expgolomb", "eg":
+	case "arith", "arithmetic", "sac":
+		scfg.Entropy = codec.EntropyArith
+	default:
+		return scfg, fmt.Errorf("unknown entropy %q", cfg.Entropy)
+	}
+	s, err := core.SearcherByName(cfg.Searcher)
+	if err != nil {
+		return scfg, err
+	}
+	scfg.Searcher = s
+	return scfg, nil
+}
+
+func runServePoint(client *http.Client, url string, upload []byte, n int, cfg ServeConfig, offline [][]byte) (*ServePoint, error) {
+	samples := make([]sessionSample, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples[i] = runSession(client, url, upload, cfg.Verify && i == 0)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	pt := &ServePoint{
+		Sessions:         n,
+		FramesPerSession: cfg.Frames,
+		WallSeconds:      wall.Seconds(),
+	}
+	var firsts, gaps []time.Duration
+	for i := range samples {
+		s := &samples[i]
+		if s.err != nil {
+			pt.Errors++
+			continue
+		}
+		pt.TotalFrames += s.frames
+		pt.BytesOut += s.bytes
+		firsts = append(firsts, s.firstPacket)
+		gaps = append(gaps, s.frameGaps...)
+	}
+	if wall > 0 {
+		pt.FramesPerSec = float64(pt.TotalFrames) / wall.Seconds()
+	}
+	pt.FirstPacketMsP50 = quantileMs(firsts, 0.50)
+	pt.FirstPacketMsP99 = quantileMs(firsts, 0.99)
+	pt.FrameMsP50 = quantileMs(gaps, 0.50)
+	pt.FrameMsP99 = quantileMs(gaps, 0.99)
+	if pt.Errors > 0 {
+		var firstErr error
+		for i := range samples {
+			if samples[i].err != nil {
+				firstErr = samples[i].err
+				break
+			}
+		}
+		return nil, fmt.Errorf("%d/%d sessions failed: %w", pt.Errors, n, firstErr)
+	}
+	if offline != nil {
+		if len(samples[0].packets) != len(offline) {
+			return nil, fmt.Errorf("verify: %d packets, offline %d", len(samples[0].packets), len(offline))
+		}
+		for i := range offline {
+			if !bytes.Equal(samples[0].packets[i], offline[i]) {
+				return nil, fmt.Errorf("verify: packet %d differs from offline encoder", i)
+			}
+		}
+		pt.Verified = true
+	}
+	return pt, nil
+}
+
+// runSession is one load-generating client: upload the clip, stream the
+// packets back, timestamp each arrival.
+func runSession(client *http.Client, url string, upload []byte, keep bool) sessionSample {
+	var s sessionSample
+	begin := time.Now()
+	resp, err := client.Post(url, "video/x-yuv4mpeg", bytes.NewReader(upload))
+	if err != nil {
+		s.err = err
+		return s
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		s.err = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+		return s
+	}
+	pr := codec.NewPacketReader(resp.Body)
+	var last time.Time
+	for {
+		idx, data, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.err = err
+			return s
+		}
+		now := time.Now()
+		s.bytes += int64(len(data))
+		if keep {
+			s.packets = append(s.packets, data)
+		}
+		if idx == 0 {
+			continue // header packet: startup is measured to the first frame
+		}
+		if s.frames == 0 {
+			s.firstPacket = now.Sub(begin)
+		} else {
+			s.frameGaps = append(s.frameGaps, now.Sub(last))
+		}
+		last = now
+		s.frames++
+	}
+	if errT := resp.Trailer.Get("X-Vcodec-Error"); errT != "" {
+		s.err = fmt.Errorf("server: %s", errT)
+	} else if s.frames == 0 {
+		s.err = fmt.Errorf("no frame packets received")
+	}
+	return s
+}
+
+// quantileMs returns the q-quantile of the samples in milliseconds
+// (nearest-rank; 0 for an empty set).
+func quantileMs(d []time.Duration, q float64) float64 {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Nanoseconds()) / 1e6
+}
+
+// WriteJSON writes the result to path (pretty-printed, trailing newline).
+func (r *ServeResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatServe renders the result as an aligned text table.
+func FormatServe(r *ServeResult) string {
+	out := fmt.Sprintf("serving: %s, %s %s, %d frames/session, Qp %d, %s, GOMAXPROCS %d\n",
+		r.URL, r.Profile, r.Size, r.Frames, r.Qp, r.Searcher, r.GoMaxProc)
+	out += fmt.Sprintf("%8s %8s %10s %9s %12s %12s %10s %10s %9s\n",
+		"sessions", "frames", "wall s", "frames/s", "first p50ms", "first p99ms", "gap p50ms", "gap p99ms", "verified")
+	for _, p := range r.Points {
+		v := "-"
+		if p.Verified {
+			v = "yes"
+		}
+		out += fmt.Sprintf("%8d %8d %10.2f %9.1f %12.1f %12.1f %10.2f %10.2f %9s\n",
+			p.Sessions, p.TotalFrames, p.WallSeconds, p.FramesPerSec,
+			p.FirstPacketMsP50, p.FirstPacketMsP99, p.FrameMsP50, p.FrameMsP99, v)
+	}
+	return out
+}

@@ -1,6 +1,9 @@
 package frame
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Size is a frame format (luma dimensions). Chroma planes are half size in
 // each dimension (YUV 4:2:0), as in the H.263 source formats the paper uses.
@@ -15,6 +18,22 @@ var (
 	CIF     = Size{352, 288}
 	FourCIF = Size{704, 576}
 )
+
+// SizeByName parses the CLI vocabulary shared by the tools' -size flags
+// (the inverse of String for the standard formats).
+func SizeByName(name string) (Size, error) {
+	switch strings.ToLower(name) {
+	case "sqcif":
+		return SQCIF, nil
+	case "qcif":
+		return QCIF, nil
+	case "cif":
+		return CIF, nil
+	case "4cif", "fourcif":
+		return FourCIF, nil
+	}
+	return Size{}, fmt.Errorf("unknown size %q (want sqcif, qcif, cif or 4cif)", name)
+}
 
 // String returns the conventional name for well-known sizes, else "WxH".
 func (s Size) String() string {

@@ -23,10 +23,22 @@ func (s *Y4MStream) FPS() float64 {
 	return float64(s.FPSNum) / float64(s.FPSDen)
 }
 
-// ReadY4M parses a YUV4MPEG2 stream with 4:2:0 chroma (C420, C420jpeg,
-// C420mpeg2 or no C tag). It accepts the streams written by WriteY4M and
-// by common tools (ffmpeg, x264).
-func ReadY4M(r io.Reader) (*Y4MStream, error) {
+// Y4MReader parses a YUV4MPEG2 stream incrementally: the header is read
+// by NewY4MReader and each ReadFrame returns the next picture as soon as
+// its samples are available. This is the streaming counterpart of ReadY4M
+// — a network server can start encoding frame 0 while frame 1 is still in
+// flight on the wire.
+type Y4MReader struct {
+	br     *bufio.Reader
+	size   Size
+	fpsNum int
+	fpsDen int
+	frames int
+}
+
+// NewY4MReader parses the stream header of r. Only 4:2:0 chroma (C420,
+// C420jpeg, C420mpeg2, C420paldv or no C tag) is accepted.
+func NewY4MReader(r io.Reader) (*Y4MReader, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
 	if err != nil {
@@ -66,24 +78,58 @@ func ReadY4M(r io.Reader) (*Y4MStream, error) {
 	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 || w > 1<<14 || h > 1<<14 {
 		return nil, fmt.Errorf("frame: bad Y4M dimensions %dx%d", w, h)
 	}
-	size := Size{W: w, H: h}
-	stream := &Y4MStream{FPSNum: fn, FPSDen: fd}
+	return &Y4MReader{br: br, size: Size{W: w, H: h}, fpsNum: fn, fpsDen: fd}, nil
+}
+
+// Size returns the stream's frame format.
+func (y *Y4MReader) Size() Size { return y.size }
+
+// FPS returns the frame rate from the header (0 if omitted).
+func (y *Y4MReader) FPS() float64 {
+	if y.fpsDen == 0 {
+		return 0
+	}
+	return float64(y.fpsNum) / float64(y.fpsDen)
+}
+
+// ReadFrame returns the next frame, or io.EOF at a clean end of stream.
+func (y *Y4MReader) ReadFrame() (*Frame, error) {
+	line, err := y.br.ReadString('\n')
+	if err == io.EOF && line == "" {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("frame: reading FRAME marker: %w", err)
+	}
+	if !strings.HasPrefix(line, "FRAME") {
+		return nil, fmt.Errorf("frame: expected FRAME marker, got %q", strings.TrimSpace(line))
+	}
+	f := NewFrame(y.size)
+	for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
+		if _, err := io.ReadFull(y.br, p.Pix); err != nil {
+			return nil, fmt.Errorf("frame: reading frame %d samples: %w", y.frames, err)
+		}
+	}
+	y.frames++
+	return f, nil
+}
+
+// ReadY4M parses a YUV4MPEG2 stream with 4:2:0 chroma (C420, C420jpeg,
+// C420mpeg2 or no C tag). It accepts the streams written by WriteY4M and
+// by common tools (ffmpeg, x264).
+func ReadY4M(r io.Reader) (*Y4MStream, error) {
+	y, err := NewY4MReader(r)
+	if err != nil {
+		return nil, err
+	}
+	stream := &Y4MStream{FPSNum: y.fpsNum, FPSDen: y.fpsDen}
 	for {
-		line, err := br.ReadString('\n')
-		if err == io.EOF && line == "" {
+		f, err := y.ReadFrame()
+		if err == io.EOF {
 			return stream, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("frame: reading FRAME marker: %w", err)
-		}
-		if !strings.HasPrefix(line, "FRAME") {
-			return nil, fmt.Errorf("frame: expected FRAME marker, got %q", strings.TrimSpace(line))
-		}
-		f := NewFrame(size)
-		for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
-			if _, err := io.ReadFull(br, p.Pix); err != nil {
-				return nil, fmt.Errorf("frame: reading frame %d samples: %w", len(stream.Frames), err)
-			}
+			return nil, err
 		}
 		stream.Frames = append(stream.Frames, f)
 	}

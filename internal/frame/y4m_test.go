@@ -2,6 +2,7 @@ package frame
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,37 @@ func TestReadY4MNoFPS(t *testing.T) {
 	}
 	if s.FPS() != 0 {
 		t.Fatalf("FPS = %v, want 0 for missing F tag", s.FPS())
+	}
+}
+
+func TestY4MReaderStreamsIncrementally(t *testing.T) {
+	// Write two frames, then read them back one at a time through the
+	// streaming reader; a partial pipe must deliver frame 0 before the
+	// writer has produced frame 1.
+	frames := []*Frame{NewFrame(Size{16, 16}), NewFrame(Size{16, 16})}
+	frames[0].Y.Pix[0] = 11
+	frames[1].Y.Pix[0] = 22
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(WriteY4M(pw, frames, 30, 1))
+	}()
+	y, err := NewY4MReader(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Size() != (Size{16, 16}) || y.FPS() != 30 {
+		t.Fatalf("header: size %v fps %v", y.Size(), y.FPS())
+	}
+	for i, want := range frames {
+		got, err := y.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+	if _, err := y.ReadFrame(); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
 	}
 }

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// metrics are vcodecd's cumulative counters. Rates exposed on /metrics
+// are derived from totals (frames / uptime, phase ns / frames), so a
+// scraper can also rate() the raw totals itself.
+type metrics struct {
+	sessionsTotal    atomic.Int64 // admitted sessions
+	sessionsRejected atomic.Int64 // 503s from admission control
+	sessionsFailed   atomic.Int64 // sessions that ended with an error trailer
+	framesTotal      atomic.Int64 // frame packets emitted
+	packetsTotal     atomic.Int64 // all packets (header + frame)
+	bytesOut         atomic.Int64 // packet payload bytes streamed
+	analysisNs       atomic.Int64 // cumulative phase-1 wall clock
+	entropyNs        atomic.Int64 // cumulative phase-2 wall clock
+	sessionNs        atomic.Int64 // cumulative per-session wall clock
+}
+
+// handleHealthz reports liveness and the scheduler's occupancy. During
+// drain it flips to 503 so load balancers stop routing here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	active, queued := s.sched.counts()
+	status := "ok"
+	code := http.StatusOK
+	if s.sched.isDraining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":          status,
+		"sessions_active": active,
+		"sessions_queued": queued,
+		"uptime_seconds":  time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics exposes the counters in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	active, queued := s.sched.counts()
+	frames := s.m.framesTotal.Load()
+	uptime := time.Since(s.start).Seconds()
+	var fps, analysisMs, entropyMs float64
+	if uptime > 0 {
+		fps = float64(frames) / uptime
+	}
+	if frames > 0 {
+		analysisMs = float64(s.m.analysisNs.Load()) / float64(frames) / 1e6
+		entropyMs = float64(s.m.entropyNs.Load()) / float64(frames) / 1e6
+	}
+	draining := 0
+	if s.sched.isDraining() {
+		draining = 1
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n%s %v\n", name, help, name, v)
+	}
+	g("vcodecd_sessions_active", "sessions currently encoding", active)
+	g("vcodecd_sessions_queued", "sessions waiting for admission", queued)
+	g("vcodecd_sessions_total", "sessions admitted since start", s.m.sessionsTotal.Load())
+	g("vcodecd_sessions_rejected_total", "sessions rejected by admission control", s.m.sessionsRejected.Load())
+	g("vcodecd_sessions_failed_total", "sessions that ended with an error", s.m.sessionsFailed.Load())
+	g("vcodecd_frames_total", "frame packets emitted", frames)
+	g("vcodecd_packets_total", "packets emitted (header + frame)", s.m.packetsTotal.Load())
+	g("vcodecd_response_bytes_total", "packet payload bytes streamed to clients", s.m.bytesOut.Load())
+	g("vcodecd_analysis_seconds_total", "cumulative macroblock-analysis wall clock", float64(s.m.analysisNs.Load())/1e9)
+	g("vcodecd_entropy_seconds_total", "cumulative entropy-coding wall clock", float64(s.m.entropyNs.Load())/1e9)
+	g("vcodecd_session_seconds_total", "cumulative session wall clock", float64(s.m.sessionNs.Load())/1e9)
+	g("vcodecd_frames_per_second", "frame packets per second of uptime", fps)
+	g("vcodecd_analysis_ms_per_frame", "mean analysis latency per frame", analysisMs)
+	g("vcodecd_entropy_ms_per_frame", "mean entropy latency per frame", entropyMs)
+	g("vcodecd_pool_workers", "shared analysis pool size", s.pool.Size())
+	g("vcodecd_draining", "1 while graceful shutdown is draining sessions", draining)
+}

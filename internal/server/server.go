@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/frame"
+)
+
+// ContentType is the media type of the framed packet stream /encode
+// returns (codec.PacketWriter records).
+const ContentType = "application/x-vcodec-packets"
+
+// Trailer names carrying per-session results at the end of the packet
+// stream.
+const (
+	TrailerFrames = "X-Vcodec-Frames"
+	TrailerPSNRY  = "X-Vcodec-Psnr-Y"
+	TrailerKbps   = "X-Vcodec-Kbps"
+	TrailerError  = "X-Vcodec-Error"
+)
+
+// Config sizes the serving layer.
+type Config struct {
+	// PoolWorkers is the shared analysis pool size (0 = GOMAXPROCS).
+	// This is the machine-wide analysis parallelism: sessions share it
+	// fairly instead of each spinning up its own worker set.
+	PoolWorkers int
+	// MaxSessions caps concurrently encoding sessions (default 8).
+	MaxSessions int
+	// MaxQueued caps sessions waiting for admission (default 32); beyond
+	// it /encode fails fast with 503.
+	MaxQueued int
+	// MaxFramesPerSession bounds one upload (0 = unlimited).
+	MaxFramesPerSession int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolWorkers <= 0 {
+		c.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 32
+	}
+	return c
+}
+
+// Server is the encode service: it owns the shared analysis pool and the
+// session scheduler. Serve it with net/http via Handler.
+type Server struct {
+	cfg   Config
+	pool  *codec.Pool
+	sched *scheduler
+	mux   *http.ServeMux
+	m     metrics
+	start time.Time
+}
+
+// New builds a server and starts its analysis pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  codec.NewPool(cfg.PoolWorkers),
+		sched: newScheduler(cfg.MaxSessions, cfg.MaxQueued),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/encode", s.handleEncode)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree (/encode, /healthz, /metrics).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain begins graceful shutdown: new sessions are rejected with 503 and
+// the call blocks until every in-flight session has finished (or ctx
+// expires). Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.sched.beginDrain()
+	return s.sched.waitIdle(ctx)
+}
+
+// Close releases the analysis pool. Only call it after Drain has
+// returned nil (pool workers must be idle).
+func (s *Server) Close() { s.pool.Close() }
+
+// handleEncode runs one encode session: Y4M frames in (chunked), framed
+// packets out, flushed per packet.
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a YUV4MPEG2 stream", http.StatusMethodNotAllowed)
+		return
+	}
+	cfg, err := parseSessionConfig(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.sched.admit(r.Context()); err != nil {
+		switch err {
+		case errDraining, errQueueFull:
+			s.m.sessionsRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default: // client gave up while queued
+		}
+		return
+	}
+	defer s.sched.release()
+	s.m.sessionsTotal.Add(1)
+
+	y4m, err := frame.NewY4MReader(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if sz := y4m.Size(); sz.W%16 != 0 || sz.H%16 != 0 {
+		http.Error(w, fmt.Sprintf("frame size %dx%d not divisible into 16x16 macroblocks", sz.W, sz.H),
+			http.StatusBadRequest)
+		return
+	}
+	if fps := y4m.FPS(); fps > 0 {
+		cfg.FPS = fps
+	}
+	// Sessions share the machine-sized pool (never private workers) and
+	// pipeline entropy of frame n over analysis of frame n+1.
+	cfg.Pool = s.pool
+	cfg.Pipeline = true
+
+	// The response streams while the request body is still being read;
+	// HTTP/1 needs full-duplex explicitly enabled (no-op error on HTTP/2).
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+
+	w.Header().Set("Content-Type", ContentType)
+	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerError}, ", "))
+
+	pw := codec.NewPacketWriter(w)
+	es := codec.NewEncodeStream(cfg, func(p codec.Packet) error {
+		if err := pw.WritePacket(p.Index, p.Data); err != nil {
+			return err
+		}
+		// Flush per packet: this is what turns the response into a live
+		// stream (first-byte latency of one frame) and what propagates a
+		// slow client's backpressure into the encode loop.
+		if err := rc.Flush(); err != nil {
+			return err
+		}
+		s.m.packetsTotal.Add(1)
+		s.m.bytesOut.Add(int64(len(p.Data)))
+		if p.Index > 0 {
+			s.m.framesTotal.Add(1)
+		}
+		return nil
+	})
+
+	begin := time.Now()
+	frames := 0
+	var sessionErr error
+	for {
+		f, err := y4m.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sessionErr = err
+			break
+		}
+		if s.cfg.MaxFramesPerSession > 0 && frames >= s.cfg.MaxFramesPerSession {
+			sessionErr = fmt.Errorf("session frame cap (%d) exceeded", s.cfg.MaxFramesPerSession)
+			break
+		}
+		if err := es.EncodeFrame(f); err != nil {
+			sessionErr = err
+			break
+		}
+		frames++
+	}
+	stats, closeErr := es.Close()
+	if sessionErr == nil {
+		sessionErr = closeErr
+	}
+	analysis, entropy := es.PhaseTimes()
+	s.m.analysisNs.Add(analysis.Nanoseconds())
+	s.m.entropyNs.Add(entropy.Nanoseconds())
+	s.m.sessionNs.Add(time.Since(begin).Nanoseconds())
+
+	// Declared trailers: set after the body, shipped with the final chunk.
+	w.Header().Set(TrailerFrames, strconv.Itoa(frames))
+	w.Header().Set(TrailerPSNRY, strconv.FormatFloat(stats.AvgPSNRY(), 'f', 2, 64))
+	w.Header().Set(TrailerKbps, strconv.FormatFloat(stats.BitrateKbps(), 'f', 1, 64))
+	if sessionErr != nil {
+		s.m.sessionsFailed.Add(1)
+		w.Header().Set(TrailerError, sessionErr.Error())
+	}
+}
+
+// parseSessionConfig maps /encode query parameters onto a codec.Config:
+// qp, me (searcher), entropy, gop, range, ap, deblock, kbps.
+func parseSessionConfig(q url.Values) (codec.Config, error) {
+	cfg := codec.Config{Qp: 16}
+	var err error
+	intArg := func(name string, def int) int {
+		v := q.Get(name)
+		if v == "" {
+			return def
+		}
+		n, e := strconv.Atoi(v)
+		if e != nil && err == nil {
+			err = fmt.Errorf("bad %s=%q", name, v)
+		}
+		return n
+	}
+	boolArg := func(name string) bool {
+		v := q.Get(name)
+		if v == "" {
+			return false
+		}
+		b, e := strconv.ParseBool(v)
+		if e != nil && err == nil {
+			err = fmt.Errorf("bad %s=%q", name, v)
+		}
+		return b
+	}
+	cfg.Qp = intArg("qp", 16)
+	cfg.SearchRange = intArg("range", 0)
+	cfg.IntraPeriod = intArg("gop", 0)
+	cfg.AdvancedPrediction = boolArg("ap")
+	cfg.Deblock = boolArg("deblock")
+	if v := q.Get("kbps"); v != "" {
+		kbps, e := strconv.ParseFloat(v, 64)
+		if e != nil || kbps < 0 {
+			return cfg, fmt.Errorf("bad kbps=%q", v)
+		}
+		cfg.TargetKbps = kbps
+	}
+	if err != nil {
+		return cfg, err
+	}
+	if cfg.Qp < 1 || cfg.Qp > 31 {
+		return cfg, fmt.Errorf("qp %d out of range 1..31", cfg.Qp)
+	}
+	if cfg.Searcher, err = core.SearcherByName(q.Get("me")); err != nil {
+		return cfg, err
+	}
+	switch strings.ToLower(q.Get("entropy")) {
+	case "", "expgolomb", "eg":
+		cfg.Entropy = codec.EntropyExpGolomb
+	case "arith", "arithmetic", "sac":
+		cfg.Entropy = codec.EntropyArith
+	default:
+		return cfg, fmt.Errorf("unknown entropy backend %q", q.Get("entropy"))
+	}
+	return cfg, nil
+}

@@ -3,6 +3,7 @@ package video
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/frame"
 )
@@ -235,4 +236,20 @@ func tableScene(seed uint64) *Scene {
 			Zoom: func(t int) float64 { return 1.0 / (1.0 + 0.0012*float64(t)) }, // slow zoom-out
 		},
 	}
+}
+
+// ProfileByName parses the CLI vocabulary shared by cmd/seqgen,
+// cmd/mvstudy and cmd/vload's -profile flags.
+func ProfileByName(name string) (Profile, error) {
+	switch strings.ToLower(name) {
+	case "carphone":
+		return Carphone, nil
+	case "foreman":
+		return Foreman, nil
+	case "missamerica", "miss-america":
+		return MissAmerica, nil
+	case "table", "tabletennis":
+		return TableTennis, nil
+	}
+	return 0, fmt.Errorf("unknown profile %q (want carphone, foreman, missamerica or table)", name)
 }

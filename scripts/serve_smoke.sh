@@ -1,0 +1,45 @@
+#!/bin/sh
+# serve-smoke: boot vcodecd on a random loopback port, drive it with a
+# short verified vload burst, then SIGTERM it and require a clean drain.
+# Expects the vcodecd and vload binaries in $BIN (default ./bin).
+set -eu
+
+BIN=${BIN:-bin}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+"$BIN/vcodecd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -max-sessions 4 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve-smoke: vcodecd never wrote its address" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: daemon on $addr"
+
+# A short burst across 1 and 2 concurrent sessions, byte-verified against
+# the offline encoder (vload polls /healthz before starting).
+"$BIN/vload" -url "http://$addr" -sessions 1,2 -frames 6 -size sqcif -verify
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+if wait "$pid"; then
+	pid=""
+	echo "serve-smoke: clean shutdown"
+else
+	rc=$?
+	pid=""
+	echo "serve-smoke: vcodecd exited with status $rc" >&2
+	exit 1
+fi
