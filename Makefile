@@ -5,9 +5,14 @@
 #                       under the race detector (certifies the wavefront
 #                       encoder and the multi-session serving layer)
 #   make bench-smoke  — 1-iteration pass over every benchmark so bench
-#                       code cannot rot, plus the perf-trajectory artifact
+#                       code cannot rot, plus a quick rate-experiment run
+#                       (compiles and exercises the frame-lag controller
+#                       on every push)
 #   make bench-speed  — regenerate BENCH_speed.json (ns/frame, fps,
 #                       points/block for each searcher × worker count)
+#   make bench-rate   — regenerate BENCH_rate.json (kbps tracking error +
+#                       ns/frame for rate-controlled encodes: serial vs
+#                       workers vs pipelined vs shared pool, per searcher)
 #   make serve-smoke  — boot vcodecd on a random port, run a verified
 #                       vload burst, require a clean SIGTERM drain
 #   make bench-serve  — regenerate BENCH_serve.json (throughput and
@@ -15,7 +20,7 @@
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed serve-smoke bench-serve ci
+.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve ci
 
 build:
 	$(GO) vet ./...
@@ -27,9 +32,13 @@ test: build
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/acbmbench -experiment rate -frames 6 -size sqcif
 
 bench-speed:
 	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json
+
+bench-rate:
+	$(GO) run ./cmd/acbmbench -experiment rate -frames 30 -json BENCH_rate.json
 
 serve-smoke:
 	mkdir -p bin

@@ -145,6 +145,57 @@ func TestCLIRejectsBadFlags(t *testing.T) {
 	if out, err := exec.Command(vcodec, "encode").CombinedOutput(); err == nil {
 		t.Fatalf("missing -i/-o accepted:\n%s", out)
 	}
+	// Flag validation must be the failure, not the (nonexistent) input
+	// file — assert on the specific message.
+	rejects := func(wantMsg string, args ...string) {
+		t.Helper()
+		out, err := exec.Command(vcodec, args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%v accepted:\n%s", args, out)
+		}
+		if !strings.Contains(string(out), wantMsg) {
+			t.Fatalf("%v failed without %q:\n%s", args, wantMsg, out)
+		}
+	}
+	rejects("-kbps must be positive", "encode", "-i", "x.y4m", "-o", "x.acbm", "-kbps", "-5")
+	rejects("-budget must be positive", "encode", "-i", "x.y4m", "-o", "x.acbm", "-budget", "-1")
+	rejects("-budget requires -me acbm", "encode", "-i", "x.y4m", "-o", "x.acbm", "-budget", "150", "-me", "fsbm")
+}
+
+// TestCLIRateControlComposesWithParallelism drives the refactored rate
+// path end to end: -kbps together with -workers/-pipeline (historically
+// silently serialised) must encode, report the target, and produce a file
+// byte-identical to the single-threaded rate-controlled encode.
+func TestCLIRateControlComposesWithParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seqgen := buildTool(t, "seqgen")
+	vcodec := buildTool(t, "vcodec")
+	dir := t.TempDir()
+	y4m := filepath.Join(dir, "clip.y4m")
+	serial := filepath.Join(dir, "serial.acbm")
+	par := filepath.Join(dir, "par.acbm")
+
+	runTool(t, seqgen, "-profile", "foreman", "-frames", "8", "-size", "sqcif", "-o", y4m)
+	runTool(t, vcodec, "encode", "-i", y4m, "-o", serial, "-qp", "16", "-kbps", "60", "-workers", "1")
+	out := runTool(t, vcodec, "encode", "-i", y4m, "-o", par, "-qp", "16", "-kbps", "60", "-workers", "4", "-pipeline")
+	if !strings.Contains(out, "rate control: target 60.0 kbit/s") {
+		t.Fatalf("vcodec encode output missing rate line: %s", out)
+	}
+	a, err := os.ReadFile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("rate-controlled parallel encode differs from serial (%d vs %d bytes)", len(b), len(a))
+	}
+	dec := filepath.Join(dir, "dec.y4m")
+	runTool(t, vcodec, "decode", "-i", par, "-o", dec)
 }
 
 // TestCLIPacketizedLossConcealment drives the -packets transport end to

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|speed|all")
+		expName  = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|speed|rate|all")
 		frames   = flag.Int("frames", experiment.DefaultFrames, "sequence length at 30 fps")
 		sizeName = flag.String("size", "qcif", "frame format: sqcif|qcif|cif")
 		seed     = flag.Uint64("seed", experiment.DefaultSeed, "texture seed")
@@ -43,8 +43,9 @@ func main() {
 		beta     = flag.Int("beta", core.DefaultParams.Beta, "ACBM β parameter")
 		gammaNum = flag.Int("gamma-num", core.DefaultParams.GammaNum, "ACBM γ numerator")
 		gammaDen = flag.Int("gamma-den", core.DefaultParams.GammaDen, "ACBM γ denominator")
-		workers  = flag.Int("workers", 0, "encoder worker goroutines for the speed experiment (0 = measure 1 and GOMAXPROCS)")
-		jsonPath = flag.String("json", "", "write the speed experiment result to this JSON file (e.g. BENCH_speed.json)")
+		workers  = flag.Int("workers", 0, "encoder worker goroutines for the speed/rate experiments (0 = default sweep)")
+		kbps     = flag.Float64("kbps", 0, "rate experiment: target bitrate in kbit/s (0 = default 80)")
+		jsonPath = flag.String("json", "", "write the speed/rate experiment result to this JSON file (e.g. BENCH_speed.json, BENCH_rate.json)")
 	)
 	flag.Parse()
 
@@ -216,6 +217,28 @@ func main() {
 			}
 			fmt.Print(experiment.FormatSpeed(res))
 			if *jsonPath != "" {
+				if err := res.WriteJSON(*jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return nil
+		})
+	}
+	if want("rate") {
+		ran = true
+		run("Rate control under parallelism (frame-lag controller)", func() error {
+			res, err := experiment.RunRate(experiment.RateConfig{
+				Profile: video.Foreman, Size: size, Frames: *frames, Seed: *seed,
+				TargetKbps: *kbps, Workers: *workers,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatRate(res))
+			// Only the dedicated invocation writes the artifact, so an
+			// `-experiment all -json …` run cannot clobber BENCH_speed.json.
+			if *jsonPath != "" && *expName == "rate" {
 				if err := res.WriteJSON(*jsonPath); err != nil {
 					return err
 				}

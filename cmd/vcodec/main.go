@@ -7,6 +7,7 @@
 //
 //	vcodec encode -i in.y4m -o out.acbm -qp 16 -me acbm -entropy arith
 //	vcodec encode -i in.y4m -o out.acbm -workers 4 -pipeline
+//	vcodec encode -i in.y4m -o out.acbm -kbps 80 -workers 4 -pipeline
 //	vcodec decode -i out.acbm -o roundtrip.y4m
 //	vcodec info   -i out.acbm
 //
@@ -14,6 +15,15 @@
 // -pipeline overlaps entropy coding of each frame with analysis of the
 // next; both produce bitstreams byte-identical to the single-threaded
 // encoder (only wall-clock changes).
+//
+// -kbps enables frame-level rate control (the quantiser tracks the
+// target bitrate) and -budget caps the motion-search cost (positions/MB,
+// ACBM only). Both compose with -workers and -pipeline: the frame-lag
+// controllers decide each frame's parameters before analysis and observe
+// results after entropy coding, so rate- and budget-controlled encodes
+// parallelise fully and the bits are identical for every such setting.
+// Invalid combinations (negative targets, -budget with a non-ACBM
+// estimator) are rejected up front.
 //
 // -packets (all three subcommands) switches to the packetized transport:
 // each frame is an independently parseable record (uvarint index, uvarint
@@ -76,8 +86,10 @@ func runEncode(args []string) error {
 		gop     = fs.Int("gop", 0, "intra period (0 = first frame only)")
 		alpha   = fs.Int("alpha", core.DefaultParams.Alpha, "ACBM α")
 		beta    = fs.Int("beta", core.DefaultParams.Beta, "ACBM β")
-		workers = fs.Int("workers", 0, "macroblock-analysis goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical for every value)")
-		pipe    = fs.Bool("pipeline", false, "overlap entropy coding of frame n with analysis of frame n+1 (byte-identical output)")
+		workers = fs.Int("workers", 0, "macroblock-analysis goroutines (0 = GOMAXPROCS, 1 = sequential; output is identical for every value, including rate-controlled encodes)")
+		pipe    = fs.Bool("pipeline", false, "overlap entropy coding of frame n with analysis of frame n+1 (byte-identical output; composes with -kbps/-budget)")
+		kbps    = fs.Float64("kbps", 0, "target bitrate in kbit/s (0 = constant -qp; frame-lag rate control, composes with -workers/-pipeline)")
+		budget  = fs.Float64("budget", 0, "target motion-search positions/MB (0 = off; ACBM only, composes with -workers/-pipeline)")
 		packets = fs.Bool("packets", false, "write the packetized transport (independently parseable frame records) instead of the contiguous stream")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,7 +98,13 @@ func runEncode(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("encode: -i and -o are required")
 	}
-	searcher, err := makeSearcher(*me, *alpha, *beta)
+	if *kbps < 0 {
+		return fmt.Errorf("encode: -kbps must be positive (got %g)", *kbps)
+	}
+	if *budget < 0 {
+		return fmt.Errorf("encode: -budget must be positive (got %g)", *budget)
+	}
+	searcher, err := makeSearcher(*me, *alpha, *beta, *budget)
 	if err != nil {
 		return err
 	}
@@ -114,7 +132,7 @@ func runEncode(args []string) error {
 	cfg := codec.Config{
 		Qp: *qp, SearchRange: *rng, Searcher: searcher,
 		FPS: fps, IntraPeriod: *gop, Entropy: mode,
-		Workers: *workers, Pipeline: *pipe,
+		Workers: *workers, Pipeline: *pipe, TargetKbps: *kbps,
 	}
 	var (
 		stats *codec.SequenceStats
@@ -152,6 +170,10 @@ func runEncode(args []string) error {
 		len(stream.Frames), stream.Frames[0].Size(), searcher.Name(), mode, *qp, format)
 	fmt.Printf("  %d bytes, %.1f kbit/s @ %.3g fps, PSNR-Y %.2f dB, %.0f search positions/MB\n",
 		len(bs), stats.BitrateKbps(), fps, stats.AvgPSNRY(), stats.AvgSearchPointsPerMB())
+	if *kbps > 0 {
+		fmt.Printf("  rate control: target %.1f kbit/s (%.0f%% achieved)\n",
+			*kbps, 100*stats.BitrateKbps() / *kbps)
+	}
 	return nil
 }
 
@@ -348,15 +370,22 @@ func packetInfo(name string, data []byte) error {
 }
 
 // makeSearcher resolves -me via the shared name table; only ACBM takes
-// the CLI's α/β overrides, so it is special-cased ahead of the lookup.
-func makeSearcher(name string, alpha, beta int) (search.Searcher, error) {
+// the CLI's α/β overrides and the -budget complexity cap, so it is
+// special-cased ahead of the lookup.
+func makeSearcher(name string, alpha, beta int, budget float64) (search.Searcher, error) {
 	if strings.ToLower(name) == "acbm" {
 		p := core.DefaultParams
 		p.Alpha, p.Beta = alpha, beta
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
+		if budget > 0 {
+			return core.NewBudgeted(budget, p)
+		}
 		return core.New(p), nil
+	}
+	if budget > 0 {
+		return nil, fmt.Errorf("-budget requires -me acbm (the budget servos ACBM's thresholds; got -me %s)", name)
 	}
 	return core.SearcherByName(name)
 }

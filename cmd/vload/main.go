@@ -44,6 +44,7 @@ func main() {
 		qp       = flag.Int("qp", 16, "quantiser parameter")
 		me       = flag.String("me", "acbm", "motion estimator")
 		entropy  = flag.String("entropy", "", "entropy backend: expgolomb|arith")
+		kbps     = flag.Float64("kbps", 0, "per-session rate-control target in kbit/s (0 = constant Qp)")
 		seed     = flag.Uint64("seed", 0, "clip seed (0 = experiment default)")
 		verify   = flag.Bool("verify", false, "byte-compare one session per point against the offline encoder")
 		jsonPath = flag.String("json", "", "write the report to this path (BENCH_serve.json)")
@@ -101,6 +102,7 @@ func main() {
 		Seed:     *seed,
 		Searcher: *me,
 		Entropy:  *entropy,
+		Kbps:     *kbps,
 		Verify:   *verify,
 	})
 	if err != nil {

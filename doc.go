@@ -56,6 +56,19 @@
 //     coder — whose (arithmetic) state spans frames — consumes jobs
 //     strictly in frame order on one writer goroutine. One frame is in
 //     flight; output stays byte-identical for every worker count.
+//   - Rate and complexity control are frame-lag controllers that compose
+//     with all of the above instead of forcing the encoder serial. The
+//     TargetKbps quantiser servo decides frame n+1's Qp at frame n's
+//     hand-off — from the actual sizes of frames 0..n-1 plus a predicted
+//     size for the frame in flight (bits-per-coefficient model over the
+//     worker-invariant analysis results) — and corrects the prediction
+//     one frame later. core.Budgeted freezes its α/γ thresholds at frame
+//     start, accounts consumed search points per worker fork, merges
+//     them additively in Join and servos once per frame. Both therefore
+//     keep the wavefront, the pipeline and the shared pool fully
+//     parallel, with bitstreams pinned byte-identical across Workers ×
+//     Pipeline × Pool by golden -race tests; `make bench-rate` writes
+//     BENCH_rate.json (kbps tracking error, ns/frame per mode).
 //
 // `make bench-speed` (or `acbmbench -experiment speed -json
 // BENCH_speed.json`) records the encoder's speed trajectory — ns/frame,

@@ -70,14 +70,18 @@ type Config struct {
 	// TargetKbps, when positive, enables frame-level rate control: the
 	// quantiser is servoed around Config.Qp so the output rate tracks
 	// this target at Config.FPS. 0 keeps the constant Qp of the paper's
-	// experiments.
+	// experiments. The controller is frame-lagged (see rateController):
+	// each frame's quantiser is decided before its analysis from the
+	// actual sizes of all fully written frames plus a predicted size for
+	// the one frame in flight, so rate control composes with Workers,
+	// Pipeline and Pool — same bits in every mode, full parallelism.
 	TargetKbps float64
 	// Pipeline makes EncodeSequence overlap the serial entropy coding of
 	// frame n with the analysis of frame n+1 (one frame in flight; see
 	// codec.Pipeline). The bitstream and statistics are byte-identical to
-	// a serial encode for every Workers value. Rate-controlled encodes
-	// (TargetKbps > 0) fall back to serial: the quantiser servo needs
-	// frame n's bit count before frame n+1's analysis may start.
+	// a serial encode for every Workers value, with or without rate
+	// control (the frame-lag controller never waits on the in-flight
+	// frame's bits).
 	Pipeline bool
 	// Pool, when non-nil, runs macroblock analysis on a shared worker
 	// pool instead of Workers frame-private goroutines. This is the
@@ -86,16 +90,19 @@ type Config struct {
 	// granularity, instead of oversubscribing the host with N×Workers
 	// goroutines. The wavefront schedule, its invariants and the output
 	// bits are identical to the private-worker path; Workers is ignored
-	// while Pool is set. Searchers that do not implement search.Forker
-	// still analyse sequentially on the session's own goroutine.
+	// while Pool is set. The Searcher must implement search.Forker (all
+	// searchers this module provides do); otherwise the pool is dropped
+	// and the session analyses sequentially on its own goroutine.
 	Pool *Pool
 	// Workers sets how many goroutines analyse macroblocks concurrently
 	// (motion estimation, mode decision, transform/quantisation and
 	// reconstruction, scheduled per anti-diagonal wavefront; entropy
 	// coding stays serial, so the bitstream and all statistics are
 	// bit-identical for every worker count). 0 selects GOMAXPROCS, 1
-	// forces sequential analysis. Searchers that do not implement
-	// search.Forker are always analysed sequentially.
+	// forces sequential analysis. Parallel analysis requires the Searcher
+	// to implement search.Forker — its frame-granular fork/join protocol
+	// runs at every worker count, so stateful searchers (core.Budgeted)
+	// stay deterministic; searchers without it are clamped to 1.
 	Workers int
 }
 
@@ -117,6 +124,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if _, ok := c.Searcher.(search.Forker); !ok {
+		// A searcher that cannot fork cannot be scheduled across workers
+		// or a shared pool; it analyses sequentially on the session's own
+		// goroutine. Every searcher this module provides implements
+		// search.Forker, so this only guards external implementations.
+		c.Workers = 1
+		c.Pool = nil
 	}
 	c.Qp = dct.ClampQp(c.Qp)
 	return c

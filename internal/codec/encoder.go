@@ -73,6 +73,11 @@ func putMBResults(rs []mbResult) {
 type Encoder struct {
 	cfg  Config
 	size frame.Size
+	// forker is cfg.Searcher's frame-granular fork/join capability. Every
+	// searcher this module provides implements it; withDefaults forces
+	// Workers=1 and Pool=nil for external ones that do not, so a nil
+	// forker only ever reaches the plain sequential loop.
+	forker search.Forker
 
 	sw       symWriter
 	out      []byte
@@ -80,6 +85,11 @@ type Encoder struct {
 
 	curQp int             // quantiser for the current frame
 	rc    *rateController // nil unless Config.TargetKbps > 0
+	// rcPrevJob is the last job whose write phase began: rateHandoff
+	// settles its wroteBits at the next hand-off. One field serves the
+	// serial and pipelined drivers alike (see rateHandoff for the memory
+	// ordering in the pipelined case).
+	rcPrevJob *frameJob
 
 	recon     *frame.Frame // reference: last reconstructed frame
 	reconY    *frame.Interpolated
@@ -114,6 +124,7 @@ func NewEncoder(cfg Config) *Encoder {
 		curQp: cfg.Qp,
 		stats: SequenceStats{FPS: cfg.FPS},
 	}
+	e.forker, _ = cfg.Searcher.(search.Forker)
 	if cfg.TargetKbps > 0 {
 		e.rc = newRateController(cfg.TargetKbps, cfg.FPS, cfg.Qp)
 	}
@@ -121,15 +132,10 @@ func NewEncoder(cfg Config) *Encoder {
 }
 
 // workerCount resolves how many goroutines may analyse macroblocks
-// concurrently. Only searchers that opt in via search.Forker run in
-// parallel; anything else keeps the exact sequential semantics (a
-// stateful searcher like core.Budgeted adapts across blocks in scan
-// order, which a worker pool would perturb).
+// concurrently. withDefaults has already forced 1 for searchers that
+// cannot fork, so this is purely the configured width.
 func (e *Encoder) workerCount() int {
 	if e.cfg.Workers <= 1 {
-		return 1
-	}
-	if _, ok := e.cfg.Searcher.(search.Forker); !ok {
 		return 1
 	}
 	return e.cfg.Workers
@@ -150,6 +156,7 @@ func (e *Encoder) Bitstream() []byte {
 			e.out = e.sw.Finish()
 		}
 		e.finished = true
+		e.rcPrevJob = nil // release the last retained frame pair
 	}
 	return e.out
 }
@@ -177,6 +184,54 @@ type frameJob struct {
 	curField *mvfield.Field // P-frames: final motion field for MVD prediction
 	intra    bool
 	qp       int
+	// cost is the rate controller's complexity proxy (jobCost), computed
+	// from the analysis results before the slab returns to the pool. It is
+	// worker-invariant, so predicted bits — and with them every quantiser
+	// decision — are identical for every Workers/Pool/Pipeline setting.
+	cost int
+	// wroteBits is the frame's actual encoded size, filled in by the write
+	// phase. In pipelined encodes it is owned by the writer goroutine and
+	// may be read by the analysis side only after the *next* job's hand-off
+	// (the channel send establishes the happens-before edge).
+	wroteBits int
+}
+
+// jobCost computes the rate controller's complexity proxy for an analysed
+// frame: the number of nonzero quantised coefficients plus small fixed
+// charges for headers, modes and motion vectors. It is a pure function of
+// the (worker-invariant) analysis results, never of scheduling, which is
+// what keeps rate-controlled bitstreams byte-identical across every
+// Workers, Pool and Pipeline configuration.
+func jobCost(results []mbResult) int {
+	cost := 0
+	for i := range results {
+		r := &results[i]
+		switch r.mode {
+		case mbSkip:
+			cost++
+			continue
+		case mbIntra:
+			cost += 8 // mode flags + six 8-bit DC terms
+		case mbInter:
+			cost += 4 // COD/mode flags + CBP
+			if r.four {
+				cost += 12 // three extra MVD pairs
+			} else {
+				cost += 4
+			}
+		}
+		for b := range r.levels {
+			if !r.coded[b] {
+				continue
+			}
+			for _, c := range r.levels[b] {
+				if c != 0 {
+					cost++
+				}
+			}
+		}
+	}
+	return cost
 }
 
 // analyzeFrameJob runs phase 1 for f: motion estimation, mode decision,
@@ -216,9 +271,40 @@ func (e *Encoder) analyzeFrameJob(f *frame.Frame) (*frameJob, error) {
 		e.prevField = j.curField
 	}
 	j.recon = e.recon // the deblocked reconstruction
+	if e.rc != nil {
+		j.cost = jobCost(j.results)
+	}
 	e.frames++
 	e.analysisTime += time.Since(start)
 	return j, nil
+}
+
+// rateHandoff advances the frame-lag rate controller at job j's hand-off
+// point — the moment j's entropy write begins (pipelined drivers: call
+// it on the submitting goroutine immediately after j's channel send
+// completes) or has just finished (serial drivers: after writing j). In
+// either mode the previously handed job's write phase is complete by
+// then, so its actual size settles the outstanding prediction before j's
+// own predicted size is charged and the next frame's quantiser chosen.
+// Calling it at the same point of the frame sequence in every driver is
+// what keeps rate-controlled output byte-identical across all of them.
+//
+// Memory ordering (pipelined): the unbuffered channel send completing
+// means the writer accepted j, having finished — and published, via the
+// happens-before edge of the hand-off — the previous job's wroteBits.
+func (e *Encoder) rateHandoff(j *frameJob) {
+	if e.rc == nil {
+		return
+	}
+	if j.index > 0 {
+		prevBits := 0
+		if e.rcPrevJob != nil {
+			prevBits = e.rcPrevJob.wroteBits
+		}
+		e.rc.settle(prevBits)
+	}
+	e.rc.plan(j.intra, j.cost)
+	e.rcPrevJob = j
 }
 
 // writeFrameJob runs phase 2 for an analysed frame: the serial entropy
@@ -234,6 +320,7 @@ func (e *Encoder) writeFrameJob(j *frameJob) FrameStats {
 	fs := e.writeFrameBody(j)
 	fs.Bits = e.sw.Len() - startBits
 	fs.Qp = j.qp
+	j.wroteBits = fs.Bits
 	e.entropyTime += time.Since(start)
 
 	py, _ := frame.PSNR(j.src.Y, j.recon.Y)
@@ -288,15 +375,17 @@ func (e *Encoder) writeFrameBody(j *frameJob) FrameStats {
 }
 
 // EncodeFrame appends one frame to the stream and returns its statistics.
+// Rate control runs the frame-lag protocol even though the actual bit
+// count is already known here: the controller must see exactly the
+// information a pipelined encode would, so serial and pipelined
+// rate-controlled bitstreams stay byte-identical.
 func (e *Encoder) EncodeFrame(f *frame.Frame) (FrameStats, error) {
 	j, err := e.analyzeFrameJob(f)
 	if err != nil {
 		return FrameStats{}, err
 	}
 	fs := e.writeFrameJob(j)
-	if e.rc != nil {
-		e.rc.observe(fs.Bits)
-	}
+	e.rateHandoff(j)
 	return fs, nil
 }
 

@@ -40,13 +40,8 @@ import (
 // frames have no cross-MB dependencies and skip the wavefront barriers.
 func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field, results []mbResult, intra bool) {
 	if e.cfg.Pool != nil {
-		_, forker := e.cfg.Searcher.(search.Forker)
-		if intra || forker {
-			e.analyzeFramePool(src, recon, curField, results, intra)
-			return
-		}
-		// Non-Forker searchers keep exact sequential semantics, as in the
-		// private-worker path below.
+		e.analyzeFramePool(src, recon, curField, results, intra)
+		return
 	}
 	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
 	nw := e.workerCount()
@@ -54,14 +49,28 @@ func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field,
 		nw = rows * cols
 	}
 	if nw <= 1 {
+		// Sequential analysis still runs the frame-granular fork/join
+		// protocol: searchers with per-frame control state (core.Budgeted
+		// freezes its thresholds per frame and servos them at the last
+		// Join) must see the same frame boundaries at every worker count,
+		// or the bitstream would depend on Config.Workers.
+		s := e.cfg.Searcher
+		var forked search.Searcher
+		if !intra && e.forker != nil {
+			forked = e.forker.Fork()
+			s = forked
+		}
 		for mby := 0; mby < rows; mby++ {
 			for mbx := 0; mbx < cols; mbx++ {
 				if intra {
 					e.analyzeIntraMB(src, recon, mbx, mby, &results[mby*cols+mbx])
 				} else {
-					e.analyzeInterMB(e.cfg.Searcher, src, recon, curField, mbx, mby, &results[mby*cols+mbx])
+					e.analyzeInterMB(s, src, recon, curField, mbx, mby, &results[mby*cols+mbx])
 				}
 			}
+		}
+		if forked != nil {
+			e.forker.Join(forked)
 		}
 		return
 	}
@@ -71,9 +80,8 @@ func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field,
 	if intra {
 		// Intra analysis never runs motion search.
 	} else {
-		f := e.cfg.Searcher.(search.Forker)
 		for i := range searchers {
-			searchers[i] = f.Fork()
+			searchers[i] = e.forker.Fork()
 		}
 	}
 
@@ -129,9 +137,8 @@ func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field,
 	workers.Wait()
 
 	if !intra {
-		f := e.cfg.Searcher.(search.Forker)
 		for _, s := range searchers {
-			f.Join(s)
+			e.forker.Join(s)
 		}
 	}
 }
@@ -168,7 +175,7 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 	// One anti-diagonal has at most min(rows, cols/2+1) macroblocks, and
 	// the pool runs at most pool.Size() tasks at once; forking the smaller
 	// count guarantees a searcher is always available to a running task.
-	f := e.cfg.Searcher.(search.Forker)
+	f := e.forker
 	nf := rows
 	if c := cols/2 + 1; c < nf {
 		nf = c

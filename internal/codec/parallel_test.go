@@ -210,10 +210,21 @@ func TestPipelineFlushSemantics(t *testing.T) {
 	}
 }
 
-// TestWorkerCountFallback verifies stateful searchers without Fork/Join
-// stay sequential (core.Budgeted's complexity servo depends on scan
-// order) while Forker implementations parallelise.
-func TestWorkerCountFallback(t *testing.T) {
+// noForkSearcher is a minimal external searcher that does not implement
+// search.Forker, standing in for out-of-module implementations. (No
+// embedding: promoted FSBM methods would satisfy Forker.)
+type noForkSearcher struct{ f search.FSBM }
+
+func (n *noForkSearcher) Name() string { return "no-fork" }
+
+func (n *noForkSearcher) Search(in *search.Input) search.Result { return n.f.Search(in) }
+
+// TestWorkerCountForkers verifies that every searcher the module provides
+// — including the stateful core.Budgeted, whose per-frame servo now forks
+// — analyses in parallel, while an external searcher without Fork/Join is
+// normalised to sequential analysis (Workers=1, no shared pool) at config
+// time.
+func TestWorkerCountForkers(t *testing.T) {
 	bd, err := core.NewBudgeted(150, core.DefaultParams)
 	if err != nil {
 		t.Fatal(err)
@@ -222,15 +233,35 @@ func TestWorkerCountFallback(t *testing.T) {
 		s    search.Searcher
 		want int
 	}{
-		{bd, 1},
+		{bd, 5},
 		{core.New(core.DefaultParams), 5},
 		{&search.FSBM{}, 5},
 		{&search.PBM{}, 5},
-		{&search.TSS{}, 1},
+		{&search.TSS{}, 5},
+		{&search.Diamond{}, 5},
+		{&search.RCFSBM{}, 5},
+		{&noForkSearcher{}, 1},
 	} {
 		e := NewEncoder(Config{Qp: 16, Searcher: tc.s, Workers: 5})
 		if got := e.workerCount(); got != tc.want {
 			t.Errorf("%s: workerCount=%d, want %d", tc.s.Name(), got, tc.want)
 		}
+	}
+	// The pool is likewise dropped for non-Forker searchers: the session
+	// encodes sequentially on its own goroutine instead.
+	pool := NewPool(2)
+	defer pool.Close()
+	e := NewEncoder(Config{Qp: 16, Searcher: &noForkSearcher{}, Pool: pool, Workers: 5})
+	if e.cfg.Pool != nil {
+		t.Error("non-Forker searcher kept the shared pool")
+	}
+	frames := parallelFrames(2)
+	for _, f := range frames {
+		if _, err := e.EncodeFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Decode(e.Bitstream()); err != nil {
+		t.Fatalf("sequential non-Forker encode undecodable: %v", err)
 	}
 }

@@ -39,14 +39,16 @@ import (
 // the next EncodeFrame call) returns, since PSNR statistics read it on
 // the writer goroutine.
 //
-// Rate control is the one coupling that defeats the overlap: the
-// quantiser servo needs frame n's actual bit count (phase 2 output)
-// before choosing frame n+1's quantiser (phase 1 input). With
-// Config.TargetKbps > 0 the pipeline therefore degrades to strictly
-// serial encoding — same API, same bits, no overlap.
+// Rate control (Config.TargetKbps > 0) keeps the full overlap: the
+// quantiser for frame n+1 is chosen by the frame-lag controller
+// (rateController) at frame n's hand-off, from the actual bit counts of
+// frames 0..n-1 — which the writer has finished by then, the unbuffered
+// channel being exactly that synchronisation point — plus a predicted
+// size for frame n computed from its worker-invariant analysis results.
+// The serial EncodeFrame loop runs the identical plan/settle sequence, so
+// rate-controlled bitstreams stay byte-identical to it too.
 type Pipeline struct {
 	e       *Encoder
-	overlap bool
 	jobs    chan *frameJob
 	done    chan struct{}
 	flushed bool
@@ -55,18 +57,17 @@ type Pipeline struct {
 // NewPipeline returns a pipelined encoder for cfg. Frames are submitted
 // with EncodeFrame; Flush finalises the stream.
 func NewPipeline(cfg Config) *Pipeline {
-	e := NewEncoder(cfg)
-	p := &Pipeline{e: e, overlap: e.rc == nil}
-	if p.overlap {
-		p.jobs = make(chan *frameJob) // unbuffered: exactly one frame in flight
-		p.done = make(chan struct{})
-		go func() {
-			defer close(p.done)
-			for j := range p.jobs {
-				p.e.writeFrameJob(j)
-			}
-		}()
+	p := &Pipeline{
+		e:    NewEncoder(cfg),
+		jobs: make(chan *frameJob), // unbuffered: exactly one frame in flight
+		done: make(chan struct{}),
 	}
+	go func() {
+		defer close(p.done)
+		for j := range p.jobs {
+			p.e.writeFrameJob(j)
+		}
+	}()
 	return p
 }
 
@@ -78,15 +79,12 @@ func (p *Pipeline) EncodeFrame(f *frame.Frame) error {
 	if p.flushed {
 		return fmt.Errorf("codec: pipeline already flushed")
 	}
-	if !p.overlap {
-		_, err := p.e.EncodeFrame(f)
-		return err
-	}
 	j, err := p.e.analyzeFrameJob(f)
 	if err != nil {
 		return err
 	}
 	p.jobs <- j
+	p.e.rateHandoff(j)
 	return nil
 }
 
@@ -95,10 +93,8 @@ func (p *Pipeline) EncodeFrame(f *frame.Frame) error {
 // must not be called afterwards.
 func (p *Pipeline) Flush() (*SequenceStats, []byte, error) {
 	if !p.flushed {
-		if p.overlap {
-			close(p.jobs)
-			<-p.done
-		}
+		close(p.jobs)
+		<-p.done
 		p.flushed = true
 	}
 	return p.e.Stats(), p.e.Bitstream(), nil

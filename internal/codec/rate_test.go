@@ -1,8 +1,11 @@
 package codec
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/video"
 )
@@ -105,25 +108,182 @@ func TestRateControllerUnit(t *testing.T) {
 	if rc.currentQp() != 16 {
 		t.Fatal("start Qp wrong")
 	}
-	// Sustained overshoot must raise Qp; sustained undershoot lower it.
+	// Drive the frame-lag protocol: plan charges the predicted size and
+	// steps the quantiser, settle swaps in the actual size one frame
+	// later. Sustained overshoot must raise Qp; undershoot must lower it.
 	for i := 0; i < 10; i++ {
-		rc.observe(5000)
+		rc.plan(false, 100)
+		rc.settle(5000)
 	}
 	if rc.currentQp() <= 16 {
 		t.Fatalf("Qp %d did not rise under overshoot", rc.currentQp())
 	}
 	rc2 := newRateController(30, 30, 16)
 	for i := 0; i < 10; i++ {
-		rc2.observe(10)
+		rc2.plan(false, 100)
+		rc2.settle(10)
 	}
 	if rc2.currentQp() >= 16 {
 		t.Fatalf("Qp %d did not fall under undershoot", rc2.currentQp())
 	}
 	// Qp always stays legal.
 	for i := 0; i < 100; i++ {
-		rc.observe(1 << 20)
+		rc.plan(false, 100)
+		rc.settle(1 << 20)
 	}
 	if rc.currentQp() > 31 {
 		t.Fatal("Qp exceeded 31")
+	}
+}
+
+func TestRateControllerFrameLagCorrection(t *testing.T) {
+	// The first frame of a type has no model: its prediction is the target
+	// itself, so plan must not move the quantiser — and settle must inject
+	// the full prediction error into the buffer so the *next* plan reacts.
+	rc := newRateController(30, 30, 16) // 1000 bits/frame
+	rc.plan(true, 500)
+	if rc.currentQp() != 16 {
+		t.Fatalf("Qp moved to %d on an unmodelled prediction", rc.currentQp())
+	}
+	rc.settle(8000) // I-frame blow-up arrives one hand-off later
+	rc.plan(false, 500)
+	if rc.currentQp() <= 16 {
+		t.Fatalf("Qp %d did not react to the settled overshoot", rc.currentQp())
+	}
+	// Once settled, the model predicts from cost: a second frame of the
+	// same type must be charged at the learned bits-per-cost rate.
+	if rc.bpcIntra <= 0 {
+		t.Fatal("intra bits-per-cost model not learned")
+	}
+	if got := rc.predictBits(true, 500); got != 8000/500.0*500 {
+		t.Fatalf("predictBits = %g, want 8000", got)
+	}
+	// A settle without an outstanding plan is ignored.
+	rc.settle(900)
+	buf := rc.buffer
+	rc.settle(1 << 20)
+	if rc.buffer != buf {
+		t.Fatal("settle without an outstanding plan moved the buffer")
+	}
+}
+
+// rateProfiles are encode configurations whose controllers historically
+// forced the encoder serial: the TargetKbps quantiser servo, the
+// core.Budgeted complexity servo, and both at once. Each entry builds a
+// fresh Config per encode (the searchers are stateful).
+var rateProfiles = []struct {
+	name string
+	mk   func(t *testing.T) Config
+}{
+	{"kbps", func(t *testing.T) Config {
+		return Config{Qp: 16, FPS: 30, TargetKbps: 60, Searcher: core.New(core.DefaultParams)}
+	}},
+	{"kbps-arith-gop", func(t *testing.T) Config {
+		return Config{Qp: 14, FPS: 30, TargetKbps: 90, Entropy: EntropyArith, IntraPeriod: 4,
+			Searcher: core.New(core.DefaultParams)}
+	}},
+	{"budget", func(t *testing.T) Config {
+		s, err := core.NewBudgeted(150, core.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Qp: 14, Searcher: s}
+	}},
+	{"kbps+budget", func(t *testing.T) Config {
+		s, err := core.NewBudgeted(150, core.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Qp: 14, FPS: 30, TargetKbps: 60, Searcher: s}
+	}},
+}
+
+// TestRateControlBitIdenticalAcrossParallelism is the golden guarantee of
+// the frame-lag controllers: with rate control active (TargetKbps, the
+// Budgeted complexity servo, or both) the bitstream AND the per-frame
+// statistics — including every quantiser decision — must be byte-for-byte
+// identical across Workers ∈ {1, 4} × Pipeline on/off × shared Pool. Run
+// under -race by make test to also certify the scheduling.
+func TestRateControlBitIdenticalAcrossParallelism(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.SQCIF, 8, 3)
+	for _, p := range rateProfiles {
+		ref := p.mk(t)
+		ref.Workers = 1
+		refStats, refBS, err := EncodeSequence(ref, frames)
+		if err != nil {
+			t.Fatalf("%s serial: %v", p.name, err)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, pipeline := range []bool{false, true} {
+				cfg := p.mk(t)
+				cfg.Workers = workers
+				cfg.Pipeline = pipeline
+				stats, bs, err := EncodeSequence(cfg, frames)
+				if err != nil {
+					t.Fatalf("%s workers=%d pipeline=%v: %v", p.name, workers, pipeline, err)
+				}
+				if !bytes.Equal(bs, refBS) {
+					t.Errorf("%s workers=%d pipeline=%v: bitstream differs from serial (%d vs %d bytes)",
+						p.name, workers, pipeline, len(bs), len(refBS))
+				}
+				if !reflect.DeepEqual(stats, refStats) {
+					t.Errorf("%s workers=%d pipeline=%v: stats differ\n got %+v\nwant %+v",
+						p.name, workers, pipeline, stats, refStats)
+				}
+			}
+		}
+		// Shared-pool analysis (the vcodecd serving mode) must match too.
+		pool := NewPool(3)
+		cfg := p.mk(t)
+		cfg.Pool = pool
+		cfg.Pipeline = true
+		stats, bs, err := EncodeSequence(cfg, frames)
+		pool.Close()
+		if err != nil {
+			t.Fatalf("%s pool: %v", p.name, err)
+		}
+		if !bytes.Equal(bs, refBS) {
+			t.Errorf("%s: shared-pool bitstream differs from serial", p.name)
+		}
+		if !reflect.DeepEqual(stats, refStats) {
+			t.Errorf("%s: shared-pool stats differ", p.name)
+		}
+	}
+}
+
+// TestRateControlPacketsBitIdentical is the packet-transport counterpart:
+// rate-controlled EncodePackets output is pinned byte-identical across the
+// same Workers × Pipeline × Pool grid (the per-session serving path).
+func TestRateControlPacketsBitIdentical(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.SQCIF, 8, 5)
+	for _, p := range rateProfiles {
+		ref := p.mk(t)
+		ref.Workers = 1
+		refPkts, _, err := EncodePackets(ref, frames)
+		if err != nil {
+			t.Fatalf("%s serial: %v", p.name, err)
+		}
+		run := func(label string, cfg Config) {
+			pkts, _, err := EncodePackets(cfg, frames)
+			if err != nil {
+				t.Fatalf("%s %s: %v", p.name, label, err)
+			}
+			if !packetsEqual(refPkts, pkts) {
+				t.Errorf("%s %s: packets differ from serial", p.name, label)
+			}
+		}
+		w4 := p.mk(t)
+		w4.Workers = 4
+		run("workers=4", w4)
+		piped := p.mk(t)
+		piped.Workers = 4
+		piped.Pipeline = true
+		run("workers=4 pipeline", piped)
+		pool := NewPool(3)
+		pooled := p.mk(t)
+		pooled.Pool = pool
+		pooled.Pipeline = true
+		run("pool pipeline", pooled)
+		pool.Close()
 	}
 }

@@ -31,17 +31,20 @@ type Packet struct {
 // queue: in pipeline mode exactly one analysed frame can be in flight
 // behind a blocked emit, and in serial mode none.
 //
-// Pipelining: with Config.Pipeline set (and no rate control), entropy
-// coding of frame n overlaps analysis of frame n+1 exactly as in
+// Pipelining: with Config.Pipeline set, entropy coding of frame n
+// overlaps analysis of frame n+1 exactly as in
 // codec.Pipeline — EncodeFrame returns once analysis completes and a
 // writer goroutine serialises + emits the packet. Packets are
 // byte-identical to the serial path for every Workers/Pool setting: each
 // packet has private entropy state, and analysis results are worker-count
 // invariant (the wavefront guarantee).
 //
-// Rate control (Config.TargetKbps > 0) degrades to serial exactly like
-// codec.Pipeline: the quantiser servo needs frame n's packet size before
-// frame n+1's analysis.
+// Rate control (Config.TargetKbps > 0) composes with all of it: the
+// frame-lag controller chooses frame n+1's quantiser at frame n's
+// hand-off, from the actual packet sizes of frames 0..n-1 plus a
+// predicted size for frame n (see rateController), so rate-controlled
+// sessions keep the pipeline overlap and the shared-pool parallelism —
+// and emit byte-identical packets in every mode.
 //
 // An emit error poisons the stream: the pending frame is discarded, every
 // later EncodeFrame returns the error, and Close returns it too. The
@@ -68,7 +71,7 @@ type EncodeStream struct {
 // goroutine and collect the final statistics.
 func NewEncodeStream(cfg Config, emit func(Packet) error) *EncodeStream {
 	e := NewEncoder(cfg)
-	s := &EncodeStream{e: e, emit: emit, overlap: cfg.Pipeline && e.rc == nil}
+	s := &EncodeStream{e: e, emit: emit, overlap: cfg.Pipeline}
 	if s.overlap {
 		s.jobs = make(chan *frameJob) // unbuffered: one frame in flight
 		s.done = make(chan struct{})
@@ -116,18 +119,18 @@ func (s *EncodeStream) EncodeFrame(f *frame.Frame) error {
 			j.results = nil
 			return s.werr
 		}
-		fs, err := s.emitJob(j)
-		if err != nil {
+		if _, err := s.emitJob(j); err != nil {
 			s.werr = err
 			return err
 		}
-		if s.e.rc != nil {
-			s.e.rc.observe(fs.Bits)
-		}
+		// Frame-lag protocol even though j's bits are already known: the
+		// controller must see exactly what a pipelined session would.
+		s.e.rateHandoff(j)
 		return nil
 	}
 	select {
 	case s.jobs <- j:
+		s.e.rateHandoff(j)
 		return nil
 	case <-s.failed:
 		putMBResults(j.results)
@@ -159,6 +162,7 @@ func (s *EncodeStream) Close() (*SequenceStats, error) {
 			close(s.jobs)
 			<-s.done
 		}
+		s.e.rcPrevJob = nil // release the last retained frame pair
 	}
 	return s.e.Stats(), s.werr
 }
@@ -197,6 +201,7 @@ func (e *Encoder) writeFramePacket(j *frameJob) ([]byte, FrameStats) {
 	pkt := e.sw.Finish()
 	fs.Bits = 8 * len(pkt)
 	fs.Qp = j.qp
+	j.wroteBits = fs.Bits
 	e.entropyTime += time.Since(start)
 
 	py, _ := frame.PSNR(j.src.Y, j.recon.Y)

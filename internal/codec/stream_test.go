@@ -195,17 +195,33 @@ func TestEncodeStreamEmitError(t *testing.T) {
 	}
 }
 
-// TestEncodeStreamRateControl: the servo path must stay functional (and
-// serial) through the streaming API.
+// TestEncodeStreamRateControl: the frame-lag rate controller must keep
+// the pipeline overlap through the streaming API — no serial degradation
+// — while the packets stay decodable and byte-identical to a serial
+// rate-controlled stream.
 func TestEncodeStreamRateControl(t *testing.T) {
 	frames := video.Generate(video.TableTennis, frame.SQCIF, 10, 3)
+	var ref [][]byte
+	serial := NewEncodeStream(Config{Qp: 14, FPS: 30, TargetKbps: 40}, func(p Packet) error {
+		ref = append(ref, p.Data)
+		return nil
+	})
+	for i, f := range frames {
+		if err := serial.EncodeFrame(f); err != nil {
+			t.Fatalf("serial frame %d: %v", i, err)
+		}
+	}
+	if _, err := serial.Close(); err != nil {
+		t.Fatal(err)
+	}
+
 	var pkts [][]byte
 	s := NewEncodeStream(Config{Qp: 14, FPS: 30, TargetKbps: 40, Pipeline: true}, func(p Packet) error {
 		pkts = append(pkts, p.Data)
 		return nil
 	})
-	if s.overlap {
-		t.Fatal("rate-controlled stream did not degrade to serial")
+	if !s.overlap {
+		t.Fatal("rate-controlled stream degraded to serial")
 	}
 	for i, f := range frames {
 		if err := s.EncodeFrame(f); err != nil {
@@ -218,6 +234,9 @@ func TestEncodeStreamRateControl(t *testing.T) {
 	}
 	if stats.BitrateKbps() <= 0 {
 		t.Fatal("no rate recorded")
+	}
+	if !packetsEqual(ref, pkts) {
+		t.Fatal("pipelined rate-controlled packets differ from serial")
 	}
 	dec, err := NewPacketDecoder(pkts[0])
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/codec"
@@ -88,6 +89,55 @@ func TestBudgetedGenerousTargetActsLikePlainACBM(t *testing.T) {
 	}
 	if bs.AvgPSNRY() < ps.AvgPSNRY()-0.3 {
 		t.Fatalf("budgeted PSNR %.2f below plain %.2f on easy content", bs.AvgPSNRY(), ps.AvgPSNRY())
+	}
+}
+
+// TestBudgetedForkJoinDifferential pins the frame-granular fork/join
+// contract on Foreman-class content: per-frame budget decisions frozen at
+// frame start and point accounting merged additively across workers must
+// consume exactly the points of the sequential (Workers=1) reference —
+// same merged statistics, same final threshold scale, same bitstream.
+func TestBudgetedForkJoinDifferential(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.QCIF, 10, 3)
+	encode := func(workers int, pipeline bool) (*Budgeted, *codec.SequenceStats, []byte) {
+		t.Helper()
+		b, err := NewBudgeted(150, DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, bs, err := codec.EncodeSequence(codec.Config{
+			Qp: 14, FPS: 30, Searcher: b, Workers: workers, Pipeline: pipeline,
+		}, frames)
+		if err != nil {
+			t.Fatalf("workers=%d pipeline=%v: %v", workers, pipeline, err)
+		}
+		return b, stats, bs
+	}
+	refB, refStats, refBS := encode(1, false)
+	for _, tc := range []struct {
+		workers  int
+		pipeline bool
+	}{{4, false}, {4, true}, {7, true}} {
+		b, stats, bs := encode(tc.workers, tc.pipeline)
+		if b.Stats() != refB.Stats() {
+			t.Errorf("workers=%d pipeline=%v: merged stats differ\n got %+v\nwant %+v",
+				tc.workers, tc.pipeline, b.Stats(), refB.Stats())
+		}
+		if b.Stats().Points != refB.Stats().Points {
+			t.Errorf("workers=%d pipeline=%v: consumed points %d, sequential reference %d",
+				tc.workers, tc.pipeline, b.Stats().Points, refB.Stats().Points)
+		}
+		if b.Scale() != refB.Scale() {
+			t.Errorf("workers=%d pipeline=%v: final scale %g, want %g",
+				tc.workers, tc.pipeline, b.Scale(), refB.Scale())
+		}
+		if stats.AvgSearchPointsPerMB() != refStats.AvgSearchPointsPerMB() {
+			t.Errorf("workers=%d pipeline=%v: points/MB %.2f, want %.2f",
+				tc.workers, tc.pipeline, stats.AvgSearchPointsPerMB(), refStats.AvgSearchPointsPerMB())
+		}
+		if !bytes.Equal(bs, refBS) {
+			t.Errorf("workers=%d pipeline=%v: bitstream differs from sequential", tc.workers, tc.pipeline)
+		}
 	}
 }
 

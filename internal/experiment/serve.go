@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type ServeConfig struct {
 	// Searcher and Entropy are passed through as /encode query params.
 	Searcher string
 	Entropy  string
+	// Kbps, when positive, requests per-session frame-lag rate control
+	// (the kbps query param); sessions then run rate-controlled on the
+	// shared pool at full parallelism.
+	Kbps float64
 	// Verify byte-compares one session's packets per point against the
 	// offline EncodePackets output — the "it serves traffic" claim is
 	// then also an "it serves the right bits" claim.
@@ -124,6 +129,11 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 	}
 	upload := body.Bytes()
 	url := fmt.Sprintf("%s/encode?qp=%d&me=%s&entropy=%s", cfg.URL, cfg.Qp, cfg.Searcher, cfg.Entropy)
+	if cfg.Kbps > 0 {
+		// Fixed-point formatting: %g's exponent form ("1e+06") would have
+		// its '+' decoded as a space in the query string.
+		url += "&kbps=" + strconv.FormatFloat(cfg.Kbps, 'f', -1, 64)
+	}
 
 	var offline [][]byte
 	if cfg.Verify {
@@ -162,7 +172,7 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 // for the verification encode (Workers=1 — identity across worker counts
 // is the codec's own guarantee).
 func offlineConfig(cfg ServeConfig) (codec.Config, error) {
-	scfg := codec.Config{Qp: cfg.Qp, FPS: 30, Workers: 1}
+	scfg := codec.Config{Qp: cfg.Qp, FPS: 30, Workers: 1, TargetKbps: cfg.Kbps}
 	switch cfg.Entropy {
 	case "", "expgolomb", "eg":
 	case "arith", "arithmetic", "sac":

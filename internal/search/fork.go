@@ -1,18 +1,30 @@
 package search
 
 // Forker is implemented by Searchers that support the parallel encoder's
-// worker model: Fork returns an instance the worker goroutine owns
-// exclusively for one frame, and Join merges any state that instance
-// accumulated (statistics, adaptation) back into the parent after the
-// frame's analysis completes.
+// worker model. The protocol is frame-granular: at the start of a frame's
+// analysis the encoder calls Fork once per worker (every fork is taken
+// before any is joined), each returned instance is owned exclusively by
+// one worker for that frame, and after the frame's analysis completes
+// Join is called once per fork to merge whatever the instance
+// accumulated.
+//
+// The contract splits a searcher's state along the frame boundary:
+//
+//   - Decided at frame start, frozen during the frame: any control
+//     parameter that feeds back into the search itself (thresholds,
+//     adaptation targets). Forks snapshot it, so every macroblock of the
+//     frame sees the same decision regardless of which worker runs it.
+//   - Merged additively in Join: per-worker accounting (statistics,
+//     consumed search points). The merge must be order-independent —
+//     plain sums — so the totals, and any once-per-frame control update
+//     computed from them after the last Join, are identical for every
+//     worker count and schedule. That is what keeps bitstreams
+//     bit-identical across Workers, Pool and Pipeline settings.
 //
 // Stateless searchers return themselves from Fork and make Join a no-op.
-// Stateful searchers whose state is merely additive statistics (core.ACBM)
-// fork a fresh instance and add the counters back in Join; the merge must
-// be order-independent so the encode stays deterministic. Searchers with
-// control state that feeds back into the search itself (core.Budgeted's
-// complexity servo) must NOT implement Forker — the encoder falls back to
-// sequential analysis for them, which is always correct.
+// core.ACBM forks a fresh instance and adds its counters back in Join;
+// core.Budgeted additionally freezes its α/γ thresholds per frame and
+// servos them once per frame when the last fork joins.
 type Forker interface {
 	Searcher
 	// Fork returns a Searcher for exclusive use by one worker goroutine.
@@ -33,3 +45,46 @@ func (p *PBM) Fork() Searcher { return p }
 
 // Join implements Forker (no state to merge).
 func (p *PBM) Join(Searcher) {}
+
+// Fork implements Forker. TSS is stateless, so the instance is shared.
+func (t *TSS) Fork() Searcher { return t }
+
+// Join implements Forker (no state to merge).
+func (t *TSS) Join(Searcher) {}
+
+// Fork implements Forker. NTSS is stateless, so the instance is shared.
+func (n *NTSS) Fork() Searcher { return n }
+
+// Join implements Forker (no state to merge).
+func (n *NTSS) Join(Searcher) {}
+
+// Fork implements Forker. FSS is stateless, so the instance is shared.
+func (f *FSS) Fork() Searcher { return f }
+
+// Join implements Forker (no state to merge).
+func (f *FSS) Join(Searcher) {}
+
+// Fork implements Forker. Diamond is stateless, so the instance is shared.
+func (d *Diamond) Fork() Searcher { return d }
+
+// Join implements Forker (no state to merge).
+func (d *Diamond) Join(Searcher) {}
+
+// Fork implements Forker. CrossDiamond is stateless, so the instance is
+// shared.
+func (c *CrossDiamond) Fork() Searcher { return c }
+
+// Join implements Forker (no state to merge).
+func (c *CrossDiamond) Join(Searcher) {}
+
+// Fork implements Forker. HEXBS is stateless, so the instance is shared.
+func (h *HEXBS) Fork() Searcher { return h }
+
+// Join implements Forker (no state to merge).
+func (h *HEXBS) Join(Searcher) {}
+
+// Fork implements Forker. RCFSBM is stateless, so the instance is shared.
+func (r *RCFSBM) Fork() Searcher { return r }
+
+// Join implements Forker (no state to merge).
+func (r *RCFSBM) Join(Searcher) {}

@@ -21,6 +21,13 @@ type metrics struct {
 	analysisNs       atomic.Int64 // cumulative phase-1 wall clock
 	entropyNs        atomic.Int64 // cumulative phase-2 wall clock
 	sessionNs        atomic.Int64 // cumulative per-session wall clock
+
+	// Rate-controlled sessions (kbps query param): target and achieved
+	// bitrates accumulate in milli-kbps so a scraper can derive the mean
+	// tracking ratio achieved/target.
+	rateSessions          atomic.Int64
+	rateTargetMilliKbps   atomic.Int64
+	rateAchievedMilliKbps atomic.Int64
 }
 
 // handleHealthz reports liveness and the scheduler's occupancy. During
@@ -78,6 +85,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("vcodecd_frames_per_second", "frame packets per second of uptime", fps)
 	g("vcodecd_analysis_ms_per_frame", "mean analysis latency per frame", analysisMs)
 	g("vcodecd_entropy_ms_per_frame", "mean entropy latency per frame", entropyMs)
+	g("vcodecd_rate_sessions_total", "completed sessions that ran bitrate control", s.m.rateSessions.Load())
+	g("vcodecd_rate_target_kbps_total", "sum of kbps targets across rate-controlled sessions", float64(s.m.rateTargetMilliKbps.Load())/1000)
+	g("vcodecd_rate_achieved_kbps_total", "sum of achieved kbps across rate-controlled sessions", float64(s.m.rateAchievedMilliKbps.Load())/1000)
 	g("vcodecd_pool_workers", "shared analysis pool size", s.pool.Size())
 	g("vcodecd_draining", "1 while graceful shutdown is draining sessions", draining)
 }

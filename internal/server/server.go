@@ -26,7 +26,11 @@ const (
 	TrailerFrames = "X-Vcodec-Frames"
 	TrailerPSNRY  = "X-Vcodec-Psnr-Y"
 	TrailerKbps   = "X-Vcodec-Kbps"
-	TrailerError  = "X-Vcodec-Error"
+	// TrailerTargetKbps echoes the session's kbps target (rate-controlled
+	// sessions only), so a client can read achieved-vs-target from the
+	// trailers alone.
+	TrailerTargetKbps = "X-Vcodec-Target-Kbps"
+	TrailerError      = "X-Vcodec-Error"
 )
 
 // Config sizes the serving layer.
@@ -139,7 +143,11 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		cfg.FPS = fps
 	}
 	// Sessions share the machine-sized pool (never private workers) and
-	// pipeline entropy of frame n over analysis of frame n+1.
+	// pipeline entropy of frame n over analysis of frame n+1. Per-session
+	// rate profiles (kbps, budget) ride the same path: the frame-lag
+	// controllers decide before analysis and observe after entropy, so a
+	// rate-controlled session keeps full pool parallelism and still
+	// streams the bytes the offline encoder would produce.
 	cfg.Pool = s.pool
 	cfg.Pipeline = true
 
@@ -149,7 +157,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	_ = rc.EnableFullDuplex()
 
 	w.Header().Set("Content-Type", ContentType)
-	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerError}, ", "))
+	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerTargetKbps, TrailerError}, ", "))
 
 	pw := codec.NewPacketWriter(w)
 	es := codec.NewEncodeStream(cfg, func(p codec.Packet) error {
@@ -205,6 +213,17 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(TrailerFrames, strconv.Itoa(frames))
 	w.Header().Set(TrailerPSNRY, strconv.FormatFloat(stats.AvgPSNRY(), 'f', 2, 64))
 	w.Header().Set(TrailerKbps, strconv.FormatFloat(stats.BitrateKbps(), 'f', 1, 64))
+	if cfg.TargetKbps > 0 {
+		w.Header().Set(TrailerTargetKbps, strconv.FormatFloat(cfg.TargetKbps, 'f', 1, 64))
+		// Only completed sessions enter the tracking sums: a truncated
+		// stream's bitrate (an I-frame-heavy prefix, or zero frames) would
+		// skew the achieved/target ratio the metrics promise.
+		if sessionErr == nil {
+			s.m.rateSessions.Add(1)
+			s.m.rateTargetMilliKbps.Add(int64(cfg.TargetKbps * 1000))
+			s.m.rateAchievedMilliKbps.Add(int64(stats.BitrateKbps() * 1000))
+		}
+	}
 	if sessionErr != nil {
 		s.m.sessionsFailed.Add(1)
 		w.Header().Set(TrailerError, sessionErr.Error())
@@ -212,7 +231,10 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseSessionConfig maps /encode query parameters onto a codec.Config:
-// qp, me (searcher), entropy, gop, range, ap, deblock, kbps.
+// qp, me (searcher), entropy, gop, range, ap, deblock, kbps (target
+// bitrate; frame-lag rate control) and budget (target motion-search
+// positions/MB; the ACBM complexity servo). Rate profiles run at full
+// pool parallelism — nothing here degrades the session to serial.
 func parseSessionConfig(q url.Values) (codec.Config, error) {
 	cfg := codec.Config{Qp: 16}
 	var err error
@@ -258,6 +280,18 @@ func parseSessionConfig(q url.Values) (codec.Config, error) {
 	}
 	if cfg.Searcher, err = core.SearcherByName(q.Get("me")); err != nil {
 		return cfg, err
+	}
+	if v := q.Get("budget"); v != "" {
+		target, e := strconv.ParseFloat(v, 64)
+		if e != nil || target <= 0 {
+			return cfg, fmt.Errorf("bad budget=%q (want positive positions/MB)", v)
+		}
+		if me := strings.ToLower(q.Get("me")); me != "" && me != "acbm" {
+			return cfg, fmt.Errorf("budget requires the ACBM searcher (got me=%q)", q.Get("me"))
+		}
+		if cfg.Searcher, e = core.NewBudgeted(target, core.DefaultParams); e != nil {
+			return cfg, e
+		}
 	}
 	switch strings.ToLower(q.Get("entropy")) {
 	case "", "expgolomb", "eg":

@@ -191,6 +191,159 @@ func TestConcurrentSessionsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRateControlledSessionsTrackTargets pins the per-session rate
+// profiles: two concurrent sessions with different kbps targets run on
+// the shared pool at full parallelism, and each must (a) stream packets
+// byte-identical to the offline rate-controlled encoder with the same
+// config, (b) report an achieved TrailerKbps within the rate controller's
+// tolerance of its own target, and (c) echo the target in
+// TrailerTargetKbps. Run under -race by make test.
+func TestRateControlledSessionsTrackTargets(t *testing.T) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 40, 1)
+	body := y4mBody(t, frames)
+	_, ts := newTestServer(t, Config{MaxSessions: 4})
+
+	targets := []float64{30, 80}
+	offline := make([][][]byte, len(targets))
+	for i, target := range targets {
+		pkts, _, err := codec.EncodePackets(codec.Config{
+			Qp: 16, FPS: 30, TargetKbps: target,
+			Searcher: core.New(core.DefaultParams), Workers: 1,
+		}, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline[i] = pkts
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(targets))
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target float64) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs[i] = fmt.Errorf("target %g: %s", target, fmt.Sprintf(format, args...))
+			}
+			resp, err := http.Post(fmt.Sprintf("%s/encode?qp=16&kbps=%g", ts.URL, target),
+				"video/x-yuv4mpeg", bytes.NewReader(body))
+			if err != nil {
+				fail("%v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				fail("status %d: %s", resp.StatusCode, msg)
+				return
+			}
+			pr := codec.NewPacketReader(resp.Body)
+			var pkts [][]byte
+			for {
+				idx, data, err := pr.ReadPacket()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					fail("packet %d: %v", len(pkts), err)
+					return
+				}
+				if idx != len(pkts) {
+					fail("packet index %d, want %d", idx, len(pkts))
+					return
+				}
+				pkts = append(pkts, data)
+			}
+			if errT := resp.Trailer.Get(TrailerError); errT != "" {
+				fail("error trailer: %s", errT)
+				return
+			}
+			if len(pkts) != len(offline[i]) {
+				fail("%d packets, offline %d", len(pkts), len(offline[i]))
+				return
+			}
+			for n := range offline[i] {
+				if !bytes.Equal(pkts[n], offline[i][n]) {
+					fail("packet %d differs from offline rate-controlled encoder", n)
+					return
+				}
+			}
+			if got := resp.Trailer.Get(TrailerTargetKbps); got != fmt.Sprintf("%.1f", target) {
+				fail("target trailer %q", got)
+				return
+			}
+			kbps, err := strconv.ParseFloat(resp.Trailer.Get(TrailerKbps), 64)
+			if err != nil {
+				fail("kbps trailer %q: %v", resp.Trailer.Get(TrailerKbps), err)
+				return
+			}
+			// Same band as TestRateControlTracksTarget: the I-frame cannot
+			// be rate-controlled away.
+			if kbps < target*0.6 || kbps > target*1.6 {
+				fail("achieved %.1f kbit/s outside tolerance", kbps)
+			}
+		}(i, target)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestBudgetSessionParam pins the budget query param: a complexity-
+// budgeted session must match the offline core.Budgeted encode byte for
+// byte, and contradictory or malformed rate parameters must 400.
+func TestBudgetSessionParam(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.SQCIF, 6, 7)
+	body := y4mBody(t, frames)
+	_, ts := newTestServer(t, Config{})
+
+	b, err := core.NewBudgeted(150, core.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := codec.EncodePackets(codec.Config{
+		Qp: 14, FPS: 30, Searcher: b, Workers: 1,
+	}, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/encode?qp=14&budget=150", "video/x-yuv4mpeg", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	pkts := readPackets(t, resp.Body)
+	if errT := resp.Trailer.Get(TrailerError); errT != "" {
+		t.Fatalf("error trailer: %s", errT)
+	}
+	if len(pkts) != len(want) {
+		t.Fatalf("%d packets, offline %d", len(pkts), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(pkts[i], want[i]) {
+			t.Fatalf("packet %d differs from offline budgeted encoder", i)
+		}
+	}
+
+	for _, q := range []string{"budget=0", "budget=-5", "budget=abc", "budget=150&me=fsbm", "kbps=-1", "kbps=abc"} {
+		resp, err := http.Post(ts.URL+"/encode?"+q, "video/x-yuv4mpeg", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
 // blockingWriter is an http.ResponseWriter whose Write blocks once its
 // byte budget is spent — a slow client without kernel socket buffers in
 // the way, so the backpressure assertion is deterministic.
