@@ -5,9 +5,12 @@
 #                       under the race detector (certifies the wavefront
 #                       encoder and the multi-session serving layer)
 #   make bench-smoke  — 1-iteration pass over every benchmark so bench
-#                       code cannot rot, plus a quick rate-experiment run
+#                       code cannot rot, a quick rate-experiment run
 #                       (compiles and exercises the frame-lag controller
-#                       on every push)
+#                       on every push), and the allocation-regression
+#                       check (fails loudly if EncodeFrame allocs/frame
+#                       climb above the ceiling pinned in
+#                       internal/codec/alloc_test.go)
 #   make bench-speed  — regenerate BENCH_speed.json (ns/frame, fps,
 #                       points/block for each searcher × worker count)
 #   make bench-rate   — regenerate BENCH_rate.json (kbps tracking error +
@@ -33,6 +36,7 @@ test: build
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/acbmbench -experiment rate -frames 6 -size sqcif
+	$(GO) test -run TestEncodeFrameAllocCeiling -count=1 -v ./internal/codec/
 
 bench-speed:
 	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json

@@ -304,6 +304,7 @@ func BenchmarkEncodeFrame_Workers4(b *testing.B) { benchEncodeFrameWorkers(b, 4)
 // wall clock may differ, reported as frames per second.
 func benchEncodeSequence(b *testing.B, workers int, pipeline bool) {
 	frames := video.Generate(video.Carphone, frame.QCIF, 8, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, err := codec.EncodeSequence(codec.Config{
@@ -321,6 +322,50 @@ func BenchmarkEncodeSequence_Serial(b *testing.B)            { benchEncodeSequen
 func BenchmarkEncodeSequence_Pipeline(b *testing.B)          { benchEncodeSequence(b, 1, true) }
 func BenchmarkEncodeSequence_Workers4(b *testing.B)          { benchEncodeSequence(b, 4, false) }
 func BenchmarkEncodeSequence_Workers4_Pipeline(b *testing.B) { benchEncodeSequence(b, 4, true) }
+
+// BenchmarkEncodeStream measures the streaming session (packet per frame,
+// pipeline overlap) with allocation tracking: the per-frame steady state
+// is pinned low by the size-bucketed plane/frame pools and the lazy
+// half-pel substrate, which is what keeps concurrent vcodecd sessions
+// from thrashing each other's working sets.
+func BenchmarkEncodeStream(b *testing.B) {
+	frames := video.Generate(video.Carphone, frame.QCIF, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := codec.NewEncodeStream(codec.Config{
+			Qp: 16, Searcher: core.New(core.DefaultParams), Workers: 1, Pipeline: true,
+		}, func(codec.Packet) error { return nil })
+		for _, f := range frames {
+			if err := s.EncodeFrame(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkInterpolateLazyFirstTouch measures the lazy substrate's cost
+// for a typical compensation pattern: one half-pel block fetched per
+// macroblock position (the worst case fills every tile once; the common
+// case touches far fewer).
+func BenchmarkInterpolateLazyFirstTouch(b *testing.B) {
+	_, ref, _ := benchPlanes()
+	dst := make([]uint8, 16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := frame.InterpolateLazy(ref)
+		for y := 0; y+16 <= ref.H; y += 16 {
+			for x := 0; x+16 <= ref.W; x += 16 {
+				ip.Block(dst, 2*x+1, 2*y+1, 16, 16)
+			}
+		}
+		ip.Release()
+	}
+}
 
 // BenchmarkSADCapped_Spiral measures the full search with the
 // centre-outward scan: the spiral visits near-zero vectors first, so

@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -46,8 +48,43 @@ func main() {
 		workers  = flag.Int("workers", 0, "encoder worker goroutines for the speed/rate experiments (0 = default sweep)")
 		kbps     = flag.Float64("kbps", 0, "rate experiment: target bitrate in kbit/s (0 = default 80)")
 		jsonPath = flag.String("json", "", "write the speed/rate experiment result to this JSON file (e.g. BENCH_speed.json, BENCH_rate.json)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() exits through os.Exit, so the flush must run on the
+		// error path too — otherwise the profile is left truncated.
+		flushProfiles = append(flushProfiles, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+		defer runFlushProfiles()
+	}
+	if *memProf != "" {
+		path := *memProf
+		flushProfiles = append(flushProfiles, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acbmbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the pools so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "acbmbench: memprofile:", err)
+			}
+		})
+		defer runFlushProfiles()
+	}
 
 	size, err := frame.SizeByName(*sizeName)
 	if err != nil {
@@ -270,7 +307,21 @@ func parseQps(arg string) ([]int, error) {
 	return qps, nil
 }
 
+// flushProfiles finalises any -cpuprofile/-memprofile outputs. It runs
+// both on normal return (deferred in main) and from fatal, since os.Exit
+// skips defers; runFlushProfiles makes the second invocation a no-op.
+var flushProfiles []func()
+
+func runFlushProfiles() {
+	fs := flushProfiles
+	flushProfiles = nil
+	for _, f := range fs {
+		f()
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "acbmbench:", err)
+	runFlushProfiles()
 	os.Exit(1)
 }

@@ -24,6 +24,13 @@
 //
 // -addrfile writes the bound address (useful with -addr 127.0.0.1:0) so
 // scripts can discover the random port; see `make serve-smoke`.
+//
+// -pprof 127.0.0.1:6060 serves the net/http/pprof endpoints on a
+// separate debug listener (never on the serving address), so live
+// sessions can be CPU/heap-profiled in production:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,8 +59,26 @@ func main() {
 		maxQueue = flag.Int("max-queued", 32, "sessions allowed to wait for admission")
 		maxFrame = flag.Int("max-frames", 0, "per-session frame cap (0 = unlimited)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight sessions")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this debug address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		// The profiling endpoints live on their own mux and listener so
+		// they are never exposed on the serving address and cannot contend
+		// with session admission. net/http/pprof registers its handlers on
+		// http.DefaultServeMux.
+		dln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			log.Fatalf("vcodecd: pprof listen: %v", err)
+		}
+		go func() {
+			log.Printf("vcodecd: pprof debug mux on http://%s/debug/pprof/", dln.Addr())
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil {
+				log.Printf("vcodecd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -14,14 +14,50 @@
 //
 // # Performance architecture
 //
-// The encode hot path is optimised at three layers, none of which change
-// a single output bit (the golden bitstream tests and the parallel
+// The encode hot path is optimised at several layers, none of which
+// change a single output bit (the golden bitstream tests and the parallel
 // equivalence tests in internal/codec pin this):
 //
+//   - internal/frame pads every reference/reconstruction plane with a
+//     replicated apron sized to the motion range plus the half-pel margin
+//     (padded stride, Pix windowed into the padded buffer). The apron is
+//     replicated exactly once per frame, when a reconstruction becomes
+//     the prediction reference (refreshReference, after deblocking), so
+//     every position a legal candidate or a chroma-derived vector can
+//     reach is backed by real edge-replicated memory and no hot loop
+//     branches on the frame border.
+//   - The half-pel view (frame.Interpolated) is phase-split and lazily
+//     materialised: the integer phase is the source plane itself, and the
+//     b/c/d half-pel phases live in contiguous per-phase planes computed
+//     tile by tile (frame.TileSize² samples) on first touch, guarded by
+//     an atomic per-tile claim state. Wavefront workers first-touching
+//     the same tile are race-clean — one claims and fills (the fill is
+//     idempotent: a pure function of the source), the rest spin until the
+//     fill is published; nothing may read a tile's samples except through
+//     the claiming protocol (At/Block/PhaseRect). Output bits cannot
+//     change because lazily computed samples are byte-equal to the eager
+//     grid (differential tests pin this) and SAD probes/compensation read
+//     the same values either way, in the same order.
 //   - internal/metrics runs the SAD family on SWAR kernels — 8 pixels per
 //     uint64 load, split into 16-bit lanes, with an unrolled fast path for
 //     the 16-wide macroblock case — with the scalar loops kept as
-//     differential-test references.
+//     differential-test references. Half-pel candidates are evaluated by
+//     fused kernels (SADHalfPelPlane) that apply the H.263 bilinear
+//     rounding inside the difference loop, directly against the integer
+//     reference plane: searcher refinement never materialises half-pel
+//     storage at all, so the tiles that do get filled are only those
+//     motion compensation actually lands on — and full-pel compensation
+//     (every skip block, most chroma vectors) copies plane rows without
+//     touching the half-pel substrate either.
+//   - Reconstruction frames, half-pel phase planes and their buffers
+//     recycle through size-bucketed pools (one bucket per exact
+//     dimensions × apron class), so concurrent vcodecd sessions at mixed
+//     resolutions stop thrashing each other's buffers. A reference frame
+//     is retired to its pool at the frame hand-off — the first point
+//     where both of its readers (the next frame's analysis and the
+//     previous frame's PSNR statistics) are provably done; the steady
+//     state is ~10 heap allocations per encoded frame, and `make
+//     bench-smoke` fails if the pinned ceiling regresses.
 //   - search.FSBM scans candidates centre-outward ("spiral", sorted by L1
 //     then raster order), so the SADCapped early-termination cap is
 //     near-minimal after the first ring; the visit order is chosen so the
@@ -72,8 +108,11 @@
 //
 // `make bench-speed` (or `acbmbench -experiment speed -json
 // BENCH_speed.json`) records the encoder's speed trajectory — ns/frame,
-// fps, the analysis/entropy phase split and points/block per searcher,
-// worker count and pipeline mode.
+// fps, the analysis/entropy phase split, points/block, allocs/frame and
+// the half-pel bytes actually materialised per frame, per searcher,
+// worker count and pipeline mode. For ad-hoc investigation, `acbmbench
+// -cpuprofile/-memprofile` write pprof profiles of any experiment, and
+// `vcodecd -pprof addr` serves net/http/pprof for live sessions.
 //
 // # Serving architecture
 //

@@ -1,0 +1,45 @@
+package codec
+
+import (
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/search"
+	"repro/internal/video"
+)
+
+// encodeFrameAllocCeiling is the pinned per-frame allocation budget for a
+// serial P-frame encode. The padded-apron/lazy-tile substrate brought the
+// steady state to ~10 allocations per frame (motion field, frame job,
+// statistics growth); the ceiling leaves headroom for noise while failing
+// loudly on a regression to per-macroblock or per-probe allocation
+// (a single reintroduced per-MB map or escaping search input costs ~100
+// allocations per QCIF frame). Run by `make bench-smoke` and the regular
+// test suite.
+const encodeFrameAllocCeiling = 40
+
+// TestEncodeFrameAllocCeiling measures steady-state allocations per
+// encoded P-frame (Workers=1: goroutine machinery would otherwise count)
+// with the pools warm.
+func TestEncodeFrameAllocCeiling(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.QCIF, 12, 77)
+	run := func() float64 {
+		e := NewEncoder(Config{Qp: 16, Searcher: &search.PBM{}, Workers: 1})
+		for _, f := range frames {
+			if _, err := e.EncodeFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Bitstream()
+		return float64(len(frames))
+	}
+	run() // warm the size-bucketed pools
+
+	n := testing.AllocsPerRun(3, func() { run() })
+	perFrame := n / float64(len(frames))
+	t.Logf("allocs/frame = %.1f (ceiling %d)", perFrame, encodeFrameAllocCeiling)
+	if perFrame > encodeFrameAllocCeiling {
+		t.Fatalf("EncodeFrame allocates %.1f objects/frame, above the pinned ceiling of %d — "+
+			"a pooled buffer or scratch reuse has regressed", perFrame, encodeFrameAllocCeiling)
+	}
+}

@@ -32,9 +32,24 @@ func storeBlock(p *frame.Plane, x, y int, b *dct.Block) {
 }
 
 // predBlock fetches the 8×8 motion-compensated prediction for the block
-// anchored at (x, y) with vector mv (half-pel units) from the interpolated
-// reference plane.
+// anchored at (x, y) with vector mv (half-pel units). Full-pel vectors
+// (both components even — which includes every skip block and most chroma
+// vectors) read the integer reference plane directly; true half-pel
+// vectors read one phase of the lazily interpolated view.
 func predBlock(b *dct.Block, ref *frame.Interpolated, x, y int, mv mvfield.MV) {
+	if mv.X&1 == 0 && mv.Y&1 == 0 {
+		src := ref.Src()
+		sx, sy := x+mv.X/2, y+mv.Y/2
+		if src.InBounds(sx, sy, 8, 8) {
+			for r := 0; r < 8; r++ {
+				row := src.Pix[(sy+r)*src.Stride+sx : (sy+r)*src.Stride+sx+8]
+				for c := 0; c < 8; c++ {
+					b[r*8+c] = int32(row[c])
+				}
+			}
+			return
+		}
+	}
 	var tmp [64]uint8
 	ref.Block(tmp[:], 2*x+mv.X, 2*y+mv.Y, 8, 8)
 	for i := range tmp {
@@ -46,8 +61,20 @@ func predBlock(b *dct.Block, ref *frame.Interpolated, x, y int, mv mvfield.MV) {
 // block straight into p as bytes. The reconstruction of an uncoded block
 // is exactly its prediction and prediction samples are already 8-bit, so
 // this equals predBlock + reconInterBlock(coded=false) + storeBlock while
-// skipping both int32 conversions and the clamp.
+// skipping both int32 conversions and the clamp. Full-pel vectors copy
+// plane rows directly, touching no half-pel state at all.
 func storePredBlock(p *frame.Plane, x, y int, ref *frame.Interpolated, mv mvfield.MV) {
+	if mv.X&1 == 0 && mv.Y&1 == 0 {
+		src := ref.Src()
+		sx, sy := x+mv.X/2, y+mv.Y/2
+		if src.InBounds(sx, sy, 8, 8) {
+			for r := 0; r < 8; r++ {
+				copy(p.Pix[(y+r)*p.Stride+x:(y+r)*p.Stride+x+8],
+					src.Pix[(sy+r)*src.Stride+sx:(sy+r)*src.Stride+sx+8])
+			}
+			return
+		}
+	}
 	var tmp [64]uint8
 	ref.Block(tmp[:], 2*x+mv.X, 2*y+mv.Y, 8, 8)
 	for r := 0; r < 8; r++ {

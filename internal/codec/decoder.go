@@ -161,17 +161,34 @@ func Decode(data []byte) ([]*frame.Frame, error) {
 	return d.DecodeAll()
 }
 
+// newRecon draws a reconstruction frame for decoding from the
+// size-bucketed pool. The decoder writes every visible sample before the
+// frame is read (every macroblock mode stores its full reconstruction),
+// so the unspecified pool contents never leak into output. The apron is
+// the minimum the half-pel interpolation needs: the decoder performs no
+// motion search.
+func (d *Decoder) newRecon() *frame.Frame {
+	return frame.GetFramePadded(d.size, frame.MinInterpApron, frame.MinInterpApron)
+}
+
+// refreshReference mirrors the encoder: deblock, replicate the plane
+// aprons, install the frame as the reference with a fresh lazy half-pel
+// view, and retire the previous reference to the frame pool (callers only
+// ever receive clones, so nothing references it).
 func (d *Decoder) refreshReference(recon *frame.Frame, qp int) {
 	if d.deblock {
 		deblockFrame(recon, qp)
 	}
+	recon.ReplicateAprons()
+	old := d.recon
 	d.recon = recon
 	d.reconY.Release()
 	d.reconCb.Release()
 	d.reconCr.Release()
-	d.reconY = frame.InterpolatePooled(recon.Y)
-	d.reconCb = frame.InterpolatePooled(recon.Cb)
-	d.reconCr = frame.InterpolatePooled(recon.Cr)
+	d.reconY = frame.InterpolateLazy(recon.Y)
+	d.reconCb = frame.InterpolateLazy(recon.Cb)
+	d.reconCr = frame.InterpolateLazy(recon.Cr)
+	old.Release()
 }
 
 // readCoeffs parses (run, level, last) events into b (raster order).
@@ -209,11 +226,12 @@ func readCoeffs(sr symReader, b *dct.Block) error {
 }
 
 func (d *Decoder) decodeIntraFrame(qp int) (*frame.Frame, error) {
-	recon := frame.NewFrame(d.size)
+	recon := d.newRecon()
 	cols, rows := d.size.MacroblockCols(), d.size.MacroblockRows()
 	for mby := 0; mby < rows; mby++ {
 		for mbx := 0; mbx < cols; mbx++ {
 			if err := d.decodeIntraMB(recon, qp, mbx, mby); err != nil {
+				recon.Release() // partially decoded, never escapes
 				return nil, fmt.Errorf("codec: intra MB (%d,%d): %w", mbx, mby, err)
 			}
 		}
@@ -267,12 +285,13 @@ func (d *Decoder) readIntraBlock(levels *dct.Block) error {
 }
 
 func (d *Decoder) decodeInterFrame(qp int) (*frame.Frame, error) {
-	recon := frame.NewFrame(d.size)
+	recon := d.newRecon()
 	cols, rows := d.size.MacroblockCols(), d.size.MacroblockRows()
 	curField := mvfield.NewField(cols, rows)
 	for mby := 0; mby < rows; mby++ {
 		for mbx := 0; mbx < cols; mbx++ {
 			if err := d.decodeInterMB(recon, curField, qp, mbx, mby); err != nil {
+				recon.Release() // partially decoded, never escapes
 				return nil, fmt.Errorf("codec: inter MB (%d,%d): %w", mbx, mby, err)
 			}
 		}

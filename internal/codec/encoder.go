@@ -85,11 +85,18 @@ type Encoder struct {
 
 	curQp int             // quantiser for the current frame
 	rc    *rateController // nil unless Config.TargetKbps > 0
-	// rcPrevJob is the last job whose write phase began: rateHandoff
+	// rcPrevJob is the last job whose write phase began: frameHandoff
 	// settles its wroteBits at the next hand-off. One field serves the
-	// serial and pipelined drivers alike (see rateHandoff for the memory
+	// serial and pipelined drivers alike (see frameHandoff for the memory
 	// ordering in the pipelined case).
 	rcPrevJob *frameJob
+
+	// lumaApron/chromaApron are the replicated borders carried by every
+	// reconstruction plane: the motion range plus the half-pel margin for
+	// luma, so any position a searcher or the interpolation may read is
+	// backed by real edge-replicated memory.
+	lumaApron   int
+	chromaApron int
 
 	recon     *frame.Frame // reference: last reconstructed frame
 	reconY    *frame.Interpolated
@@ -128,7 +135,24 @@ func NewEncoder(cfg Config) *Encoder {
 	if cfg.TargetKbps > 0 {
 		e.rc = newRateController(cfg.TargetKbps, cfg.FPS, cfg.Qp)
 	}
+	e.lumaApron, e.chromaApron = refAprons(cfg.SearchRange)
 	return e
+}
+
+// refAprons sizes the reconstruction-plane borders for a motion search
+// range: the luma apron covers the full range plus the half-pel margin,
+// the chroma apron the halved range — both at least the minimum the
+// half-pel interpolation needs to fill its own border without clamping.
+func refAprons(searchRange int) (luma, chroma int) {
+	luma = searchRange + 1
+	if luma < frame.MinInterpApron {
+		luma = frame.MinInterpApron
+	}
+	chroma = luma / 2
+	if chroma < frame.MinInterpApron {
+		chroma = frame.MinInterpApron
+	}
+	return luma, chroma
 }
 
 // workerCount resolves how many goroutines may analyse macroblocks
@@ -184,6 +208,11 @@ type frameJob struct {
 	curField *mvfield.Field // P-frames: final motion field for MVD prediction
 	intra    bool
 	qp       int
+	// prevRef is the reference frame this job's analysis read (the
+	// previous reconstruction), retired to the frame pool at this job's
+	// hand-off — the first point where both its readers are provably done:
+	// this job's analysis, and the previous job's write phase (PSNR).
+	prevRef *frame.Frame
 	// cost is the rate controller's complexity proxy (jobCost), computed
 	// from the analysis results before the slab returns to the pool. It is
 	// worker-invariant, so predicted bits — and with them every quantiser
@@ -257,8 +286,11 @@ func (e *Encoder) analyzeFrameJob(f *frame.Frame) (*frameJob, error) {
 	intra := e.frames == 0 ||
 		(e.cfg.IntraPeriod > 0 && e.frames%e.cfg.IntraPeriod == 0)
 	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
-	j := &frameJob{index: e.frames, src: f, intra: intra, qp: e.curQp}
-	recon := frame.NewFrame(e.size)
+	j := &frameJob{index: e.frames, src: f, intra: intra, qp: e.curQp, prevRef: e.recon}
+	// The reconstruction is drawn (unzeroed) from the size-bucketed frame
+	// pool: analysis writes every visible sample macroblock by macroblock,
+	// and refreshReference replicates the apron, so no stale byte survives.
+	recon := frame.GetFramePadded(e.size, e.lumaApron, e.chromaApron)
 	j.results = getMBResults(cols * rows)
 	if intra {
 		e.analyzeFrame(f, recon, nil, j.results, true)
@@ -279,20 +311,31 @@ func (e *Encoder) analyzeFrameJob(f *frame.Frame) (*frameJob, error) {
 	return j, nil
 }
 
-// rateHandoff advances the frame-lag rate controller at job j's hand-off
-// point — the moment j's entropy write begins (pipelined drivers: call
-// it on the submitting goroutine immediately after j's channel send
-// completes) or has just finished (serial drivers: after writing j). In
-// either mode the previously handed job's write phase is complete by
-// then, so its actual size settles the outstanding prediction before j's
-// own predicted size is charged and the next frame's quantiser chosen.
-// Calling it at the same point of the frame sequence in every driver is
-// what keeps rate-controlled output byte-identical across all of them.
+// frameHandoff runs the per-frame hand-off protocol for job j — the
+// moment j's entropy write begins (pipelined drivers: call it on the
+// submitting goroutine immediately after j's channel send completes) or
+// has just finished (serial drivers: after writing j). Two things happen
+// here, both relying on the same guarantee — that the previously handed
+// job's write phase is complete by now:
+//
+//   - The reference frame j's analysis read (j.prevRef) is retired to the
+//     frame pool: its last readers were j's analysis (done before the
+//     hand-off) and the previous job's PSNR statistics (done when the
+//     writer accepted j).
+//   - The frame-lag rate controller settles the previous job's actual
+//     size and plans the next quantiser. Calling it at the same point of
+//     the frame sequence in every driver is what keeps rate-controlled
+//     output byte-identical across all of them.
 //
 // Memory ordering (pipelined): the unbuffered channel send completing
 // means the writer accepted j, having finished — and published, via the
-// happens-before edge of the hand-off — the previous job's wroteBits.
-func (e *Encoder) rateHandoff(j *frameJob) {
+// happens-before edge of the hand-off — the previous job's wroteBits and
+// its last reads of the retired reference.
+func (e *Encoder) frameHandoff(j *frameJob) {
+	if j.prevRef != nil {
+		j.prevRef.Release()
+		j.prevRef = nil
+	}
 	if e.rc == nil {
 		return
 	}
@@ -385,7 +428,7 @@ func (e *Encoder) EncodeFrame(f *frame.Frame) (FrameStats, error) {
 		return FrameStats{}, err
 	}
 	fs := e.writeFrameJob(j)
-	e.rateHandoff(j)
+	e.frameHandoff(j)
 	return fs, nil
 }
 
@@ -437,19 +480,25 @@ func writeCoeffs(sw symWriter, b *dct.Block) {
 	}
 }
 
-// refreshReference installs recon as the prediction reference, recycling
-// the previous frame's half-pel grids through the frame package's pool.
+// refreshReference installs recon as the prediction reference: the
+// in-loop filter runs first, then the plane aprons are replicated (the
+// once-per-frame moment border memory is refreshed — analysis of the next
+// frame may read the apron freely), and the half-pel view is reset to
+// lazy: no half-pel sample is computed until refinement or compensation
+// actually lands on its tile. The previous frame's view returns to the
+// size-bucketed pool.
 func (e *Encoder) refreshReference(recon *frame.Frame) {
 	if e.cfg.Deblock {
 		deblockFrame(recon, e.curQp)
 	}
+	recon.ReplicateAprons()
 	e.recon = recon
 	e.reconY.Release()
 	e.reconCb.Release()
 	e.reconCr.Release()
-	e.reconY = frame.InterpolatePooled(recon.Y)
-	e.reconCb = frame.InterpolatePooled(recon.Cb)
-	e.reconCr = frame.InterpolatePooled(recon.Cr)
+	e.reconY = frame.InterpolateLazy(recon.Y)
+	e.reconCb = frame.InterpolateLazy(recon.Cb)
+	e.reconCr = frame.InterpolateLazy(recon.Cr)
 }
 
 // analyzeIntraMB transforms, quantises and reconstructs the six intra
@@ -499,10 +548,11 @@ func (e *Encoder) writeIntraMB(r *mbResult) {
 // outcome in r. It must observe only the left/up-left/up/up-right
 // neighbours of curField (the wavefront invariant parallel.go schedules
 // around) and may write solely to its own MB region of recon, its own
-// curField entry, and r.
-func (e *Encoder) analyzeInterMB(s search.Searcher, src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int, r *mbResult) {
+// curField entry, and r. The caller supplies a per-worker scratch Input
+// (in), reused across macroblocks so the search problem never allocates.
+func (e *Encoder) analyzeInterMB(s search.Searcher, in *search.Input, src, recon *frame.Frame, curField *mvfield.Field, mbx, mby int, r *mbResult) {
 	x, y := 16*mbx, 16*mby
-	in := &search.Input{
+	*in = search.Input{
 		Cur: src.Y, Ref: e.recon.Y, RefI: e.reconY,
 		BX: x, BY: y, W: 16, H: 16,
 		Range: e.cfg.SearchRange, Qp: e.curQp,
@@ -532,13 +582,15 @@ func (e *Encoder) analyzeInterMB(s search.Searcher, src, recon *frame.Frame, cur
 		var subMV [4]mvfield.MV
 		sum8 := 0
 		for i, off := range lumaBlockOffsets {
-			sin := &search.Input{
+			// The macroblock search result is already extracted, so the
+			// scratch Input is free to describe the 8×8 sub-problems.
+			*in = search.Input{
 				Cur: src.Y, Ref: e.recon.Y, RefI: e.reconY,
 				BX: x + off[0], BY: y + off[1], W: 8, H: 8,
 				Range: e.cfg.SearchRange, Qp: e.curQp,
 				PixelDecimation: e.cfg.PixelDecimation,
 			}
-			smv, ssad, spts := refineSubBlock(sin, mv)
+			smv, ssad, spts := refineSubBlock(in, mv)
 			subMV[i], pts = smv, pts+spts
 			sum8 += ssad
 		}

@@ -22,17 +22,30 @@ func refineSubBlock(in *search.Input, start mvfield.MV) (mvfield.MV, int, int) {
 	best := in.ClampMV(start)
 	bestSAD := in.SAD(best)
 	pts := 1
-	visited := map[mvfield.MV]bool{best: true}
+	// The probe budget is ≤ 17 positions: dedup with a linear scan over a
+	// stack-allocated list instead of a per-block map.
+	var visited [18]mvfield.MV
+	visited[0] = best
+	nv := 1
+	seen := func(mv mvfield.MV) bool {
+		for i := 0; i < nv; i++ {
+			if visited[i] == mv {
+				return true
+			}
+		}
+		return false
+	}
 	for step := 0; step < 2; step++ {
 		improved := false
 		for _, d := range [4]mvfield.MV{{X: 2}, {X: -2}, {Y: 2}, {Y: -2}} {
 			mv := best.Add(d)
-			if visited[mv] || !in.Legal(mv) || mv.Linf() > 2*in.Range {
+			if seen(mv) || !in.Legal(mv) || mv.Linf() > 2*in.Range {
 				continue
 			}
-			visited[mv] = true
+			visited[nv] = mv
+			nv++
 			pts++
-			if s := in.SAD(mv); s < bestSAD {
+			if s := in.SADCapped(mv, bestSAD); s < bestSAD {
 				best, bestSAD, improved = mv, s, true
 			}
 		}
@@ -46,12 +59,13 @@ func refineSubBlock(in *search.Input, start mvfield.MV) (mvfield.MV, int, int) {
 				continue
 			}
 			mv := best.Add(mvfield.MV{X: dx, Y: dy})
-			if visited[mv] || !in.Legal(mv) {
+			if seen(mv) || !in.Legal(mv) {
 				continue
 			}
-			visited[mv] = true
+			visited[nv] = mv
+			nv++
 			pts++
-			if s := in.SAD(mv); s < bestSAD {
+			if s := in.SADCapped(mv, bestSAD); s < bestSAD {
 				best, bestSAD = mv, s
 			}
 		}

@@ -60,12 +60,13 @@ func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field,
 			forked = e.forker.Fork()
 			s = forked
 		}
+		var scratch search.Input
 		for mby := 0; mby < rows; mby++ {
 			for mbx := 0; mbx < cols; mbx++ {
 				if intra {
 					e.analyzeIntraMB(src, recon, mbx, mby, &results[mby*cols+mbx])
 				} else {
-					e.analyzeInterMB(s, src, recon, curField, mbx, mby, &results[mby*cols+mbx])
+					e.analyzeInterMB(s, &scratch, src, recon, curField, mbx, mby, &results[mby*cols+mbx])
 				}
 			}
 		}
@@ -92,12 +93,13 @@ func (e *Encoder) analyzeFrame(src, recon *frame.Frame, curField *mvfield.Field,
 		workers.Add(1)
 		go func(s search.Searcher) {
 			defer workers.Done()
+			var scratch search.Input
 			for idx := range jobs {
 				mbx, mby := idx%cols, idx/cols
 				if intra {
 					e.analyzeIntraMB(src, recon, mbx, mby, &results[idx])
 				} else {
-					e.analyzeInterMB(s, src, recon, curField, mbx, mby, &results[idx])
+					e.analyzeInterMB(s, &scratch, src, recon, curField, mbx, mby, &results[idx])
 				}
 				wg.Done()
 			}
@@ -175,6 +177,12 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 	// One anti-diagonal has at most min(rows, cols/2+1) macroblocks, and
 	// the pool runs at most pool.Size() tasks at once; forking the smaller
 	// count guarantees a searcher is always available to a running task.
+	// Each fork travels with its own scratch search.Input, so pool tasks
+	// allocate nothing per macroblock.
+	type analysisCtx struct {
+		s  search.Searcher
+		in search.Input
+	}
 	f := e.forker
 	nf := rows
 	if c := cols/2 + 1; c < nf {
@@ -183,9 +191,9 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 	if pool.Size() < nf {
 		nf = pool.Size()
 	}
-	searchers := make(chan search.Searcher, nf)
+	searchers := make(chan *analysisCtx, nf)
 	for i := 0; i < nf; i++ {
-		searchers <- f.Fork()
+		searchers <- &analysisCtx{s: f.Fork()}
 	}
 
 	for d := 0; d <= (cols-1)+2*(rows-1); d++ {
@@ -206,9 +214,9 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 			idx := mby*cols + mbx
 			mbx, mby := mbx, mby
 			pool.submit(func() {
-				s := <-searchers
-				e.analyzeInterMB(s, src, recon, curField, mbx, mby, &results[idx])
-				searchers <- s
+				c := <-searchers
+				e.analyzeInterMB(c.s, &c.in, src, recon, curField, mbx, mby, &results[idx])
+				searchers <- c
 				wg.Done()
 			})
 		}
@@ -216,6 +224,6 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 	}
 
 	for i := 0; i < nf; i++ {
-		f.Join(<-searchers)
+		f.Join((<-searchers).s)
 	}
 }

@@ -84,7 +84,7 @@ func (p *Pipeline) EncodeFrame(f *frame.Frame) error {
 		return err
 	}
 	p.jobs <- j
-	p.e.rateHandoff(j)
+	p.e.frameHandoff(j)
 	return nil
 }
 

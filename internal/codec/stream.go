@@ -125,12 +125,12 @@ func (s *EncodeStream) EncodeFrame(f *frame.Frame) error {
 		}
 		// Frame-lag protocol even though j's bits are already known: the
 		// controller must see exactly what a pipelined session would.
-		s.e.rateHandoff(j)
+		s.e.frameHandoff(j)
 		return nil
 	}
 	select {
 	case s.jobs <- j:
-		s.e.rateHandoff(j)
+		s.e.frameHandoff(j)
 		return nil
 	case <-s.failed:
 		putMBResults(j.results)

@@ -76,6 +76,17 @@ type SpeedPoint struct {
 	EntropyNsPerFrame  float64 `json:"entropy_ns_per_frame"`
 	PointsPerMB        float64 `json:"points_per_block"`
 	PSNRY              float64 `json:"psnr_y_db"`
+	// AllocsPerFrame / AllocBytesPerFrame track the encoder's steady-state
+	// heap churn (runtime.MemStats deltas across the measured encode):
+	// working-set relief for multi-session serving shows up here first.
+	AllocsPerFrame     float64 `json:"allocs_per_frame"`
+	AllocBytesPerFrame float64 `json:"alloc_bytes_per_frame"`
+	// InterpBytesPerFrame is the half-pel sample bytes actually
+	// materialised per frame by the lazy tiled interpolation — the
+	// bytes-touched metric. An eager full-grid build would pay
+	// 3×W×H + apron per reference frame regardless of where search and
+	// compensation land.
+	InterpBytesPerFrame float64 `json:"interp_bytes_per_frame"`
 	// Speedup is relative to this searcher's first measured point
 	// (workers=1, pipeline off in the default sweeps).
 	Speedup float64 `json:"speedup_vs_first"`
@@ -120,10 +131,14 @@ func RunSpeed(cfg SpeedConfig) (*SpeedResult, error) {
 				var best time.Duration
 				var stats *codec.SequenceStats
 				var analysis, entropy time.Duration
+				var allocs, allocBytes, interpBytes uint64
 				for rep := 0; rep < cfg.Repeats; rep++ {
 					ecfg := codec.Config{
 						Qp: cfg.Qp, Searcher: s.mk(), Workers: workers,
 					}
+					var ms0, ms1 runtime.MemStats
+					runtime.ReadMemStats(&ms0)
+					_, ib0 := frame.InterpFillStats()
 					start := time.Now()
 					st, a, en, err := encodeTimed(ecfg, pipeline, frames)
 					el := time.Since(start)
@@ -131,21 +146,29 @@ func RunSpeed(cfg SpeedConfig) (*SpeedResult, error) {
 						return nil, fmt.Errorf("speed %s workers=%d pipeline=%v: %w",
 							s.name, workers, pipeline, err)
 					}
+					runtime.ReadMemStats(&ms1)
+					_, ib1 := frame.InterpFillStats()
 					if rep == 0 || el < best {
 						best, stats, analysis, entropy = el, st, a, en
+						allocs = ms1.Mallocs - ms0.Mallocs
+						allocBytes = ms1.TotalAlloc - ms0.TotalAlloc
+						interpBytes = ib1 - ib0
 					}
 				}
 				perFrame := float64(best.Nanoseconds()) / float64(cfg.Frames)
 				pt := SpeedPoint{
-					Searcher:           s.name,
-					Workers:            workers,
-					Pipeline:           pipeline,
-					NsPerFrame:         perFrame,
-					FPS:                1e9 / perFrame,
-					AnalysisNsPerFrame: float64(analysis.Nanoseconds()) / float64(cfg.Frames),
-					EntropyNsPerFrame:  float64(entropy.Nanoseconds()) / float64(cfg.Frames),
-					PointsPerMB:        stats.AvgSearchPointsPerMB(),
-					PSNRY:              stats.AvgPSNRY(),
+					Searcher:            s.name,
+					Workers:             workers,
+					Pipeline:            pipeline,
+					NsPerFrame:          perFrame,
+					FPS:                 1e9 / perFrame,
+					AnalysisNsPerFrame:  float64(analysis.Nanoseconds()) / float64(cfg.Frames),
+					EntropyNsPerFrame:   float64(entropy.Nanoseconds()) / float64(cfg.Frames),
+					PointsPerMB:         stats.AvgSearchPointsPerMB(),
+					PSNRY:               stats.AvgPSNRY(),
+					AllocsPerFrame:      float64(allocs) / float64(cfg.Frames),
+					AllocBytesPerFrame:  float64(allocBytes) / float64(cfg.Frames),
+					InterpBytesPerFrame: float64(interpBytes) / float64(cfg.Frames),
 				}
 				if base == 0 {
 					base = perFrame
@@ -201,16 +224,18 @@ func (r *SpeedResult) WriteJSON(path string) error {
 func FormatSpeed(r *SpeedResult) string {
 	out := fmt.Sprintf("encoder speed: %s %s, %d frames, Qp %d, GOMAXPROCS %d\n",
 		r.Profile, r.Size, r.Frames, r.Qp, r.GoMaxProc)
-	out += fmt.Sprintf("%-6s %8s %5s %12s %8s %12s %12s %10s %9s %8s\n",
-		"algo", "workers", "pipe", "ns/frame", "fps", "analysis/fr", "entropy/fr", "points/MB", "PSNR-Y", "speedup")
+	out += fmt.Sprintf("%-6s %8s %5s %12s %8s %12s %12s %10s %9s %9s %10s %10s %8s\n",
+		"algo", "workers", "pipe", "ns/frame", "fps", "analysis/fr", "entropy/fr", "points/MB", "PSNR-Y",
+		"allocs/fr", "kB-alloc/fr", "kB-interp/fr", "speedup")
 	for _, p := range r.Points {
 		pipe := "off"
 		if p.Pipeline {
 			pipe = "on"
 		}
-		out += fmt.Sprintf("%-6s %8d %5s %12.0f %8.2f %12.0f %12.0f %10.1f %9.2f %7.2fx\n",
+		out += fmt.Sprintf("%-6s %8d %5s %12.0f %8.2f %12.0f %12.0f %10.1f %9.2f %9.1f %10.1f %10.1f %7.2fx\n",
 			p.Searcher, p.Workers, pipe, p.NsPerFrame, p.FPS,
-			p.AnalysisNsPerFrame, p.EntropyNsPerFrame, p.PointsPerMB, p.PSNRY, p.Speedup)
+			p.AnalysisNsPerFrame, p.EntropyNsPerFrame, p.PointsPerMB, p.PSNRY,
+			p.AllocsPerFrame, p.AllocBytesPerFrame/1024, p.InterpBytesPerFrame/1024, p.Speedup)
 	}
 	return out
 }

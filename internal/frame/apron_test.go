@@ -1,0 +1,126 @@
+package frame
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPaddedPlaneWindowing pins the representation contract: a padded
+// plane indexes its visible samples exactly like a tight plane
+// (Pix[y*Stride+x]), with the stride covering the apron.
+func TestPaddedPlaneWindowing(t *testing.T) {
+	p := NewPlanePadded(7, 5, 3)
+	if p.Apron() != 3 {
+		t.Fatalf("apron = %d, want 3", p.Apron())
+	}
+	if p.Stride != 7+2*3 {
+		t.Fatalf("stride = %d, want %d", p.Stride, 7+2*3)
+	}
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			p.Set(x, y, uint8(y*16+x))
+		}
+	}
+	for y := 0; y < p.H; y++ {
+		for x := 0; x < p.W; x++ {
+			if got := p.Pix[y*p.Stride+x]; got != uint8(y*16+x) {
+				t.Fatalf("Pix[%d*Stride+%d] = %d, want %d", y, x, got, y*16+x)
+			}
+		}
+	}
+}
+
+// TestReplicateApronProperty checks every apron sample equals the
+// AtClamped value of its coordinates, for random planes and apron sizes.
+func TestReplicateApronProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRNG(seed)
+		w := 1 + int(rng.next()%12)
+		h := 1 + int(rng.next()%12)
+		a := 1 + int(rng.next()%5)
+		p := NewPlanePadded(w, h, a)
+		for y := 0; y < h; y++ {
+			row := p.Row(y)
+			for x := range row {
+				row[x] = uint8(rng.next())
+			}
+		}
+		p.ReplicateApron()
+		for y := -a; y < h+a; y++ {
+			row := p.padRow(y)
+			for x := -a; x < w+a; x++ {
+				if row[x+a] != p.AtClamped(x, y) {
+					t.Logf("apron (%d,%d): got %d, want %d (plane %dx%d apron %d)",
+						x, y, row[x+a], p.AtClamped(x, y), w, h, a)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicateApronRefresh verifies a second replication after mutating
+// the visible samples refreshes the border (the once-per-reference
+// hand-off pattern the codec relies on).
+func TestReplicateApronRefresh(t *testing.T) {
+	p := NewPlanePadded(4, 4, 2)
+	p.Fill(10)
+	p.ReplicateApron()
+	p.Fill(200)
+	p.ReplicateApron()
+	for _, c := range [][2]int{{-2, -2}, {-1, 0}, {0, -1}, {5, 5}, {4, 0}, {0, 4}} {
+		if got := p.padRow(c[1])[c[0]+2]; got != 200 {
+			t.Fatalf("apron (%d,%d) = %d after refresh, want 200", c[0], c[1], got)
+		}
+	}
+}
+
+// TestGetPlanePaddedRecycles pins the size-bucketed pool contract: a
+// released plane with matching (W, H, apron) is reused, and mismatched
+// requests get their own buffers.
+func TestGetPlanePaddedRecycles(t *testing.T) {
+	p := GetPlanePadded(16, 8, 4)
+	if p.W != 16 || p.H != 8 || p.Apron() != 4 {
+		t.Fatalf("got %dx%d apron %d", p.W, p.H, p.Apron())
+	}
+	p.Fill(123)
+	ReleasePlane(p)
+	q := GetPlanePadded(16, 8, 4)
+	// Whether or not q is the recycled plane (sync.Pool may drop it), it
+	// must have the right shape and be fully writable.
+	if q.W != 16 || q.H != 8 || q.Apron() != 4 || q.Stride != 16+8 {
+		t.Fatalf("recycled plane has wrong shape: %dx%d stride %d apron %d",
+			q.W, q.H, q.Stride, q.Apron())
+	}
+	q.Fill(7)
+	q.ReplicateApron()
+	if q.AtClamped(-1, -1) != 7 {
+		t.Fatal("recycled plane apron not refreshed")
+	}
+	r := GetPlanePadded(16, 8, 2)
+	if r.Stride != 16+4 {
+		t.Fatalf("different apron bucket returned stride %d", r.Stride)
+	}
+}
+
+// TestGetFramePaddedShape checks the frame-level pool wrapper wires the
+// per-component aprons through.
+func TestGetFramePaddedShape(t *testing.T) {
+	f := GetFramePadded(Size{32, 16}, 9, 5)
+	if f.Y.Apron() != 9 || f.Cb.Apron() != 5 || f.Cr.Apron() != 5 {
+		t.Fatalf("aprons Y=%d Cb=%d Cr=%d, want 9/5/5", f.Y.Apron(), f.Cb.Apron(), f.Cr.Apron())
+	}
+	if f.Cb.W != 16 || f.Cb.H != 8 {
+		t.Fatalf("chroma %dx%d, want 16x8", f.Cb.W, f.Cb.H)
+	}
+	f.FillYUV(1, 2, 3)
+	f.ReplicateAprons()
+	f.Release()
+	if f.Y != nil {
+		t.Fatal("Release must clear the plane references")
+	}
+}

@@ -64,9 +64,11 @@ func TestInterpolateConstantPlane(t *testing.T) {
 	p := NewPlane(8, 8)
 	p.Fill(77)
 	ip := Interpolate(p)
-	for i, v := range ip.Pix {
-		if v != 77 {
-			t.Fatalf("interp sample %d = %d, want 77", i, v)
+	for hy := 0; hy < ip.H; hy++ {
+		for hx := 0; hx < ip.W; hx++ {
+			if v := ip.At(hx, hy); v != 77 {
+				t.Fatalf("interp sample (%d,%d) = %d, want 77", hx, hy, v)
+			}
 		}
 	}
 }
@@ -121,9 +123,11 @@ func TestInterpolateRangeProperty(t *testing.T) {
 			}
 		}
 		ip := Interpolate(p)
-		for _, v := range ip.Pix {
-			if v < lo || v > hi {
-				return false
+		for hy := 0; hy < ip.H; hy++ {
+			for hx := 0; hx < ip.W; hx++ {
+				if v := ip.At(hx, hy); v < lo || v > hi {
+					return false
+				}
 			}
 		}
 		return true

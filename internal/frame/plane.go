@@ -4,9 +4,15 @@
 // and quality metrics (MSE/PSNR).
 //
 // Planes store samples row-major with an explicit stride so that views and
-// whole planes share one representation. All block-matching code in
-// internal/search and internal/codec operates on *Plane values from this
-// package.
+// whole planes share one representation. A plane may additionally carry a
+// replicated border apron (NewPlanePadded): the stride then covers the
+// padding and Pix is windowed into the padded buffer so that sample (x, y)
+// still lives at Pix[y*Stride+x], while coordinates up to Apron() samples
+// outside the plane are backed by real memory holding the edge-replicated
+// values (after ReplicateApron). Reference planes use this so block
+// matching and interpolation never branch on the frame border. All
+// block-matching code in internal/search and internal/codec operates on
+// *Plane values from this package.
 package frame
 
 import (
@@ -20,6 +26,12 @@ type Plane struct {
 	W, H   int
 	Stride int
 	Pix    []uint8
+	// apron is the replicated border margin available on every side; buf is
+	// the full padded buffer Pix is windowed into (buf == nil when apron is
+	// 0 and Pix is the whole allocation). The apron samples hold the
+	// edge-replicated values only after ReplicateApron.
+	apron int
+	buf   []uint8
 }
 
 // NewPlane returns a zeroed w×h plane with a tight stride.
@@ -28,6 +40,24 @@ func NewPlane(w, h int) *Plane {
 		panic(fmt.Sprintf("frame: invalid plane size %dx%d", w, h))
 	}
 	return &Plane{W: w, H: h, Stride: w, Pix: make([]uint8, w*h)}
+}
+
+// NewPlanePadded returns a zeroed w×h plane whose storage carries an
+// apron-sample replicated border on every side: Stride = w + 2*apron and
+// Pix is windowed at the visible origin, so Pix[y*Stride+x] addresses the
+// visible samples exactly as in a tight plane while the border memory
+// stays reachable through the padded buffer. Call ReplicateApron after
+// writing the visible samples to refresh the border.
+func NewPlanePadded(w, h, apron int) *Plane {
+	if apron <= 0 {
+		return NewPlane(w, h)
+	}
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid plane size %dx%d", w, h))
+	}
+	stride := w + 2*apron
+	buf := make([]uint8, stride*(h+2*apron))
+	return planeFromPadded(buf, w, h, apron)
 }
 
 // FromPix wraps an existing sample buffer as a plane. The buffer must hold
@@ -40,6 +70,58 @@ func FromPix(pix []uint8, w, h int) (*Plane, error) {
 		return nil, fmt.Errorf("frame: buffer holds %d samples, need %d", len(pix), w*h)
 	}
 	return &Plane{W: w, H: h, Stride: w, Pix: pix}, nil
+}
+
+// planeFromPadded wraps a padded buffer (len ≥ (w+2a)*(h+2a)) as a plane
+// windowed at the visible origin.
+func planeFromPadded(buf []uint8, w, h, apron int) *Plane {
+	stride := w + 2*apron
+	return &Plane{
+		W: w, H: h, Stride: stride,
+		Pix:   buf[apron*stride+apron:],
+		apron: apron,
+		buf:   buf,
+	}
+}
+
+// Apron returns the replicated border margin available on every side of
+// the plane (0 for tight planes).
+func (p *Plane) Apron() int { return p.apron }
+
+// padRow returns the padded storage row for visible row y (which may be
+// negative or ≥ H within the apron), indexed so that the returned slice's
+// element apron+x is visible sample (x, y). Valid only for padded planes.
+func (p *Plane) padRow(y int) []uint8 {
+	off := (y + p.apron) * p.Stride
+	return p.buf[off : off+p.Stride]
+}
+
+// ReplicateApron refreshes the apron samples by edge replication, making
+// every coordinate within Apron() samples of the plane behave exactly like
+// AtClamped. The encoder and decoder call it once per frame when a
+// reconstruction becomes the prediction reference; until then the apron
+// contents are unspecified. No-op for tight planes.
+func (p *Plane) ReplicateApron() {
+	a := p.apron
+	if a == 0 {
+		return
+	}
+	// Left/right margins of every visible row.
+	for y := 0; y < p.H; y++ {
+		row := p.padRow(y)
+		l, r := row[a], row[a+p.W-1]
+		for x := 0; x < a; x++ {
+			row[x] = l
+			row[a+p.W+x] = r
+		}
+	}
+	// Top/bottom margins replicate the full padded edge rows.
+	top := p.padRow(0)
+	bottom := p.padRow(p.H - 1)
+	for y := 1; y <= a; y++ {
+		copy(p.padRow(-y), top)
+		copy(p.padRow(p.H-1+y), bottom)
+	}
 }
 
 // At returns the sample at (x, y). The coordinates must be in bounds.

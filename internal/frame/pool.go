@@ -1,0 +1,144 @@
+package frame
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Size-bucketed recycling for the pixel substrate.
+//
+// The encoder and decoder turn over large, identically sized buffers every
+// frame: reconstruction planes (one padded frame per encoded/decoded
+// frame) and the half-pel phase planes of the interpolated reference view.
+// A single sync.Pool mixing every size would hand a QCIF-sized buffer to a
+// CIF request (forcing a reallocation) and vice versa — with concurrent
+// vcodecd sessions at mixed resolutions the sessions would thrash each
+// other's buffers. Buffers are therefore pooled per exact capacity class
+// and planes per (W, H, apron) class; the pools are safe for concurrent
+// use and never zero recycled memory (every consumer fully overwrites the
+// samples it reads: reconstruction planes are written macroblock by
+// macroblock, aprons are replicated at reference hand-off, and half-pel
+// tiles are guarded by their claim state).
+
+// bufPools holds one sync.Pool of []uint8 per exact capacity.
+var bufPools sync.Map // int → *sync.Pool
+
+func bufPool(n int) *sync.Pool {
+	if p, ok := bufPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := bufPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// getBuf returns an n-byte slice with unspecified contents, recycled when
+// possible.
+func getBuf(n int) []uint8 {
+	if v := bufPool(n).Get(); v != nil {
+		return (*v.(*[]uint8))[:n]
+	}
+	return make([]uint8, n)
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func putBuf(b []uint8) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	bufPool(len(b)).Put(&b)
+}
+
+// planeKey is the pool bucket for recycled planes.
+type planeKey struct{ w, h, apron int }
+
+var planePools sync.Map // planeKey → *sync.Pool
+
+func planePool(k planeKey) *sync.Pool {
+	if p, ok := planePools.Load(k); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := planePools.LoadOrStore(k, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// GetPlanePadded returns a w×h plane with the given apron drawn from the
+// size-bucketed pool. The samples (visible and apron) have unspecified
+// contents: the caller must fully overwrite the visible area and call
+// ReplicateApron before any clamped/apron access. Hand the plane back with
+// ReleasePlane once no reference to it (or to sub-slices of its buffer)
+// remains.
+func GetPlanePadded(w, h, apron int) *Plane {
+	k := planeKey{w, h, apron}
+	if v := planePool(k).Get(); v != nil {
+		return v.(*Plane)
+	}
+	if apron <= 0 {
+		return &Plane{W: w, H: h, Stride: w, Pix: getBuf(w * h)}
+	}
+	stride := w + 2*apron
+	return planeFromPadded(getBuf(stride*(h+2*apron)), w, h, apron)
+}
+
+// ReleasePlane recycles a plane obtained from GetPlanePadded (or any plane
+// whose buffer may be reused). Safe to call on nil.
+func ReleasePlane(p *Plane) {
+	if p == nil {
+		return
+	}
+	planePool(planeKey{p.W, p.H, p.apron}).Put(p)
+}
+
+// GetFramePadded returns a 4:2:0 frame whose luma plane carries lumaApron
+// and whose chroma planes carry chromaApron, drawn from the plane pools.
+// Contents are unspecified (see GetPlanePadded). Release with
+// (*Frame).Release.
+func GetFramePadded(s Size, lumaApron, chromaApron int) *Frame {
+	if s.W%2 != 0 || s.H%2 != 0 {
+		panic("frame: odd luma size for 4:2:0")
+	}
+	return &Frame{
+		Y:  GetPlanePadded(s.W, s.H, lumaApron),
+		Cb: GetPlanePadded(s.W/2, s.H/2, chromaApron),
+		Cr: GetPlanePadded(s.W/2, s.H/2, chromaApron),
+	}
+}
+
+// Release recycles the frame's planes into the size-bucketed pools. The
+// caller must guarantee nothing still references the frame, its planes or
+// their buffers. Safe to call on nil.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	ReleasePlane(f.Y)
+	ReleasePlane(f.Cb)
+	ReleasePlane(f.Cr)
+	f.Y, f.Cb, f.Cr = nil, nil, nil
+}
+
+// ReplicateAprons refreshes the apron samples of all three planes (see
+// Plane.ReplicateApron).
+func (f *Frame) ReplicateAprons() {
+	f.Y.ReplicateApron()
+	f.Cb.ReplicateApron()
+	f.Cr.ReplicateApron()
+}
+
+// Half-pel materialisation counters: how many tiles (and sample bytes) of
+// half-pel phase planes were actually computed. With the lazy tiled view
+// these track the working set the interpolation really touches — the
+// bytes-touched metric of BENCH_speed.json — instead of the full 3×W×H a
+// per-frame eager build would pay.
+var (
+	interpTiles atomic.Uint64
+	interpBytes atomic.Uint64
+)
+
+// InterpFillStats returns the cumulative count of half-pel tiles
+// materialised and the sample bytes computed for them, across all
+// Interpolated views since process start. Deltas around an encode give
+// the per-sequence figure.
+func InterpFillStats() (tiles, bytes uint64) {
+	return interpTiles.Load(), interpBytes.Load()
+}

@@ -162,58 +162,21 @@ func sadCappedScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, 
 // SADHalfPel returns the SAD between the w×h block of cur anchored at
 // (cx, cy) and the prediction taken from the half-pel interpolated
 // reference at grid position (hx, hy) = full-pel anchor ×2 plus the motion
-// vector in half-pel units.
+// vector in half-pel units. The whole block reads one phase of the view
+// (block samples are two grid positions apart), so interior positions run
+// the same contiguous SWAR kernel as integer SAD over the — lazily
+// materialised — phase plane.
 func SADHalfPel(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
-	if hx >= 0 && hy >= 0 && hx+2*w-1 < ref.W && hy+2*h-1 < ref.H {
-		if w%8 != 0 || w > 256 {
-			return sadHalfPelInterior(cur, cx, cy, ref, hx, hy, w, h)
-		}
-		sum := 0
-		group := swarRowGroup(w)
-		for y0 := 0; y0 < h; y0 += group {
-			y1 := y0 + group
-			if y1 > h {
-				y1 = h
-			}
-			var acc uint64
-			for y := y0; y < y1; y++ {
-				co := (cy+y)*cur.Stride + cx
-				c := cur.Pix[co : co+w]
-				r := ref.Pix[(hy+2*y)*ref.W+hx:]
-				for x := 0; x+8 <= w; x += 8 {
-					a := load8(c[x:])
-					// Even bytes of the 16 reference bytes are already in
-					// 16-bit lane layout.
-					acc += absDiffLanes(unpack4(uint32(a)), load8(r[2*x:])&laneLo) +
-						absDiffLanes(unpack4(uint32(a>>32)), load8(r[2*x+8:])&laneLo)
-				}
-			}
-			sum += foldLanes(acc)
-		}
-		return sum
+	if hx >= 0 && hy >= 0 && hx+2*(w-1) < ref.W && hy+2*(h-1) < ref.H {
+		p, x0, y0 := ref.PhaseRect(hx, hy, w, h)
+		return SAD(cur, cx, cy, p, x0, y0, w, h)
 	}
 	return sadHalfPelClamped(cur, cx, cy, ref, hx, hy, w, h)
 }
 
-// sadHalfPelInterior is the scalar fast path for fully interior positions.
-func sadHalfPelInterior(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
-	sum := 0
-	for y := 0; y < h; y++ {
-		c := cur.Pix[(cy+y)*cur.Stride+cx : (cy+y)*cur.Stride+cx+w]
-		r := ref.Pix[(hy+2*y)*ref.W+hx:]
-		for x, cv := range c {
-			d := int(cv) - int(r[2*x])
-			if d < 0 {
-				d = -d
-			}
-			sum += d
-		}
-	}
-	return sum
-}
-
-// sadHalfPelClamped handles positions that touch the border, with edge
-// replication.
+// sadHalfPelClamped handles positions beyond the grid, with edge
+// replication. It is the scalar reference for SADHalfPel; codec search
+// never reaches it (legal candidates are interior).
 func sadHalfPelClamped(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx, hy, w, h int) int {
 	sum := 0
 	for y := 0; y < h; y++ {
@@ -238,6 +201,355 @@ func sadHalfPelScalar(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, hx,
 // the interpolated reference.
 func SADMV(cur *frame.Plane, bx, by int, ref *frame.Interpolated, mv mvfield.MV, w, h int) int {
 	return SADHalfPel(cur, bx, by, ref, 2*bx+mv.X, 2*by+mv.Y, w, h)
+}
+
+// SADHalfPelPlane evaluates a half-pel candidate directly against the
+// integer reference plane, fusing the H.263 bilinear interpolation
+// (rounding up) into the SWAR difference kernel: no half-pel sample is
+// ever materialised. It is bit-identical to SADHalfPel over an
+// interpolated view of ref, and it is what the searchers' refinement
+// steps use — a probe costs two or four row loads instead of a grid
+// build. (hx, hy) is the block's half-pel anchor; positions beyond the
+// plane replicate the edge (scalar path — legal candidates never need it).
+func SADHalfPelPlane(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, hy, w, h int) int {
+	px, py := hx&1, hy&1
+	x0, y0 := hx>>1, hy>>1
+	if x0 >= 0 && y0 >= 0 && x0+w+px <= ref.W && y0+h+py <= ref.H {
+		if px == 0 && py == 0 {
+			return SAD(cur, cx, cy, ref, x0, y0, w, h)
+		}
+		if w%8 == 0 && w <= 256 {
+			switch {
+			case py == 0:
+				return sadHalfPelH(cur, cx, cy, ref, x0, y0, w, h)
+			case px == 0:
+				return sadHalfPelV(cur, cx, cy, ref, x0, y0, w, h)
+			default:
+				return sadHalfPelD(cur, cx, cy, ref, x0, y0, w, h)
+			}
+		}
+	}
+	return sadHalfPelPlaneScalar(cur, cx, cy, ref, hx, hy, w, h)
+}
+
+// sadHalfPelH fuses the horizontal half-pel interpolation b = (A+B+1)>>1
+// into the SWAR SAD: per 8 pixels, two overlapping reference loads are
+// averaged lane-wise against the current block.
+func sadHalfPelH(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	sum := 0
+	group := swarRowGroup(w)
+	for g0 := 0; g0 < h; g0 += group {
+		g1 := g0 + group
+		if g1 > h {
+			g1 = h
+		}
+		var acc uint64
+		for y := g0; y < g1; y++ {
+			co := (cy+y)*cur.Stride + cx
+			ro := (ry+y)*ref.Stride + rx
+			c := cur.Pix[co : co+w]
+			r := ref.Pix[ro : ro+w+1]
+			for x := 0; x+8 <= w; x += 8 {
+				cc := load8(c[x:])
+				a := load8(r[x:])
+				b := load8(r[x+1:])
+				acc += absDiffLanes(cc&laneLo, avgLanes(a&laneLo, b&laneLo)) +
+					absDiffLanes((cc>>8)&laneLo, avgLanes((a>>8)&laneLo, (b>>8)&laneLo))
+			}
+		}
+		sum += foldLanes(acc)
+	}
+	return sum
+}
+
+// sadHalfPelV fuses the vertical half-pel interpolation c = (A+C+1)>>1.
+func sadHalfPelV(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	sum := 0
+	group := swarRowGroup(w)
+	for g0 := 0; g0 < h; g0 += group {
+		g1 := g0 + group
+		if g1 > h {
+			g1 = h
+		}
+		var acc uint64
+		for y := g0; y < g1; y++ {
+			co := (cy+y)*cur.Stride + cx
+			ro := (ry+y)*ref.Stride + rx
+			c := cur.Pix[co : co+w]
+			r0 := ref.Pix[ro : ro+w]
+			r1 := ref.Pix[ro+ref.Stride : ro+ref.Stride+w]
+			for x := 0; x+8 <= w; x += 8 {
+				cc := load8(c[x:])
+				a := load8(r0[x:])
+				b := load8(r1[x:])
+				acc += absDiffLanes(cc&laneLo, avgLanes(a&laneLo, b&laneLo)) +
+					absDiffLanes((cc>>8)&laneLo, avgLanes((a>>8)&laneLo, (b>>8)&laneLo))
+			}
+		}
+		sum += foldLanes(acc)
+	}
+	return sum
+}
+
+// sadHalfPelD fuses the diagonal interpolation d = (A+B+C+D+2)>>2.
+func sadHalfPelD(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
+	sum := 0
+	group := swarRowGroup(w)
+	for g0 := 0; g0 < h; g0 += group {
+		g1 := g0 + group
+		if g1 > h {
+			g1 = h
+		}
+		var acc uint64
+		for y := g0; y < g1; y++ {
+			co := (cy+y)*cur.Stride + cx
+			ro := (ry+y)*ref.Stride + rx
+			c := cur.Pix[co : co+w]
+			r0 := ref.Pix[ro : ro+w+1]
+			r1 := ref.Pix[ro+ref.Stride : ro+ref.Stride+w+1]
+			for x := 0; x+8 <= w; x += 8 {
+				cc := load8(c[x:])
+				a := load8(r0[x:])
+				b := load8(r0[x+1:])
+				cv := load8(r1[x:])
+				dv := load8(r1[x+1:])
+				acc += absDiffLanes(cc&laneLo, quadLanes(a&laneLo, b&laneLo, cv&laneLo, dv&laneLo)) +
+					absDiffLanes((cc>>8)&laneLo,
+						quadLanes((a>>8)&laneLo, (b>>8)&laneLo, (cv>>8)&laneLo, (dv>>8)&laneLo))
+			}
+		}
+		sum += foldLanes(acc)
+	}
+	return sum
+}
+
+// SADHalfPelPlaneCapped is SADHalfPelPlane with SADCapped's early
+// termination: it returns a value > cap (not necessarily the exact SAD)
+// as soon as the running sum exceeds cap after any row. As with
+// SADCapped, using it never changes which candidate wins a minimisation:
+// truncated values already exceed the incumbent, and a candidate that
+// exactly ties the cap is returned exactly (row sums are monotone, so no
+// prefix exceeds the total).
+func SADHalfPelPlaneCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, hy, w, h, cap int) int {
+	px, py := hx&1, hy&1
+	x0, y0 := hx>>1, hy>>1
+	if x0 >= 0 && y0 >= 0 && x0+w+px <= ref.W && y0+h+py <= ref.H {
+		if px == 0 && py == 0 {
+			return SADCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+		}
+		// The whole block fits one lane accumulator (w·h ≤ 256), so the
+		// running sum is one fold away at every row — the same early-exit
+		// points as the scalar reference.
+		if w%8 == 0 && w*h <= 256 {
+			switch {
+			case py == 0:
+				return sadHalfPelHCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+			case px == 0:
+				return sadHalfPelVCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+			default:
+				return sadHalfPelDCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+			}
+		}
+	}
+	return sadHalfPelPlaneCappedScalar(cur, cx, cy, ref, hx, hy, w, h, cap)
+}
+
+func sadHalfPelHCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	var acc uint64
+	sum := 0
+	for y := 0; y < h; y++ {
+		co := (cy+y)*cur.Stride + cx
+		ro := (ry+y)*ref.Stride + rx
+		c := cur.Pix[co : co+w]
+		r := ref.Pix[ro : ro+w+1]
+		for x := 0; x+8 <= w; x += 8 {
+			cc := load8(c[x:])
+			a := load8(r[x:])
+			b := load8(r[x+1:])
+			acc += absDiffLanes(cc&laneLo, avgLanes(a&laneLo, b&laneLo)) +
+				absDiffLanes((cc>>8)&laneLo, avgLanes((a>>8)&laneLo, (b>>8)&laneLo))
+		}
+		sum = foldLanes(acc)
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+func sadHalfPelVCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	var acc uint64
+	sum := 0
+	for y := 0; y < h; y++ {
+		co := (cy+y)*cur.Stride + cx
+		ro := (ry+y)*ref.Stride + rx
+		c := cur.Pix[co : co+w]
+		r0 := ref.Pix[ro : ro+w]
+		r1 := ref.Pix[ro+ref.Stride : ro+ref.Stride+w]
+		for x := 0; x+8 <= w; x += 8 {
+			cc := load8(c[x:])
+			a := load8(r0[x:])
+			b := load8(r1[x:])
+			acc += absDiffLanes(cc&laneLo, avgLanes(a&laneLo, b&laneLo)) +
+				absDiffLanes((cc>>8)&laneLo, avgLanes((a>>8)&laneLo, (b>>8)&laneLo))
+		}
+		sum = foldLanes(acc)
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+func sadHalfPelDCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	var acc uint64
+	sum := 0
+	for y := 0; y < h; y++ {
+		co := (cy+y)*cur.Stride + cx
+		ro := (ry+y)*ref.Stride + rx
+		c := cur.Pix[co : co+w]
+		r0 := ref.Pix[ro : ro+w+1]
+		r1 := ref.Pix[ro+ref.Stride : ro+ref.Stride+w+1]
+		for x := 0; x+8 <= w; x += 8 {
+			cc := load8(c[x:])
+			a := load8(r0[x:])
+			b := load8(r0[x+1:])
+			cv := load8(r1[x:])
+			dv := load8(r1[x+1:])
+			acc += absDiffLanes(cc&laneLo, quadLanes(a&laneLo, b&laneLo, cv&laneLo, dv&laneLo)) +
+				absDiffLanes((cc>>8)&laneLo,
+					quadLanes((a>>8)&laneLo, (b>>8)&laneLo, (cv>>8)&laneLo, (dv>>8)&laneLo))
+		}
+		sum = foldLanes(acc)
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+// sadHalfPelPlaneCappedScalar is the scalar reference for
+// SADHalfPelPlaneCapped (same per-row early-exit points).
+func sadHalfPelPlaneCappedScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, hy, w, h, cap int) int {
+	sum := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(cur.At(cx+x, cy+y)) - int(halfPelAtPlane(ref, hx+2*x, hy+2*y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+// SADHalfPelRing computes the SADs of all 8 half-pel neighbours of the
+// full-pel position (rx, ry) in one pass over the block — the half-pel
+// refinement ring every integer-precision searcher evaluates. The probes
+// share nearly all their input: per 8-pixel group the kernel loads the
+// current block once and three reference rows at three offsets, derives
+// the two horizontal, two vertical and four diagonal interpolations from
+// those lanes, and accumulates eight SADs simultaneously, instead of
+// rereading everything per probe. Results land in out indexed
+// (dy+1)*3+(dx+1) with the centre slot left untouched — the scan order of
+// the refinement loop. Values are bit-identical to SADHalfPelPlane at the
+// corresponding positions.
+//
+// Preconditions: w%8 == 0, w*h ≤ 256, and the whole ring in-plane
+// (rx ≥ 1, ry ≥ 1, rx+w ≤ ref.W-1, ry+h ≤ ref.H-1 — implied by all eight
+// probes being legal).
+func SADHalfPelRing(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int, out *[9]int) {
+	var aTL, aT, aTR, aL, aR, aBL, aB, aBR uint64
+	for y := 0; y < h; y++ {
+		co := (cy+y)*cur.Stride + cx
+		ro := (ry+y)*ref.Stride + rx - 1
+		c := cur.Pix[co : co+w]
+		rm := ref.Pix[ro-ref.Stride : ro-ref.Stride+w+2]
+		r0 := ref.Pix[ro : ro+w+2]
+		rp := ref.Pix[ro+ref.Stride : ro+ref.Stride+w+2]
+		for x := 0; x+8 <= w; x += 8 {
+			cc := load8(c[x:])
+			cL, cH := cc&laneLo, (cc>>8)&laneLo
+			rmL, rm0, rmR := load8(rm[x:]), load8(rm[x+1:]), load8(rm[x+2:])
+			r0L, r00, r0R := load8(r0[x:]), load8(r0[x+1:]), load8(r0[x+2:])
+			rpL, rp0, rpR := load8(rp[x:]), load8(rp[x+1:]), load8(rp[x+2:])
+
+			rmLl, rmLh := rmL&laneLo, (rmL>>8)&laneLo
+			rm0l, rm0h := rm0&laneLo, (rm0>>8)&laneLo
+			rmRl, rmRh := rmR&laneLo, (rmR>>8)&laneLo
+			r0Ll, r0Lh := r0L&laneLo, (r0L>>8)&laneLo
+			r00l, r00h := r00&laneLo, (r00>>8)&laneLo
+			r0Rl, r0Rh := r0R&laneLo, (r0R>>8)&laneLo
+			rpLl, rpLh := rpL&laneLo, (rpL>>8)&laneLo
+			rp0l, rp0h := rp0&laneLo, (rp0>>8)&laneLo
+			rpRl, rpRh := rpR&laneLo, (rpR>>8)&laneLo
+
+			aL += absDiffLanes(cL, avgLanes(r0Ll, r00l)) + absDiffLanes(cH, avgLanes(r0Lh, r00h))
+			aR += absDiffLanes(cL, avgLanes(r00l, r0Rl)) + absDiffLanes(cH, avgLanes(r00h, r0Rh))
+			aT += absDiffLanes(cL, avgLanes(rm0l, r00l)) + absDiffLanes(cH, avgLanes(rm0h, r00h))
+			aB += absDiffLanes(cL, avgLanes(r00l, rp0l)) + absDiffLanes(cH, avgLanes(r00h, rp0h))
+			aTL += absDiffLanes(cL, quadLanes(rmLl, rm0l, r0Ll, r00l)) +
+				absDiffLanes(cH, quadLanes(rmLh, rm0h, r0Lh, r00h))
+			aTR += absDiffLanes(cL, quadLanes(rm0l, rmRl, r00l, r0Rl)) +
+				absDiffLanes(cH, quadLanes(rm0h, rmRh, r00h, r0Rh))
+			aBL += absDiffLanes(cL, quadLanes(r0Ll, r00l, rpLl, rp0l)) +
+				absDiffLanes(cH, quadLanes(r0Lh, r00h, rpLh, rp0h))
+			aBR += absDiffLanes(cL, quadLanes(r00l, r0Rl, rp0l, rpRl)) +
+				absDiffLanes(cH, quadLanes(r00h, r0Rh, rp0h, rpRh))
+		}
+	}
+	out[0], out[1], out[2] = foldLanes(aTL), foldLanes(aT), foldLanes(aTR)
+	out[3], out[5] = foldLanes(aL), foldLanes(aR)
+	out[6], out[7], out[8] = foldLanes(aBL), foldLanes(aB), foldLanes(aBR)
+}
+
+// halfPelAtPlane computes one half-pel grid sample directly from the
+// integer plane with edge replication — the scalar reference for the
+// fused kernels, matching Interpolated.AtClamped exactly.
+func halfPelAtPlane(ref *frame.Plane, hx, hy int) uint8 {
+	if hx < 0 {
+		hx = 0
+	} else if hx > 2*ref.W-1 {
+		hx = 2*ref.W - 1
+	}
+	if hy < 0 {
+		hy = 0
+	} else if hy > 2*ref.H-1 {
+		hy = 2*ref.H - 1
+	}
+	x, y := hx>>1, hy>>1
+	a := int(ref.At(x, y))
+	b := int(ref.AtClamped(x+1, y))
+	c := int(ref.AtClamped(x, y+1))
+	d := int(ref.AtClamped(x+1, y+1))
+	switch {
+	case hx&1 == 0 && hy&1 == 0:
+		return uint8(a)
+	case hy&1 == 0:
+		return uint8((a + b + 1) >> 1)
+	case hx&1 == 0:
+		return uint8((a + c + 1) >> 1)
+	}
+	return uint8((a + b + c + d + 2) >> 2)
+}
+
+// sadHalfPelPlaneScalar is the scalar reference for SADHalfPelPlane.
+func sadHalfPelPlaneScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, hy, w, h int) int {
+	sum := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(cur.At(cx+x, cy+y)) - int(halfPelAtPlane(ref, hx+2*x, hy+2*y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
 }
 
 // SADDecimated returns the SAD over a 4:1 pixel-decimated grid (samples
@@ -266,6 +578,22 @@ func SADHalfPelDecimated(cur *frame.Plane, cx, cy int, ref *frame.Interpolated, 
 	for y := 0; y < h; y += 2 {
 		for x := 0; x < w; x += 2 {
 			d := int(cur.At(cx+x, cy+y)) - int(ref.AtClamped(hx+2*x, hy+2*y))
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return 4 * sum
+}
+
+// SADHalfPelPlaneDecimated is SADHalfPelDecimated with the interpolation
+// fused against the integer plane (bit-identical values, no grid).
+func SADHalfPelPlaneDecimated(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, hy, w, h int) int {
+	sum := 0
+	for y := 0; y < h; y += 2 {
+		for x := 0; x < w; x += 2 {
+			d := int(cur.At(cx+x, cy+y)) - int(halfPelAtPlane(ref, hx+2*x, hy+2*y))
 			if d < 0 {
 				d = -d
 			}

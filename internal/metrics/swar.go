@@ -40,6 +40,21 @@ func foldLanes(v uint64) int {
 	return int((v * laneOnes) >> 48)
 }
 
+// avgLanes returns the per-lane rounding-up average (x+y+1)>>1 for lane
+// values ≤ 0xff — the H.263 half-pel rule. Sums fit 9 bits, so lanes never
+// carry into their neighbours; the bit each lane leaks into the one below
+// during the shift is cleared by the final mask.
+func avgLanes(x, y uint64) uint64 {
+	return ((x + y + laneOnes) >> 1) & laneLo
+}
+
+// quadLanes returns the per-lane (a+b+c+d+2)>>2 for lane values ≤ 0xff —
+// the H.263 diagonal half-pel rule. Sums fit 10 bits per lane; shift leaks
+// are masked off.
+func quadLanes(a, b, c, d uint64) uint64 {
+	return ((a + b + c + d + 2*laneOnes) >> 2) & laneLo
+}
+
 // unpack4 spreads the four bytes of v into the 16-bit lanes of a uint64.
 func unpack4(v uint32) uint64 {
 	x := uint64(v)

@@ -93,13 +93,22 @@ func (f *Field) MedianPredictor(bx, by int) MV {
 // previous frame, and the zero vector. prev may be nil (first P-frame); the
 // result is deduplicated and always non-empty.
 func (f *Field) Candidates(prev *Field, bx, by int) []MV {
-	out := make([]MV, 0, 14)
-	seen := make(map[MV]bool, 14)
+	return f.AppendCandidates(make([]MV, 0, 14), prev, bx, by)
+}
+
+// AppendCandidates is Candidates appending into dst, so per-block callers
+// (the PBM inner loop runs once per macroblock) can reuse a
+// stack-allocated buffer instead of allocating. The candidate set is at
+// most 14 vectors, deduplicated by linear scan.
+func (f *Field) AppendCandidates(dst []MV, prev *Field, bx, by int) []MV {
+	out := dst
 	add := func(m MV) {
-		if !seen[m] {
-			seen[m] = true
-			out = append(out, m)
+		for _, v := range out {
+			if v == m {
+				return
+			}
 		}
+		out = append(out, m)
 	}
 	add(Zero)
 	// Spatial neighbours in the current frame (causal only).

@@ -21,19 +21,19 @@ var crossLarge = [8]mvfield.MV{
 
 // Search implements Searcher.
 func (c *CrossDiamond) Search(in *Input) Result {
-	visited := make(map[mvfield.MV]bool, 64)
+	var visited visitedSet
 	pts := 0
 	eval := func(mv mvfield.MV) (int, bool) {
-		if !in.Legal(mv) || visited[mv] {
+		if !in.Legal(mv) || visited.seen(mv) {
 			return 0, false
 		}
-		visited[mv] = true
+		visited.add(mv)
 		pts++
 		return in.SAD(mv), true
 	}
 	best := mvfield.Zero
 	bestSAD := in.SAD(best)
-	visited[best] = true
+	visited.add(best)
 	pts++
 
 	// Phase 1: large cross. If the centre survives, finish with the small

@@ -37,7 +37,7 @@ func (f *FSBM) Search(in *Input) Result {
 			best, bestSAD = mv, in.SAD(mv)
 			continue
 		}
-		s := in.sadCapped(mv, bestSAD)
+		s := in.SADCapped(mv, bestSAD)
 		if better(s, mv, bestSAD, best) {
 			best, bestSAD = mv, s
 		}

@@ -14,19 +14,19 @@ func (f *FSS) Name() string { return "4SS" }
 
 // Search implements Searcher.
 func (f *FSS) Search(in *Input) Result {
-	visited := make(map[mvfield.MV]bool, 32)
+	var visited visitedSet
 	pts := 0
 	eval := func(mv mvfield.MV) (int, bool) {
-		if !in.Legal(mv) || visited[mv] {
+		if !in.Legal(mv) || visited.seen(mv) {
 			return 0, false
 		}
-		visited[mv] = true
+		visited.add(mv)
 		pts++
 		return in.SAD(mv), true
 	}
 	best := mvfield.Zero
 	bestSAD := in.SAD(best)
-	visited[best] = true
+	visited.add(best)
 	pts++
 
 	// Steps 1-3: 5×5 pattern (step 2 pels). If the best stays at the

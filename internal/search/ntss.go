@@ -15,13 +15,13 @@ func (n *NTSS) Name() string { return "NTSS" }
 
 // Search implements Searcher.
 func (n *NTSS) Search(in *Input) Result {
-	visited := make(map[mvfield.MV]bool, 48)
+	var visited visitedSet
 	pts := 0
 	eval := func(mv mvfield.MV) (int, bool) {
-		if !in.Legal(mv) || visited[mv] {
+		if !in.Legal(mv) || visited.seen(mv) {
 			return 0, false
 		}
-		visited[mv] = true
+		visited.add(mv)
 		pts++
 		return in.SAD(mv), true
 	}
@@ -39,7 +39,7 @@ func (n *NTSS) Search(in *Input) Result {
 	}
 	best := mvfield.Zero
 	bestSAD := in.SAD(best)
-	visited[best] = true
+	visited.add(best)
 	pts++
 
 	// First step: the usual ±step ring plus the ±1 unit ring.
@@ -123,19 +123,19 @@ var hexLarge = [6]mvfield.MV{
 
 // Search implements Searcher.
 func (h *HEXBS) Search(in *Input) Result {
-	visited := make(map[mvfield.MV]bool, 48)
+	var visited visitedSet
 	pts := 0
 	eval := func(mv mvfield.MV) (int, bool) {
-		if !in.Legal(mv) || visited[mv] {
+		if !in.Legal(mv) || visited.seen(mv) {
 			return 0, false
 		}
-		visited[mv] = true
+		visited.add(mv)
 		pts++
 		return in.SAD(mv), true
 	}
 	best := mvfield.Zero
 	bestSAD := in.SAD(best)
-	visited[best] = true
+	visited.add(best)
 	pts++
 
 	maxIter := h.MaxIter

@@ -37,31 +37,44 @@ func (p *PBM) refineSteps() int {
 // Search implements Searcher. It requires CurField (and uses PrevField
 // when present) to gather predictors; with no context it degrades to a
 // small search around the zero vector.
+//
+// The probe set is tiny (a handful of predictors plus the bounded
+// descent), so visited candidates are deduplicated with a linear scan
+// over a stack-allocated list instead of a map, and losing candidates are
+// evaluated with the early-terminating capped SAD — the winner and its
+// exact SAD (and therefore the bitstream) are unchanged: a capped probe
+// is only ever truncated when it already exceeds the incumbent, and a
+// probe that ties the incumbent is returned exactly (no prefix of its
+// rows can exceed the cap).
 func (p *PBM) Search(in *Input) Result {
-	visited := make(map[mvfield.MV]bool, 32)
+	var visited visitedSet
 	pts := 0
-	eval := func(mv mvfield.MV) (int, bool) {
-		if !in.Legal(mv) || visited[mv] {
+	eval := func(mv mvfield.MV, cap int) (int, bool) {
+		if !in.Legal(mv) || visited.seen(mv) {
 			return 0, false
 		}
-		visited[mv] = true
+		visited.add(mv)
 		pts++
-		return in.SAD(mv), true
+		if cap < 0 {
+			return in.SAD(mv), true
+		}
+		return in.SADCapped(mv, cap), true
 	}
 
 	// Step 1: predictor candidates. Predictors are full-pel rounded: the
 	// integer search stage operates on the full-pel grid only.
-	var cands []mvfield.MV
+	var cbuf [14]mvfield.MV
+	cands := cbuf[:0]
 	if in.CurField != nil {
-		cands = in.CurField.Candidates(in.PrevField, in.MBX, in.MBY)
+		cands = in.CurField.AppendCandidates(cands, in.PrevField, in.MBX, in.MBY)
 	} else {
-		cands = []mvfield.MV{mvfield.Zero}
+		cands = append(cands, mvfield.Zero)
 	}
 	best, bestSAD := mvfield.Zero, -1
 	for _, c := range cands {
 		c = in.ClampMV(c)
 		c = mvfield.FromFullPel(c.X/2, c.Y/2) // snap to integer pel
-		s, ok := eval(c)
+		s, ok := eval(c, bestSAD)
 		if !ok {
 			continue
 		}
@@ -85,7 +98,7 @@ func (p *PBM) Search(in *Input) Result {
 			if mv.Linf() > 2*in.Range {
 				continue
 			}
-			s, ok := eval(mv)
+			s, ok := eval(mv, bestSAD)
 			if ok && better(s, mv, bestSAD, best) {
 				best, bestSAD, improved = mv, s, true
 			}

@@ -15,11 +15,16 @@ import (
 )
 
 // Input describes one block-matching problem: find the motion vector for
-// the W×H block of Cur anchored at (BX, BY), matching into Ref (with RefI
-// its half-pel interpolation), within ±Range full pels.
+// the W×H block of Cur anchored at (BX, BY), matching into Ref, within
+// ±Range full pels.
 type Input struct {
-	Cur  *frame.Plane
-	Ref  *frame.Plane
+	Cur *frame.Plane
+	Ref *frame.Plane
+	// RefI is retained for compatibility with callers that pre-build a
+	// half-pel view of Ref; the searchers no longer read it. Half-pel
+	// candidates are evaluated by kernels that fuse the H.263 bilinear
+	// interpolation into the SAD directly against Ref (bit-identical
+	// values), so probing costs no grid materialisation.
 	RefI *frame.Interpolated
 
 	BX, BY int // block anchor in pels
@@ -90,8 +95,8 @@ func (in *Input) ClampMV(mv mvfield.MV) mvfield.MV {
 }
 
 // SAD evaluates candidate mv. Integer candidates read the reference plane
-// directly; half-pel candidates read the interpolated grid. The candidate
-// must be Legal.
+// directly; half-pel candidates fuse the interpolation into the kernel,
+// reading the same plane. The candidate must be Legal.
 func (in *Input) SAD(mv mvfield.MV) int {
 	var s int
 	switch {
@@ -99,12 +104,12 @@ func (in *Input) SAD(mv mvfield.MV) int {
 		fx, fy := mv.FullPel()
 		s = metrics.SADDecimated(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H)
 	case in.PixelDecimation:
-		s = metrics.SADHalfPelDecimated(in.Cur, in.BX, in.BY, in.RefI, 2*in.BX+mv.X, 2*in.BY+mv.Y, in.W, in.H)
+		s = metrics.SADHalfPelPlaneDecimated(in.Cur, in.BX, in.BY, in.Ref, 2*in.BX+mv.X, 2*in.BY+mv.Y, in.W, in.H)
 	case mv.IsFullPel():
 		fx, fy := mv.FullPel()
 		s = metrics.SAD(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H)
 	default:
-		s = metrics.SADMV(in.Cur, in.BX, in.BY, in.RefI, mv, in.W, in.H)
+		s = metrics.SADHalfPelPlane(in.Cur, in.BX, in.BY, in.Ref, 2*in.BX+mv.X, 2*in.BY+mv.Y, in.W, in.H)
 	}
 	if in.Collect != nil {
 		in.Collect.Add(s)
@@ -112,15 +117,50 @@ func (in *Input) SAD(mv mvfield.MV) int {
 	return s
 }
 
-// sadCapped is SAD with early termination for integer candidates; the
-// returned value is only exact when ≤ cap. Collect still records the
-// exact SAD when enabled (the Fig. 4 study needs unbiased deviations).
-func (in *Input) sadCapped(mv mvfield.MV, cap int) int {
-	if in.Collect != nil || !mv.IsFullPel() || in.PixelDecimation {
+// SADCapped is SAD with early termination; the returned value is only
+// exact when ≤ cap. Half-pel candidates run the capped fused kernels.
+// Collect still records the exact SAD when enabled (the Fig. 4 study
+// needs unbiased deviations).
+func (in *Input) SADCapped(mv mvfield.MV, cap int) int {
+	if in.Collect != nil || in.PixelDecimation || cap < 0 {
 		return in.SAD(mv)
 	}
-	fx, fy := mv.FullPel()
-	return metrics.SADCapped(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H, cap)
+	if mv.IsFullPel() {
+		fx, fy := mv.FullPel()
+		return metrics.SADCapped(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H, cap)
+	}
+	return metrics.SADHalfPelPlaneCapped(in.Cur, in.BX, in.BY, in.Ref, 2*in.BX+mv.X, 2*in.BY+mv.Y, in.W, in.H, cap)
+}
+
+// visitedSet deduplicates the small candidate sets of the predictive
+// searchers. The probe budget is a few dozen positions, so a linear scan
+// over a stack-allocated array beats a per-block map allocation; an
+// overflow map keeps the semantics exact for oversized refinement budgets.
+type visitedSet struct {
+	n    int
+	mvs  [48]mvfield.MV
+	over map[mvfield.MV]bool
+}
+
+func (v *visitedSet) seen(mv mvfield.MV) bool {
+	for i := 0; i < v.n; i++ {
+		if v.mvs[i] == mv {
+			return true
+		}
+	}
+	return v.over != nil && v.over[mv]
+}
+
+func (v *visitedSet) add(mv mvfield.MV) {
+	if v.n < len(v.mvs) {
+		v.mvs[v.n] = mv
+		v.n++
+		return
+	}
+	if v.over == nil {
+		v.over = make(map[mvfield.MV]bool, 16)
+	}
+	v.over[mv] = true
 }
 
 // better reports whether (sad, mv) improves on (bestSAD, bestMV), breaking
@@ -136,9 +176,37 @@ func better(sad int, mv mvfield.MV, bestSAD int, bestMV mvfield.MV) bool {
 // refineHalfPel evaluates the 8 half-pel neighbours of center and returns
 // the best position along with the number of candidates evaluated. This is
 // the refinement step shared by every integer-precision searcher (H.263
-// half-pel motion).
+// half-pel motion). Probes run the capped fused kernels: a losing
+// neighbour aborts within a few rows, and the returned bestSAD is always
+// exact (truncation only happens above the incumbent; ties fold to the
+// exact value).
 func refineHalfPel(in *Input, center mvfield.MV, centerSAD int) (mvfield.MV, int, int) {
 	best, bestSAD, pts := center, centerSAD, 0
+	// Interior blocks (the vast majority) evaluate the whole ring with one
+	// fused pass that shares the current block and reference rows across
+	// all eight probes; the selection below replays the same scan order and
+	// tie-breaks as the per-probe loop, so the outcome is identical.
+	if center.IsFullPel() && in.Collect == nil && !in.PixelDecimation &&
+		in.W%8 == 0 && in.W*in.H <= 256 &&
+		in.Legal(center.Add(mvfield.MV{X: -1, Y: -1})) &&
+		in.Legal(center.Add(mvfield.MV{X: 1, Y: 1})) {
+		fx, fy := center.FullPel()
+		var ring [9]int
+		metrics.SADHalfPelRing(in.Cur, in.BX, in.BY, in.Ref, in.BX+fx, in.BY+fy, in.W, in.H, &ring)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				mv := center.Add(mvfield.MV{X: dx, Y: dy})
+				pts++
+				if s := ring[(dy+1)*3+dx+1]; better(s, mv, bestSAD, best) {
+					best, bestSAD = mv, s
+				}
+			}
+		}
+		return best, bestSAD, pts
+	}
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			if dx == 0 && dy == 0 {
@@ -149,7 +217,7 @@ func refineHalfPel(in *Input, center mvfield.MV, centerSAD int) (mvfield.MV, int
 				continue
 			}
 			pts++
-			if s := in.SAD(mv); better(s, mv, bestSAD, best) {
+			if s := in.SADCapped(mv, bestSAD); better(s, mv, bestSAD, best) {
 				best, bestSAD = mv, s
 			}
 		}

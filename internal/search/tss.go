@@ -14,13 +14,13 @@ func (t *TSS) Name() string { return "TSS" }
 
 // Search implements Searcher.
 func (t *TSS) Search(in *Input) Result {
-	visited := make(map[mvfield.MV]bool, 32)
+	var visited visitedSet
 	pts := 0
 	eval := func(mv mvfield.MV) (int, bool) {
-		if !in.Legal(mv) || visited[mv] {
+		if !in.Legal(mv) || visited.seen(mv) {
 			return 0, false
 		}
-		visited[mv] = true
+		visited.add(mv)
 		pts++
 		return in.SAD(mv), true
 	}
@@ -32,7 +32,7 @@ func (t *TSS) Search(in *Input) Result {
 	}
 	best := mvfield.Zero
 	bestSAD := in.SAD(best)
-	visited[best] = true
+	visited.add(best)
 	pts++
 	for step >= 1 {
 		center := best
