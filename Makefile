@@ -20,10 +20,16 @@
 #                       vload burst, require a clean SIGTERM drain
 #   make bench-serve  — regenerate BENCH_serve.json (throughput and
 #                       first-packet/per-frame latency × session count)
+#   make cluster-smoke— boot 2 vcodecd + vcodec-gateway on random ports,
+#                       verified vload burst, kill one backend mid-run,
+#                       burst again (must still verify), clean drain
+#   make bench-cluster— regenerate BENCH_cluster.json (chaos scenarios
+#                       against a self-hosted gateway topology, every
+#                       session byte-verified)
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve ci
+.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve cluster-smoke bench-cluster ci
 
 build:
 	$(GO) vet ./...
@@ -31,7 +37,7 @@ build:
 
 test: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/ ./internal/gateway/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -53,4 +59,14 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/vload -selfhost -sessions 1,4,8 -frames 30 -size qcif -qp 16 -me acbm -verify -json BENCH_serve.json
 
-ci: test bench-smoke serve-smoke
+cluster-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/vcodecd ./cmd/vcodecd
+	$(GO) build -o bin/vcodec-gateway ./cmd/vcodec-gateway
+	$(GO) build -o bin/vload ./cmd/vload
+	BIN=bin sh scripts/cluster_smoke.sh
+
+bench-cluster:
+	$(GO) run ./cmd/vload -chaos -sessions 8 -frames 24 -size qcif -qp 16 -me acbm -backends 2 -json BENCH_cluster.json
+
+ci: test bench-smoke serve-smoke cluster-smoke

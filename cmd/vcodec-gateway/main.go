@@ -1,0 +1,128 @@
+// Command vcodec-gateway is the fleet front for vcodecd: one /encode
+// endpoint that routes sessions across N encode backends with
+// health-aware least-loaded selection, bounded retries with capped
+// exponential backoff, per-backend circuit breaking, and drain-aware
+// rebalancing (internal/gateway).
+//
+// Usage:
+//
+//	vcodec-gateway -addr :8320 \
+//	    -backends http://10.0.0.7:8323,http://10.0.0.8:8323
+//
+// Endpoints:
+//
+//	POST /encode?...   exactly vcodecd's contract, fleet-routed
+//	GET  /healthz      gateway + per-backend health view (JSON)
+//	GET  /metrics      Prometheus text (routing, retries, breakers)
+//
+// A session is retried on another backend only while zero response bytes
+// have reached the client (the upload is replayed from a buffer); once
+// committed, a backend failure surfaces as an explicit X-Vcodec-Error
+// trailer — never a truncated stream dressed up as a complete one. The
+// X-Vcodec-Backend and X-Vcodec-Attempts trailers say where the session
+// ran and how hard it was to place.
+//
+// SIGINT/SIGTERM trigger graceful shutdown in gateway-then-backend
+// order: new sessions get 503 + Retry-After while in-flight streams run
+// to completion (bounded by -drain-timeout); backends are untouched —
+// drain them afterwards, and their own draining state reroutes new work
+// here in the meantime.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8320", "listen address")
+		addrfile = flag.String("addrfile", "", "write the bound address to this file once listening")
+		backends = flag.String("backends", "", "comma-separated vcodecd base URLs (required)")
+		maxSess  = flag.Int("max-sessions", 64, "concurrent sessions at the gateway")
+		attempts = flag.Int("max-attempts", 4, "dispatch attempts per session")
+		pollI    = flag.Duration("poll-interval", 250*time.Millisecond, "backend health poll cadence")
+		connT    = flag.Duration("connect-timeout", 2*time.Second, "per-attempt dial + response header budget")
+		firstT   = flag.Duration("first-packet-timeout", 15*time.Second, "per-attempt budget for the first response byte")
+		idleT    = flag.Duration("stream-idle-timeout", 60*time.Second, "max silence on a committed stream before it fails")
+		breakN   = flag.Int("breaker-threshold", 3, "consecutive attempt failures that open a backend's breaker")
+		breakT   = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker rejects a backend")
+		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight sessions")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	g, err := gateway.New(gateway.Config{
+		Backends:           urls,
+		PollInterval:       *pollI,
+		ConnectTimeout:     *connT,
+		FirstPacketTimeout: *firstT,
+		StreamIdleTimeout:  *idleT,
+		MaxAttempts:        *attempts,
+		BreakerThreshold:   *breakN,
+		BreakerCooldown:    *breakT,
+		MaxSessions:        *maxSess,
+	})
+	if err != nil {
+		log.Fatalf("vcodec-gateway: %v (pass -backends)", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("vcodec-gateway: %v", err)
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("vcodec-gateway: %v", err)
+		}
+	}
+
+	hs := &http.Server{
+		Handler: g.Handler(),
+		// No WriteTimeout: sessions are long-lived streams; the gateway's
+		// own StreamIdleTimeout is the stall detector.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("vcodec-gateway: listening on %s, %d backends: %s",
+		ln.Addr(), len(urls), strings.Join(urls, ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("vcodec-gateway: %v — draining", s)
+	case err := <-errCh:
+		log.Fatalf("vcodec-gateway: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := g.Drain(ctx); err != nil {
+		log.Printf("vcodec-gateway: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("vcodec-gateway: shutdown: %v", err)
+	}
+	g.Close()
+	fmt.Println("vcodec-gateway: drained, bye")
+}

@@ -31,7 +31,9 @@
 // lossy channel can drop packets without desynchronising the parser.
 // `decode -packets` conceals dropped or corrupt frame packets by
 // repeating the previous reconstruction instead of erroring, recovering
-// fully at the next intra frame (use -gop at encode time).
+// fully at the next intra frame (use -gop at encode time); a stream cut
+// mid-record (truncated download, crashed relay) just ends the clip at
+// the damage instead of failing (codec.DecodePacketStream).
 //
 // Synthetic input for a self-contained demo:
 //
@@ -224,70 +226,24 @@ func runDecode(args []string) error {
 	return nil
 }
 
-// maxConcealGap bounds how many consecutive missing frame packets decode
-// will conceal for one gap. A larger jump in record indices is far more
-// likely a corrupted index varint than a half-minute drop burst, and
-// trusting it would clone up to 2^32 concealment frames; such records
-// are discarded as corrupt instead.
-const maxConcealGap = 1024
-
 // decodePacketFile reconstructs a packetized file, concealing dropped
 // (missing index) and corrupt frame packets by repeating the previous
 // reconstruction — the loss behaviour of the paper's variable-bandwidth
-// channel, applied to a file a lossy relay already chewed on. Records
-// that cannot be trusted at all (duplicate, reordered or implausibly
-// far-ahead indices) are discarded: the predictive stream can only move
-// forward, so decode degrades, it does not error.
+// channel, applied to a file a lossy relay already chewed on. The fault
+// policy (codec.DecodePacketStream) makes every mid-stream damage mode
+// non-fatal: untrustworthy records are discarded, a truncated tail just
+// ends the clip early, and the predictive stream resynchronises at the
+// next intra frame — decode degrades, it does not error.
 func decodePacketFile(data []byte) ([]*frame.Frame, int, error) {
-	pr := codec.NewPacketReader(bytes.NewReader(data))
-	idx, hdr, err := pr.ReadPacket()
+	res, err := codec.DecodePacketStream(bytes.NewReader(data))
 	if err != nil {
-		return nil, 0, fmt.Errorf("decode: reading header packet: %w", err)
+		return nil, 0, fmt.Errorf("decode: %w", err)
 	}
-	if idx != 0 {
-		return nil, 0, fmt.Errorf("decode: header packet missing (first record has index %d)", idx)
+	if res.Truncated != nil {
+		fmt.Fprintf(os.Stderr, "decode: stream truncated mid-record, kept %d frames (%v)\n",
+			len(res.Frames), res.Truncated)
 	}
-	dec, err := codec.NewPacketDecoder(hdr)
-	if err != nil {
-		return nil, 0, err
-	}
-	var frames []*frame.Frame
-	concealed := 0
-	conceal := func() {
-		if f := dec.ConcealLoss(); f != nil {
-			frames = append(frames, f)
-			concealed++
-		}
-		// A loss before the first decoded frame has nothing to repeat;
-		// the frame is skipped entirely.
-	}
-	next := 1
-	for {
-		idx, pkt, err := pr.ReadPacket()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, 0, err
-		}
-		if idx < next || idx-next > maxConcealGap { // untrustworthy index
-			continue
-		}
-		for ; next < idx; next++ { // gap: packets dropped in transit
-			conceal()
-		}
-		f, err := dec.DecodePacket(pkt)
-		if err != nil { // corrupt payload: treat as lost
-			conceal()
-		} else {
-			frames = append(frames, f)
-		}
-		next = idx + 1
-	}
-	if len(frames) == 0 {
-		return nil, 0, fmt.Errorf("decode: no decodable frame packets (stream fully lost?)")
-	}
-	return frames, concealed, nil
+	return res.Frames, res.Concealed, nil
 }
 
 func runInfo(args []string) error {
@@ -342,6 +298,7 @@ func packetInfo(name string, data []byte) error {
 		return err
 	}
 	frames, dropped, ignored, payload := 0, 0, 0, len(hdr)
+	truncated := false
 	next := 1
 	for {
 		idx, pkt, err := pr.ReadPacket()
@@ -349,9 +306,12 @@ func packetInfo(name string, data []byte) error {
 			break
 		}
 		if err != nil {
-			return err
+			// Same policy as decode: a broken record ends the stream,
+			// the records before it still count.
+			truncated = true
+			break
 		}
-		if idx < next || idx-next > maxConcealGap {
+		if idx < next || idx-next > codec.MaxConcealGap {
 			ignored++
 			continue
 		}
@@ -363,6 +323,9 @@ func packetInfo(name string, data []byte) error {
 	extra := ""
 	if ignored > 0 {
 		extra = fmt.Sprintf(", %d untrustworthy records ignored", ignored)
+	}
+	if truncated {
+		extra += ", truncated mid-record"
 	}
 	fmt.Printf("%s: %v, packets, %d frame packets (%d dropped%s), %d payload bytes, %d bytes\n",
 		name, dec.Size(), frames, dropped, extra, payload, len(data))

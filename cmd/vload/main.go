@@ -1,19 +1,37 @@
-// Command vload is the load generator for vcodecd: it drives M
-// concurrent encode sessions against the daemon (uploading a synthetic
-// Y4M clip, streaming the packet response) across a sweep of session
-// counts and reports aggregate throughput plus first-packet and
-// per-frame latency percentiles — the numbers behind BENCH_serve.json.
+// Command vload is the load generator for vcodecd and vcodec-gateway: it
+// drives M concurrent encode sessions against one or more endpoints
+// (uploading a synthetic Y4M clip, streaming the packet response) across
+// a sweep of session counts and reports aggregate throughput plus
+// first-packet and per-frame latency percentiles — the numbers behind
+// BENCH_serve.json.
 //
 // Usage:
 //
 //	vload -url http://127.0.0.1:8323 -sessions 1,4,8 -frames 30 -json BENCH_serve.json
 //	vload -selfhost -sessions 1,4,8 -verify -json BENCH_serve.json
+//	vload -url http://gw-a:8320,http://gw-b:8320 -sessions 8 -verify
+//	vload -chaos -json BENCH_cluster.json
+//
+// -url accepts multiple comma-separated endpoints; sessions round-robin
+// across them (several gateways, or backends driven directly).
 //
 // -selfhost boots an in-process vcodecd on a loopback port and drives it
 // over real HTTP — the one-command way to regenerate the artifact.
 // -verify additionally byte-compares one session per point against the
 // offline EncodePackets output, turning the throughput claim into a
 // correctness claim.
+//
+// -retry-after makes a session honor a 503's Retry-After header: sleep
+// the advertised delay and re-submit (bounded retries). Off by default
+// so admission behavior stays visible in the report.
+//
+// -chaos switches to the cluster chaos benchmark: a self-hosted
+// vcodec-gateway topology (N backends behind fault-injecting proxies) is
+// run through the named scenarios — baseline, degraded-latency,
+// backend-crash, partition, high-load — while every session byte-verifies
+// its stream end to end; the aggregate lands in BENCH_cluster.json. With
+// -url, only the no-fault-injection scenarios (baseline, high-load) can
+// run against the remote endpoints. -scenarios picks a subset.
 package main
 
 import (
@@ -34,7 +52,7 @@ import (
 
 func main() {
 	var (
-		url      = flag.String("url", "", "daemon base URL (e.g. http://127.0.0.1:8323)")
+		url      = flag.String("url", "", "endpoint base URL(s), comma-separated (e.g. http://127.0.0.1:8323)")
 		selfhost = flag.Bool("selfhost", false, "boot an in-process daemon on a loopback port and drive it")
 		pool     = flag.Int("pool", 0, "selfhost: analysis pool workers (0 = GOMAXPROCS)")
 		sessions = flag.String("sessions", "1,4,8", "comma-separated session counts to sweep")
@@ -47,7 +65,12 @@ func main() {
 		kbps     = flag.Float64("kbps", 0, "per-session rate-control target in kbit/s (0 = constant Qp)")
 		seed     = flag.Uint64("seed", 0, "clip seed (0 = experiment default)")
 		verify   = flag.Bool("verify", false, "byte-compare one session per point against the offline encoder")
-		jsonPath = flag.String("json", "", "write the report to this path (BENCH_serve.json)")
+		retryA   = flag.Bool("retry-after", false, "on 503, honor Retry-After and re-submit (bounded)")
+		retryMax = flag.Int("retry-max", 4, "max 503 re-submissions per session with -retry-after")
+		chaosRun = flag.Bool("chaos", false, "run the cluster chaos benchmark instead of the serve sweep")
+		scens    = flag.String("scenarios", "", "chaos: comma-separated scenario subset (default all)")
+		backends = flag.Int("backends", 2, "chaos: self-hosted backend count")
+		jsonPath = flag.String("json", "", "write the report to this path (BENCH_serve.json / BENCH_cluster.json)")
 		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for /healthz before starting")
 	)
 	flag.Parse()
@@ -64,10 +87,53 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var urls []string
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
 
-	base := *url
+	if *chaosRun {
+		if *selfhost {
+			fatal(fmt.Errorf("-chaos self-hosts its own topology; drop -selfhost"))
+		}
+		var scenarios []string
+		for _, s := range strings.Split(*scens, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				scenarios = append(scenarios, s)
+			}
+		}
+		res, err := experiment.RunCluster(experiment.ClusterConfig{
+			URLs:      urls,
+			Backends:  *backends,
+			Scenarios: scenarios,
+			Sessions:  counts[len(counts)-1],
+			Frames:    *frames,
+			Size:      size,
+			Profile:   prof,
+			Qp:        *qp,
+			Seed:      *seed,
+			Searcher:  *me,
+			Entropy:   *entropy,
+			Retry503:  *retryA,
+			RetryMax:  *retryMax,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiment.FormatCluster(res))
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return
+	}
+
 	if *selfhost {
-		if base != "" {
+		if len(urls) > 0 {
 			fatal(fmt.Errorf("-url and -selfhost are mutually exclusive"))
 		}
 		maxSess := 0
@@ -82,18 +148,20 @@ func main() {
 			fatal(err)
 		}
 		go http.Serve(ln, srv.Handler())
-		base = "http://" + ln.Addr().String()
-		fmt.Printf("vload: self-hosted daemon on %s\n", base)
+		urls = []string{"http://" + ln.Addr().String()}
+		fmt.Printf("vload: self-hosted daemon on %s\n", urls[0])
 	}
-	if base == "" {
+	if len(urls) == 0 {
 		fatal(fmt.Errorf("-url is required (or use -selfhost)"))
 	}
-	if err := waitHealthy(base, *wait); err != nil {
-		fatal(err)
+	for _, u := range urls {
+		if err := waitHealthy(u, *wait); err != nil {
+			fatal(err)
+		}
 	}
 
 	res, err := experiment.RunServe(experiment.ServeConfig{
-		URL:      base,
+		URLs:     urls,
 		Sessions: counts,
 		Frames:   *frames,
 		Size:     size,
@@ -104,6 +172,8 @@ func main() {
 		Entropy:  *entropy,
 		Kbps:     *kbps,
 		Verify:   *verify,
+		Retry503: *retryA,
+		RetryMax: *retryMax,
 	})
 	if err != nil {
 		fatal(err)

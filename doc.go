@@ -142,10 +142,32 @@
 //     latency), and graceful SIGTERM drain that completes in-flight
 //     streams while rejecting new ones.
 //   - cmd/vload is the load generator: M concurrent sessions across a
-//     sweep of session counts, reporting aggregate throughput plus
+//     sweep of session counts and one or more endpoints (comma-separated
+//     -url round-robins), reporting aggregate throughput plus
 //     first-packet and per-frame latency percentiles, optionally
-//     byte-verifying the served stream against the offline encoder.
+//     byte-verifying the served stream against the offline encoder and
+//     optionally honoring 503 Retry-After (-retry-after).
 //     `make bench-serve` writes the artifact (BENCH_serve.json) and
 //     `make serve-smoke` gates CI on boot → verified burst → clean
 //     drain. See examples/serve for the walkthrough.
+//   - internal/gateway (cmd/vcodec-gateway) makes N vcodecd backends one
+//     system: health-aware least-loaded routing off each backend's
+//     /healthz + /metrics, bounded retries with capped-exponential
+//     jittered backoff, per-backend circuit breakers, and drain-aware
+//     rebalancing. The delivery contract is commit-point retry: a
+//     session may be re-dispatched (upload replayed from a buffer) only
+//     while zero response bytes have reached the client; after the first
+//     byte, a backend failure surfaces as an explicit X-Vcodec-Error
+//     trailer — never a truncated stream with a 200. The gateway
+//     re-exposes /healthz and /metrics (per-backend breaker/routing
+//     state) and drains gracefully on SIGTERM, gateway before backends.
+//   - internal/gateway/chaos is the fault injector behind the cluster
+//     benchmark: TCP proxies in front of each backend inject latency,
+//     stalls, connection resets and mid-stream kills. `vload -chaos`
+//     (make bench-cluster → BENCH_cluster.json) runs the named scenarios
+//     — baseline, degraded-latency, backend-crash, partition, high-load
+//     — against a self-hosted gateway topology with every session
+//     byte-verified end to end, and `make cluster-smoke` gates CI on
+//     boot → verified burst → kill a backend mid-run → still-verified
+//     burst → clean drain.
 package repro

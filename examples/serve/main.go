@@ -1,8 +1,10 @@
 // Serve walkthrough: the encode-as-a-service flow end to end, in one
 // process — boot the vcodecd serving layer on a loopback port, upload a
 // synthetic clip over HTTP, decode the packet stream as it arrives (note
-// the first packet lands after one frame, not one sequence), and verify
-// the streamed bits match the offline encoder exactly.
+// the first packet lands after one frame, not one sequence), verify the
+// streamed bits match the offline encoder exactly, then put a
+// vcodec-gateway in front of two backends and run the same verified
+// session through the fleet.
 //
 // Run with:
 //
@@ -16,6 +18,22 @@
 //	go run ./cmd/vcodec decode -i f.pkt -o f_dec.y4m -packets
 //	curl -s http://localhost:8323/metrics | grep vcodecd_frames
 //	kill -TERM %1     # graceful drain
+//
+// And the fleet topology — N encode backends behind one gateway, which
+// routes sessions health-aware least-loaded, retries placement while no
+// response byte has been committed, circuit-breaks sick backends, and
+// drains gateway-first on SIGTERM:
+//
+//	go run ./cmd/vcodecd -addr :8323 &
+//	go run ./cmd/vcodecd -addr :8324 &
+//	go run ./cmd/vcodec-gateway -addr :8320 \
+//	    -backends http://localhost:8323,http://localhost:8324 &
+//	curl -sN --data-binary @f.y4m 'http://localhost:8320/encode?qp=16&me=acbm' > f.pkt
+//	curl -s http://localhost:8320/healthz          # per-backend view
+//	curl -s http://localhost:8320/metrics | grep gateway_backend_up
+//	go run ./cmd/vload -url http://localhost:8320 -sessions 8 -verify
+//	go run ./cmd/vload -chaos -json BENCH_cluster.json   # chaos scenarios
+//	kill -TERM %3 && kill -TERM %1 %2             # gateway, then backends
 package main
 
 import (
@@ -30,6 +48,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/gateway"
 	"repro/internal/server"
 	"repro/internal/video"
 )
@@ -125,4 +144,75 @@ func main() {
 		}
 	}
 	fmt.Println("served bitstream is byte-identical to the offline encoder ✓")
+
+	// 5. The fleet topology: a second backend and a vcodec-gateway in
+	//    front of both. The gateway polls each backend's /healthz and
+	//    /metrics, routes sessions least-loaded, and retries placement as
+	//    long as zero response bytes have been committed to the client —
+	//    so the same byte-identity claim holds through the fleet. The
+	//    X-Vcodec-Backend / X-Vcodec-Attempts trailers say where the
+	//    session ran and how many dispatch attempts it took.
+	srv2 := server.New(server.Config{MaxSessions: 8})
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln2, srv2.Handler())
+	gw, err := gateway.New(gateway.Config{
+		Backends:     []string{base, "http://" + ln2.Addr().String()},
+		PollInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	lnGw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(lnGw, gw.Handler())
+	gwBase := "http://" + lnGw.Addr().String()
+	fmt.Printf("\nvcodec-gateway on %s fronting 2 backends\n", gwBase)
+
+	// Wait for the gateway's first health polls: /healthz answers 200
+	// once at least one backend is eligible.
+	for {
+		hr, err := http.Get(gwBase + "/healthz")
+		if err == nil {
+			hr.Body.Close()
+			if hr.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := frame.WriteY4M(&upload, frames, 30, 1); err != nil {
+		log.Fatal(err)
+	}
+	resp2, err := http.Post(gwBase+"/encode?qp=16&me=acbm", "video/x-yuv4mpeg", &upload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	routed, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if e := resp2.Trailer.Get(gateway.TrailerError); e != "" {
+		log.Fatalf("gateway session failed mid-stream: %s", e)
+	}
+	var flat bytes.Buffer
+	pw := codec.NewPacketWriter(&flat)
+	for i, pkt := range offline {
+		if err := pw.WritePacket(i, pkt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !bytes.Equal(routed, flat.Bytes()) {
+		log.Fatal("gateway-routed stream differs from the offline encoder")
+	}
+	fmt.Printf("fleet-routed session verified ✓ (backend=%s attempts=%s)\n",
+		resp2.Trailer.Get(gateway.TrailerBackend),
+		resp2.Trailer.Get(gateway.TrailerAttempts))
 }

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/bitstream"
 	"repro/internal/entropy"
@@ -119,4 +120,105 @@ func (p *PacketDecoder) ConcealLoss() *frame.Frame {
 	// The repeated frame also becomes the reference for what follows,
 	// which is exactly the drift a real decoder suffers.
 	return p.d.recon.Clone()
+}
+
+// MaxConcealGap bounds how many consecutive missing frame packets
+// DecodePacketStream will conceal for one gap. A larger jump in record
+// indices is far more likely a corrupted index varint than a half-minute
+// drop burst, and trusting it would clone up to 2^32 concealment frames;
+// such records are discarded as corrupt instead.
+const MaxConcealGap = 1024
+
+// PacketStreamResult is what DecodePacketStream salvaged from a framed
+// packet stream a lossy channel (or a crashed relay) already chewed on.
+type PacketStreamResult struct {
+	// Frames holds every reconstructed frame, concealed ones included.
+	Frames []*frame.Frame
+	// Concealed counts frames synthesised for dropped or corrupt frame
+	// packets (the previous reconstruction repeated).
+	Concealed int
+	// Ignored counts records whose indices could not be trusted
+	// (duplicate, reordered, or implausibly far ahead) and were discarded.
+	Ignored int
+	// Truncated is non-nil when the byte stream itself ended mid-record
+	// (a cut connection, a corrupt length varint): everything decodable
+	// before the damage is in Frames, nothing after it is recoverable —
+	// uvarint framing cannot resynchronise past a broken length field.
+	Truncated error
+}
+
+// DecodePacketStream reconstructs a framed packet stream (PacketWriter
+// records) end to end, tolerating the damage a real transport inflicts.
+// Fault policy, from outermost layer in:
+//
+//   - A missing or corrupt header packet is fatal: nothing downstream is
+//     decodable without the sequence parameters.
+//   - A record framing error mid-stream (truncated final record, corrupt
+//     length varint) ends the stream early: the error lands in
+//     Truncated, the frames already decoded are returned, and no error
+//     is reported — degradation, not failure.
+//   - Records with untrustworthy indices (out-of-order, duplicate, or
+//     jumping ahead by more than MaxConcealGap) are discarded and
+//     counted in Ignored; the record framing is intact, so decoding
+//     continues with the next record.
+//   - An index gap (packets dropped in transit) or a corrupt payload is
+//     concealed by repeating the previous reconstruction. The predictive
+//     stream then drifts until the next intra frame resynchronises it —
+//     the decoder's recovery guarantee (TestPacketStreamFaultTolerance).
+//
+// An error is returned only when not a single frame packet could be
+// decoded or concealed.
+func DecodePacketStream(r io.Reader) (*PacketStreamResult, error) {
+	pr := NewPacketReader(r)
+	idx, hdr, err := pr.ReadPacket()
+	if err != nil {
+		return nil, fmt.Errorf("codec: reading header packet: %w", err)
+	}
+	if idx != 0 {
+		return nil, fmt.Errorf("codec: header packet missing (first record has index %d)", idx)
+	}
+	dec, err := NewPacketDecoder(hdr)
+	if err != nil {
+		return nil, err
+	}
+	res := &PacketStreamResult{}
+	conceal := func() {
+		if f := dec.ConcealLoss(); f != nil {
+			res.Frames = append(res.Frames, f)
+			res.Concealed++
+		}
+		// A loss before the first decoded frame has nothing to repeat;
+		// the frame is skipped entirely.
+	}
+	next := 1
+	for {
+		idx, pkt, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The framing itself is damaged; everything beyond this point
+			// is unrecoverable, everything before it already decoded.
+			res.Truncated = err
+			break
+		}
+		if idx < next || idx-next > MaxConcealGap {
+			res.Ignored++
+			continue
+		}
+		for ; next < idx; next++ { // gap: packets dropped in transit
+			conceal()
+		}
+		f, err := dec.DecodePacket(pkt)
+		if err != nil { // corrupt payload: treat as lost
+			conceal()
+		} else {
+			res.Frames = append(res.Frames, f)
+		}
+		next = idx + 1
+	}
+	if len(res.Frames) == 0 {
+		return nil, fmt.Errorf("codec: no decodable frame packets (stream fully lost?)")
+	}
+	return res, nil
 }

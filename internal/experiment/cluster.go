@@ -1,0 +1,549 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/frame"
+	"repro/internal/gateway"
+	"repro/internal/gateway/chaos"
+	"repro/internal/server"
+	"repro/internal/video"
+)
+
+// ClusterConfig drives the chaos-scenario cluster benchmark behind
+// BENCH_cluster.json: a vcodec-gateway fronting N vcodecd backends is put
+// through named fault scenarios while every session byte-verifies its
+// stream end to end. The invariant under test is the gateway's delivery
+// contract: under every fault a session either completes byte-identical
+// to the offline encoder (possibly after retry) or fails with an explicit
+// error — never a truncated stream passed off as a complete one.
+type ClusterConfig struct {
+	// URLs lists the endpoints to drive (multi-endpoint targets: sessions
+	// round-robin across them). Empty means self-host a full topology —
+	// backends, chaos proxies, gateway — in-process.
+	URLs []string
+	// Backends is the self-hosted backend count (default 2).
+	Backends int
+	// Scenarios to run, in order (default all of Scenarios).
+	Scenarios []string
+	// Sessions per scenario burst (default 8).
+	Sessions int
+	// Frames per session (default 24) plus the clip shape, as in
+	// ServeConfig.
+	Frames   int
+	Size     frame.Size
+	Profile  video.Profile
+	Qp       int
+	Seed     uint64
+	Searcher string
+	Entropy  string
+	// Retry503, when set, makes the client honor a 503's Retry-After and
+	// re-submit the session (up to RetryMax times) — the load generator's
+	// side of admission control.
+	Retry503 bool
+	RetryMax int
+}
+
+// Scenarios are the named fault plans, in escalation order.
+var Scenarios = []string{"baseline", "degraded-latency", "backend-crash", "partition", "high-load"}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Backends <= 0 {
+		c.Backends = 2
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = Scenarios
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 8
+	}
+	if c.Frames <= 0 {
+		c.Frames = 24
+	}
+	if c.Size == (frame.Size{}) {
+		c.Size = frame.QCIF
+	}
+	if c.Qp <= 0 {
+		c.Qp = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.Searcher == "" {
+		c.Searcher = "acbm"
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 4
+	}
+	return c
+}
+
+// ClusterPoint is one scenario's outcome.
+type ClusterPoint struct {
+	Scenario string `json:"scenario"`
+	Sessions int    `json:"sessions"`
+	// Completed sessions finished with a stream byte-identical to the
+	// offline encoder — every one is verified, not a sample.
+	Completed int `json:"completed"`
+	// Retried counts completed sessions that needed more than one
+	// dispatch attempt (X-Vcodec-Attempts > 1).
+	Retried int `json:"retried"`
+	// FailedExplicit counts sessions that failed loudly: a non-200, a
+	// transport error, or an X-Vcodec-Error trailer. Under chaos these
+	// are legitimate outcomes.
+	FailedExplicit int `json:"failed_explicit"`
+	// Truncated counts contract violations: a stream that ended cleanly,
+	// claimed no error, and was not the complete byte-identical clip.
+	// RunCluster fails the whole benchmark if any scenario has one.
+	Truncated        int     `json:"truncated"`
+	Client503Retries int     `json:"client_503_retries,omitempty"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	FirstPacketMsP50 float64 `json:"first_packet_ms_p50"`
+	FirstPacketMsP99 float64 `json:"first_packet_ms_p99"`
+	// GatewayRetries/BreakerTrips are the gateway metric deltas across
+	// the scenario (zero when driving bare backends).
+	GatewayRetries int64 `json:"gateway_retries"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+}
+
+// ClusterResult is the full chaos report, serialisable to
+// BENCH_cluster.json.
+type ClusterResult struct {
+	URLs     []string       `json:"urls"`
+	Backends int            `json:"backends"`
+	Profile  string         `json:"profile"`
+	Size     string         `json:"size"`
+	Frames   int            `json:"frames_per_session"`
+	Qp       int            `json:"qp"`
+	Searcher string         `json:"searcher"`
+	Entropy  string         `json:"entropy,omitempty"`
+	Points   []ClusterPoint `json:"points"`
+}
+
+// selfCluster is the in-process topology: real vcodecd servers, a chaos
+// proxy in front of each, and a gateway routing across the proxies.
+type selfCluster struct {
+	servers []*server.Server
+	https   []*http.Server
+	fleet   *chaos.Fleet
+	gw      *gateway.Gateway
+	gwSrv   *http.Server
+	url     string
+}
+
+func startSelfCluster(cfg ClusterConfig) (*selfCluster, error) {
+	c := &selfCluster{}
+	fail := func(err error) (*selfCluster, error) {
+		c.close()
+		return nil, err
+	}
+	var targets []string
+	for i := 0; i < cfg.Backends; i++ {
+		// Small per-backend admission so high-load actually sheds: the
+		// gateway's retry path is part of the topology under test.
+		s := server.New(server.Config{MaxSessions: 4, MaxQueued: 2})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		c.servers = append(c.servers, s)
+		c.https = append(c.https, hs)
+		targets = append(targets, ln.Addr().String())
+	}
+	fleet, err := chaos.NewFleet(targets)
+	if err != nil {
+		return fail(err)
+	}
+	c.fleet = fleet
+	gw, err := gateway.New(gateway.Config{
+		Backends:     fleet.URLs(),
+		PollInterval: 100 * time.Millisecond,
+		// Short enough that a partitioned committed stream resolves within
+		// the scenario window, long enough to never fire on a healthy one.
+		StreamIdleTimeout: 1500 * time.Millisecond,
+		BreakerCooldown:   time.Second,
+		MaxSessions:       256,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	c.gw = gw
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	c.gwSrv = &http.Server{Handler: gw.Handler()}
+	go c.gwSrv.Serve(gln)
+	c.url = "http://" + gln.Addr().String()
+	return c, nil
+}
+
+func (c *selfCluster) close() {
+	if c == nil {
+		return
+	}
+	if c.gwSrv != nil {
+		c.gwSrv.Close()
+	}
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	if c.fleet != nil {
+		c.fleet.Close()
+	}
+	for i, hs := range c.https {
+		hs.Close()
+		c.servers[i].Close()
+	}
+}
+
+// RunCluster runs the configured chaos scenarios and aggregates the
+// report. It returns an error — not a report — if any scenario produced
+// a truncated-but-clean session, because that is the one outcome the
+// gateway contract forbids.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.withDefaults()
+
+	var self *selfCluster
+	urls := cfg.URLs
+	if len(urls) == 0 {
+		var err error
+		if self, err = startSelfCluster(cfg); err != nil {
+			return nil, err
+		}
+		defer self.close()
+		urls = []string{self.url}
+	} else {
+		for _, sc := range cfg.Scenarios {
+			if sc != "baseline" && sc != "high-load" {
+				return nil, fmt.Errorf("scenario %q needs fault injection: it runs self-hosted only (omit -url)", sc)
+			}
+		}
+	}
+	if err := waitEndpoints(urls, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	frames := video.Generate(cfg.Profile, cfg.Size, cfg.Frames, cfg.Seed)
+	var body bytes.Buffer
+	if err := frame.WriteY4M(&body, frames, 30, 1); err != nil {
+		return nil, err
+	}
+	upload := body.Bytes()
+	scfg, err := offlineConfig(ServeConfig{Qp: cfg.Qp, Searcher: cfg.Searcher, Entropy: cfg.Entropy})
+	if err != nil {
+		return nil, err
+	}
+	offline, _, err := codec.EncodePackets(scfg, frames)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ClusterResult{
+		URLs:     urls,
+		Backends: cfg.Backends,
+		Profile:  cfg.Profile.String(),
+		Size:     fmt.Sprintf("%dx%d", cfg.Size.W, cfg.Size.H),
+		Frames:   cfg.Frames,
+		Qp:       cfg.Qp,
+		Searcher: cfg.Searcher,
+		Entropy:  cfg.Entropy,
+	}
+	client := &http.Client{}
+	for _, name := range cfg.Scenarios {
+		pt, err := runScenario(client, name, urls, upload, offline, cfg, self)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+// runScenario fires one burst of sessions under one named fault plan.
+func runScenario(client *http.Client, name string, urls []string, upload []byte, offline [][]byte, cfg ClusterConfig, self *selfCluster) (*ClusterPoint, error) {
+	sessions := cfg.Sessions
+	if name == "high-load" {
+		// Oversubscribe the fleet: self-hosted backends admit 4+2 each, so
+		// 3x the configured burst guarantees 503s and gateway retries.
+		sessions = cfg.Sessions * 3
+	}
+	var fault func()
+	if self != nil {
+		proxy := self.fleet.Proxies[0] // chaos always hits the first backend
+		switch name {
+		case "degraded-latency":
+			proxy.SetPlan(chaos.Plan{Latency: 15 * time.Millisecond})
+		case "backend-crash":
+			fault = func() {
+				// The backend "process" dies: established connections reset,
+				// new ones are refused until the restart 1.5s later.
+				proxy.SetPlan(chaos.Plan{RefuseNew: true})
+				proxy.KillActive()
+				time.AfterFunc(1500*time.Millisecond, func() { proxy.SetPlan(chaos.Plan{}) })
+			}
+		case "partition":
+			fault = func() {
+				// Sockets stay open, bytes stop: the gateway's idle watchdog
+				// has to fail committed streams; uncommitted ones fail over.
+				proxy.SetPlan(chaos.Plan{Stall: true})
+				time.AfterFunc(1500*time.Millisecond, func() { proxy.SetPlan(chaos.Plan{}) })
+			}
+		}
+		defer proxy.SetPlan(chaos.Plan{})
+	}
+
+	before := scrapeGatewayCounters(client, urls)
+	samples := make([]clusterSample, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples[i] = runClusterSession(client, urls[i%len(urls)], upload, offline, cfg)
+		}(i)
+	}
+	if fault != nil {
+		// Land the fault mid-burst: after the first sessions have committed
+		// their streams but well before the burst drains.
+		time.AfterFunc(150*time.Millisecond, fault)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if self != nil {
+		// Let breakers close and health polls settle before the next
+		// scenario starts from a clean fleet.
+		time.Sleep(300 * time.Millisecond)
+	}
+	after := scrapeGatewayCounters(client, urls)
+
+	pt := &ClusterPoint{
+		Scenario:       name,
+		Sessions:       sessions,
+		WallSeconds:    wall.Seconds(),
+		GatewayRetries: after.retries - before.retries,
+		BreakerTrips:   after.breakerTrips - before.breakerTrips,
+	}
+	var firsts []time.Duration
+	for i := range samples {
+		s := &samples[i]
+		pt.Client503Retries += s.retries503
+		switch s.outcome {
+		case outcomeCompleted:
+			pt.Completed++
+			if s.attempts > 1 {
+				pt.Retried++
+			}
+			firsts = append(firsts, s.firstPacket)
+		case outcomeExplicitFail:
+			pt.FailedExplicit++
+		case outcomeTruncated:
+			pt.Truncated++
+		}
+	}
+	pt.FirstPacketMsP50 = quantileMs(firsts, 0.50)
+	pt.FirstPacketMsP99 = quantileMs(firsts, 0.99)
+
+	if pt.Truncated > 0 {
+		return nil, fmt.Errorf("%d sessions returned truncated-but-clean streams (delivery contract violated)", pt.Truncated)
+	}
+	if pt.Completed == 0 {
+		return nil, fmt.Errorf("no session completed (%d explicit failures)", pt.FailedExplicit)
+	}
+	if name == "baseline" && pt.FailedExplicit > 0 {
+		return nil, fmt.Errorf("%d failures with no fault injected", pt.FailedExplicit)
+	}
+	return pt, nil
+}
+
+type clusterOutcome int
+
+const (
+	outcomeCompleted clusterOutcome = iota
+	outcomeExplicitFail
+	outcomeTruncated
+)
+
+type clusterSample struct {
+	outcome     clusterOutcome
+	attempts    int
+	retries503  int
+	firstPacket time.Duration
+	err         error
+}
+
+// runClusterSession is one verifying client: it uploads the clip and
+// byte-compares every received packet against the offline encoder. The
+// classification is strict: a clean EOF with no error trailer must carry
+// the complete, identical clip, anything else with a clean face is a
+// contract violation.
+func runClusterSession(client *http.Client, base string, upload []byte, offline [][]byte, cfg ClusterConfig) clusterSample {
+	url := fmt.Sprintf("%s/encode?qp=%d&me=%s&entropy=%s", base, cfg.Qp, cfg.Searcher, cfg.Entropy)
+	var s clusterSample
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		resp, err := client.Post(url, "video/x-yuv4mpeg", bytes.NewReader(upload))
+		if err != nil {
+			s.outcome, s.err = outcomeExplicitFail, err
+			return s
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && cfg.Retry503 && attempt < cfg.RetryMax {
+			// Honor the advertised delay: the server said when to come back.
+			delay := 200 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			s.retries503++
+			time.Sleep(delay)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			s.outcome = outcomeExplicitFail
+			s.err = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+			return s
+		}
+
+		pr := codec.NewPacketReader(resp.Body)
+		n, mismatch := 0, false
+		for {
+			idx, data, err := pr.ReadPacket()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Cut mid-record: loud, detectable, an explicit failure.
+				resp.Body.Close()
+				s.outcome, s.err = outcomeExplicitFail, err
+				return s
+			}
+			if n == 1 {
+				s.firstPacket = time.Since(begin)
+			}
+			if idx != n || n >= len(offline) || !bytes.Equal(data, offline[n]) {
+				mismatch = true
+			}
+			n++
+		}
+		resp.Body.Close()
+		s.attempts = 1
+		if a, err := strconv.Atoi(resp.Trailer.Get("X-Vcodec-Attempts")); err == nil {
+			s.attempts = a
+		}
+		if errT := resp.Trailer.Get("X-Vcodec-Error"); errT != "" {
+			s.outcome, s.err = outcomeExplicitFail, fmt.Errorf("server: %s", errT)
+			return s
+		}
+		if mismatch || n != len(offline) {
+			s.outcome = outcomeTruncated
+			s.err = fmt.Errorf("clean stream with %d/%d packets (mismatch=%v)", n, len(offline), mismatch)
+			return s
+		}
+		s.outcome = outcomeCompleted
+		return s
+	}
+}
+
+// gatewayCounters are the metric deltas a scenario reports.
+type gatewayCounters struct {
+	retries      int64
+	breakerTrips int64
+}
+
+// scrapeGatewayCounters sums gateway_retries_total and per-backend
+// breaker trips across the endpoints; endpoints without gateway metrics
+// (bare vcodecd) contribute zero.
+func scrapeGatewayCounters(client *http.Client, urls []string) gatewayCounters {
+	var c gatewayCounters
+	for _, u := range urls {
+		resp, err := client.Get(u + "/metrics")
+		if err != nil {
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			name, val, found := strings.Cut(line, " ")
+			if !found {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil {
+				continue
+			}
+			switch {
+			case name == "gateway_retries_total":
+				c.retries += int64(v)
+			case strings.HasPrefix(name, "gateway_backend_breaker_trips_total{"):
+				c.breakerTrips += int64(v)
+			}
+		}
+		resp.Body.Close()
+	}
+	return c
+}
+
+// waitEndpoints polls every endpoint's /healthz until it answers (any
+// status: a gateway with a still-converging fleet is reachable).
+func waitEndpoints(urls []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, u := range urls {
+		for {
+			resp, err := http.Get(u + "/healthz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("endpoint %s not healthy after %v: %w", u, timeout, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the result to path (pretty-printed, trailing newline).
+func (r *ClusterResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatCluster renders the chaos report as an aligned text table.
+func FormatCluster(r *ClusterResult) string {
+	out := fmt.Sprintf("cluster: %s, %d backends, %s %s, %d frames/session, Qp %d, %s\n",
+		strings.Join(r.URLs, ","), r.Backends, r.Profile, r.Size, r.Frames, r.Qp, r.Searcher)
+	out += fmt.Sprintf("%-18s %9s %10s %8s %9s %10s %8s %9s %12s %12s\n",
+		"scenario", "sessions", "completed", "retried", "failed", "truncated", "wall s", "gw-retry", "first p50ms", "first p99ms")
+	for _, p := range r.Points {
+		out += fmt.Sprintf("%-18s %9d %10d %8d %9d %10d %8.2f %9d %12.1f %12.1f\n",
+			p.Scenario, p.Sessions, p.Completed, p.Retried, p.FailedExplicit, p.Truncated,
+			p.WallSeconds, p.GatewayRetries, p.FirstPacketMsP50, p.FirstPacketMsP99)
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +29,10 @@ import (
 type ServeConfig struct {
 	// URL is the daemon base URL, e.g. http://127.0.0.1:8323.
 	URL string
+	// URLs, when non-empty, replaces URL with multi-endpoint targets:
+	// sessions round-robin across them (several gateways, or backends
+	// driven directly).
+	URLs []string
 	// Sessions lists the concurrency levels to sweep (default {1, 4, 8}).
 	Sessions []int
 	// Frames per session (default 30).
@@ -49,6 +54,12 @@ type ServeConfig struct {
 	// offline EncodePackets output — the "it serves traffic" claim is
 	// then also an "it serves the right bits" claim.
 	Verify bool
+	// Retry503, when set, honors a 503's Retry-After: the session sleeps
+	// the advertised delay and re-submits, up to RetryMax times (default
+	// 4). Off by default — a load generator that silently retries hides
+	// admission behavior unless explicitly asked to cooperate with it.
+	Retry503 bool
+	RetryMax int
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -69,6 +80,12 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Searcher == "" {
 		c.Searcher = "acbm"
+	}
+	if len(c.URLs) == 0 && c.URL != "" {
+		c.URLs = []string{c.URL}
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 4
 	}
 	return c
 }
@@ -92,7 +109,10 @@ type ServePoint struct {
 	FrameMsP50 float64 `json:"frame_ms_p50"`
 	FrameMsP99 float64 `json:"frame_ms_p99"`
 	Errors     int     `json:"errors"`
-	Verified   bool    `json:"verified,omitempty"`
+	// Retries503 counts client re-submissions after a 503, honoring its
+	// Retry-After (only with ServeConfig.Retry503).
+	Retries503 int  `json:"retries_503,omitempty"`
+	Verified   bool `json:"verified,omitempty"`
 }
 
 // ServeResult is the full serving report, serialisable to
@@ -115,6 +135,7 @@ type sessionSample struct {
 	frameGaps   []time.Duration
 	frames      int
 	bytes       int64
+	retries503  int
 	packets     [][]byte // retained only for the verified session
 	err         error
 }
@@ -128,11 +149,15 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 		return nil, err
 	}
 	upload := body.Bytes()
-	url := fmt.Sprintf("%s/encode?qp=%d&me=%s&entropy=%s", cfg.URL, cfg.Qp, cfg.Searcher, cfg.Entropy)
+	query := fmt.Sprintf("/encode?qp=%d&me=%s&entropy=%s", cfg.Qp, cfg.Searcher, cfg.Entropy)
 	if cfg.Kbps > 0 {
 		// Fixed-point formatting: %g's exponent form ("1e+06") would have
 		// its '+' decoded as a space in the query string.
-		url += "&kbps=" + strconv.FormatFloat(cfg.Kbps, 'f', -1, 64)
+		query += "&kbps=" + strconv.FormatFloat(cfg.Kbps, 'f', -1, 64)
+	}
+	urls := make([]string, len(cfg.URLs))
+	for i, base := range cfg.URLs {
+		urls[i] = base + query
 	}
 
 	var offline [][]byte
@@ -148,7 +173,7 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 	}
 
 	res := &ServeResult{
-		URL:       cfg.URL,
+		URL:       strings.Join(cfg.URLs, ","),
 		Profile:   cfg.Profile.String(),
 		Size:      fmt.Sprintf("%dx%d", cfg.Size.W, cfg.Size.H),
 		Frames:    cfg.Frames,
@@ -159,7 +184,7 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 	}
 	client := &http.Client{} // no timeout: sessions are long-lived streams
 	for _, n := range cfg.Sessions {
-		pt, err := runServePoint(client, url, upload, n, cfg, offline)
+		pt, err := runServePoint(client, urls, upload, n, cfg, offline)
 		if err != nil {
 			return nil, fmt.Errorf("sessions=%d: %w", n, err)
 		}
@@ -188,7 +213,7 @@ func offlineConfig(cfg ServeConfig) (codec.Config, error) {
 	return scfg, nil
 }
 
-func runServePoint(client *http.Client, url string, upload []byte, n int, cfg ServeConfig, offline [][]byte) (*ServePoint, error) {
+func runServePoint(client *http.Client, urls []string, upload []byte, n int, cfg ServeConfig, offline [][]byte) (*ServePoint, error) {
 	samples := make([]sessionSample, n)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -196,7 +221,7 @@ func runServePoint(client *http.Client, url string, upload []byte, n int, cfg Se
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			samples[i] = runSession(client, url, upload, cfg.Verify && i == 0)
+			samples[i] = runSession(client, urls[i%len(urls)], upload, cfg.Verify && i == 0, cfg)
 		}(i)
 	}
 	wg.Wait()
@@ -210,6 +235,7 @@ func runServePoint(client *http.Client, url string, upload []byte, n int, cfg Se
 	var firsts, gaps []time.Duration
 	for i := range samples {
 		s := &samples[i]
+		pt.Retries503 += s.retries503
 		if s.err != nil {
 			pt.Errors++
 			continue
@@ -251,14 +277,33 @@ func runServePoint(client *http.Client, url string, upload []byte, n int, cfg Se
 }
 
 // runSession is one load-generating client: upload the clip, stream the
-// packets back, timestamp each arrival.
-func runSession(client *http.Client, url string, upload []byte, keep bool) sessionSample {
+// packets back, timestamp each arrival. With cfg.Retry503 it cooperates
+// with admission control, sleeping a 503's advertised Retry-After before
+// re-submitting.
+func runSession(client *http.Client, url string, upload []byte, keep bool, cfg ServeConfig) sessionSample {
 	var s sessionSample
+	var resp *http.Response
 	begin := time.Now()
-	resp, err := client.Post(url, "video/x-yuv4mpeg", bytes.NewReader(upload))
-	if err != nil {
-		s.err = err
-		return s
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, err = client.Post(url, "video/x-yuv4mpeg", bytes.NewReader(upload))
+		if err != nil {
+			s.err = err
+			return s
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && cfg.Retry503 && attempt < cfg.RetryMax {
+			delay := 200 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				delay = time.Duration(ra) * time.Second
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			s.retries503++
+			time.Sleep(delay)
+			begin = time.Now() // startup latency is per accepted submission
+			continue
+		}
+		break
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

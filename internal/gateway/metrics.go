@@ -1,0 +1,122 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Trailer names the gateway adds to (or sets on) the packet stream.
+const (
+	// TrailerBackend names the backend that served the session.
+	TrailerBackend = "X-Vcodec-Backend"
+	// TrailerAttempts is how many dispatch attempts the session took.
+	TrailerAttempts = "X-Vcodec-Attempts"
+	// TrailerError mirrors the backend trailer name: the gateway sets it
+	// itself when a committed stream dies mid-session, so a client checks
+	// one trailer for both failure sources.
+	TrailerError = "X-Vcodec-Error"
+)
+
+// metrics holds the gateway-side counters. Per-backend state lives on the
+// backend structs and is snapshotted at exposition time.
+type metrics struct {
+	sessionsTotal    atomic.Int64 // admitted into the dispatch loop
+	sessionsRouted   atomic.Int64 // committed to a backend stream
+	sessionsRejected atomic.Int64 // shed at the gateway (draining/full)
+	sessionsFailed   atomic.Int64 // exhausted attempts or died mid-stream
+	retriesTotal     atomic.Int64 // re-dispatches (attempts beyond the first)
+	attemptsTotal    atomic.Int64 // dispatch attempts, first ones included
+	routeNs          atomic.Int64 // cumulative arrival→commit latency
+	bytesRelayed     atomic.Int64 // response bytes forwarded to clients
+}
+
+// handleHealthz reports the gateway's own health plus the per-backend
+// view. 503 while draining, or when not a single backend is eligible —
+// a gateway that cannot place a session is down no matter how healthy
+// its own process is.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	views := make([]backendView, 0, len(g.backends))
+	eligible := 0
+	for _, b := range g.backends {
+		if b.eligible(now) {
+			eligible++
+		}
+		views = append(views, b.snapshot())
+	}
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case g.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case eligible == 0:
+		status, code = "no-eligible-backend", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":            status,
+		"sessions_active":   g.active.Load(),
+		"backends_total":    len(g.backends),
+		"backends_eligible": eligible,
+		"uptime_seconds":    int64(time.Since(g.start).Seconds()),
+		"backends":          views,
+	})
+}
+
+// handleMetrics exposes Prometheus text: gateway counters plus one
+// labelled series per backend.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	gauge("gateway_sessions_active", "Sessions currently in the gateway")
+	fmt.Fprintf(w, "gateway_sessions_active %d\n", g.active.Load())
+	gauge("gateway_draining", "1 while the gateway refuses new sessions")
+	drain := 0
+	if g.draining.Load() {
+		drain = 1
+	}
+	fmt.Fprintf(w, "gateway_draining %d\n", drain)
+
+	c("gateway_sessions_total", "Sessions admitted into dispatch", g.m.sessionsTotal.Load())
+	c("gateway_sessions_routed_total", "Sessions committed to a backend stream", g.m.sessionsRouted.Load())
+	c("gateway_sessions_rejected_total", "Sessions shed at the gateway", g.m.sessionsRejected.Load())
+	c("gateway_sessions_failed_total", "Sessions that exhausted attempts or died mid-stream", g.m.sessionsFailed.Load())
+	c("gateway_attempts_total", "Backend dispatch attempts", g.m.attemptsTotal.Load())
+	c("gateway_retries_total", "Re-dispatches after a failed attempt", g.m.retriesTotal.Load())
+	c("gateway_route_ns_total", "Cumulative arrival-to-commit routing latency", g.m.routeNs.Load())
+	c("gateway_bytes_relayed_total", "Response bytes forwarded to clients", g.m.bytesRelayed.Load())
+
+	gauge("gateway_backend_up", "1 if the backend's last health poll succeeded")
+	gauge("gateway_backend_draining", "1 if the backend reports draining")
+	gauge("gateway_backend_breaker_open", "1 if the circuit breaker rejects dispatch")
+	gauge("gateway_backend_sessions_active", "Gateway sessions in flight on the backend")
+	gauge("gateway_backend_reported_load", "Backend self-reported active+queued sessions")
+	for _, b := range g.backends {
+		v := b.snapshot()
+		bin := func(x bool) int {
+			if x {
+				return 1
+			}
+			return 0
+		}
+		l := fmt.Sprintf("{backend=%q}", v.URL)
+		fmt.Fprintf(w, "gateway_backend_up%s %d\n", l, bin(v.Alive))
+		fmt.Fprintf(w, "gateway_backend_draining%s %d\n", l, bin(v.Draining))
+		fmt.Fprintf(w, "gateway_backend_breaker_open%s %d\n", l, bin(v.BreakerOpen))
+		fmt.Fprintf(w, "gateway_backend_sessions_active%s %d\n", l, v.Active)
+		fmt.Fprintf(w, "gateway_backend_reported_load%s %d\n", l, int64(v.ReportedActive+v.ReportedQueued))
+		fmt.Fprintf(w, "gateway_backend_sessions_routed_total%s %d\n", l, v.Routed)
+		fmt.Fprintf(w, "gateway_backend_attempt_failures_total%s %d\n", l, v.Failures)
+		fmt.Fprintf(w, "gateway_backend_breaker_trips_total%s %d\n", l, b.breakerTrips.Load())
+	}
+}

@@ -159,8 +159,19 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", ContentType)
 	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerTargetKbps, TrailerError}, ", "))
 
+	// The request context dies the moment the client disconnects (or a
+	// fronting gateway abandons the attempt). Every per-frame step checks
+	// it, so a dead session releases its scheduler slot and pool share
+	// within one frame instead of encoding the rest of a buffered upload
+	// into a socket nobody reads — small packets can keep "succeeding"
+	// into kernel buffers long after the peer is gone.
+	ctx := r.Context()
+
 	pw := codec.NewPacketWriter(w)
 	es := codec.NewEncodeStream(cfg, func(p codec.Packet) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("client gone: %w", err)
+		}
 		if err := pw.WritePacket(p.Index, p.Data); err != nil {
 			return err
 		}
@@ -182,6 +193,10 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	frames := 0
 	var sessionErr error
 	for {
+		if err := ctx.Err(); err != nil {
+			sessionErr = fmt.Errorf("client gone: %w", err)
+			break
+		}
 		f, err := y4m.ReadFrame()
 		if err == io.EOF {
 			break

@@ -665,3 +665,66 @@ func TestBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestClientDisconnectTeardown: a client that vanishes mid-stream must
+// tear its session down within about a frame — not encode the rest of an
+// already-buffered upload into socket buffers nobody reads. This is the
+// path a fronting gateway's retries exercise: an abandoned attempt closes
+// the connection with the upload fully sent, and the freed slot and pool
+// share must be available for the retried session immediately.
+func TestClientDisconnectTeardown(t *testing.T) {
+	const total = 90
+	frames := video.Generate(video.Foreman, frame.SQCIF, total, 11)
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/encode?qp=16", bytes.NewReader(y4mBody(t, frames)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "video/x-yuv4mpeg")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Read exactly one record (the session is demonstrably streaming),
+	// then vanish: cancelling the request context closes the connection.
+	if _, _, err := codec.NewPacketReader(resp.Body).ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The session must release its scheduler slot promptly…
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if active, _ := s.sched.counts(); active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			active, _ := s.sched.counts()
+			t.Fatalf("%d sessions still active long after disconnect", active)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// …as a failed session that stopped encoding well short of the clip:
+	// the upload was fully transferred before the disconnect, so only the
+	// per-frame context checks can have stopped the loop.
+	if n := s.m.sessionsFailed.Load(); n != 1 {
+		t.Fatalf("sessionsFailed %d, want 1", n)
+	}
+	if n := s.m.framesTotal.Load(); n >= total {
+		t.Fatalf("encoded all %d frames for a dead client", n)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+#!/bin/sh
+# cluster-smoke: boot two vcodecd backends plus a vcodec-gateway on random
+# loopback ports, drive the gateway with a byte-verified vload burst, kill
+# one backend mid-run, require the next burst to still verify (failover),
+# then SIGTERM the gateway and require a clean drain.
+# Expects the vcodecd, vcodec-gateway and vload binaries in $BIN
+# (default ./bin).
+set -eu
+
+BIN=${BIN:-bin}
+tmp=$(mktemp -d)
+pid1=""
+pid2=""
+gwpid=""
+cleanup() {
+	for p in "$pid1" "$pid2" "$gwpid"; do
+		[ -n "$p" ] && kill "$p" 2>/dev/null || true
+	done
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+wait_addr() {
+	i=0
+	while [ ! -s "$1" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "cluster-smoke: $2 never wrote its address" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	cat "$1"
+}
+
+"$BIN/vcodecd" -addr 127.0.0.1:0 -addrfile "$tmp/b1" -max-sessions 4 &
+pid1=$!
+"$BIN/vcodecd" -addr 127.0.0.1:0 -addrfile "$tmp/b2" -max-sessions 4 &
+pid2=$!
+b1=$(wait_addr "$tmp/b1" vcodecd-1)
+b2=$(wait_addr "$tmp/b2" vcodecd-2)
+echo "cluster-smoke: backends on $b1 and $b2"
+
+"$BIN/vcodec-gateway" -addr 127.0.0.1:0 -addrfile "$tmp/gw" \
+	-backends "http://$b1,http://$b2" \
+	-poll-interval 100ms -breaker-cooldown 500ms &
+gwpid=$!
+gw=$(wait_addr "$tmp/gw" vcodec-gateway)
+echo "cluster-smoke: gateway on $gw"
+
+# Burst 1: both backends healthy; every session byte-verified against the
+# offline encoder (vload polls the gateway's /healthz before starting).
+"$BIN/vload" -url "http://$gw" -sessions 1,4 -frames 6 -size sqcif -verify
+
+# Kill one backend outright (no drain), then burst again immediately: the
+# gateway must detect the dead backend (health poll + connect failures)
+# and route everything to the survivor with every stream still verifying.
+echo "cluster-smoke: killing backend $b1 mid-run"
+kill -KILL "$pid1"
+pid1=""
+"$BIN/vload" -url "http://$gw" -sessions 4 -frames 6 -size sqcif -verify -retry-after
+
+# Graceful shutdown in gateway-then-backend order: SIGTERM must drain and
+# exit 0 on both.
+kill -TERM "$gwpid"
+if wait "$gwpid"; then
+	gwpid=""
+	echo "cluster-smoke: gateway clean shutdown"
+else
+	rc=$?
+	gwpid=""
+	echo "cluster-smoke: vcodec-gateway exited with status $rc" >&2
+	exit 1
+fi
+kill -TERM "$pid2"
+if wait "$pid2"; then
+	pid2=""
+	echo "cluster-smoke: backend clean shutdown"
+else
+	rc=$?
+	pid2=""
+	echo "cluster-smoke: vcodecd exited with status $rc" >&2
+	exit 1
+fi
