@@ -26,10 +26,16 @@
 #   make bench-cluster— regenerate BENCH_cluster.json (chaos scenarios
 #                       against a self-hosted gateway topology, every
 #                       session byte-verified)
+#   make qos-smoke    — boot vcodecd with a tight QoS loop, byte-verify
+#                       the pinned degradation rungs, overload it with a
+#                       mixed-priority burst (must degrade, not truncate
+#                       or 503), require restore to level 0, clean drain
+#   make bench-qos    — regenerate BENCH_qos.json (per-level cost table +
+#                       overload ramp under the closed-loop controller)
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve cluster-smoke bench-cluster ci
+.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos ci
 
 build:
 	$(GO) vet ./...
@@ -69,4 +75,15 @@ cluster-smoke:
 bench-cluster:
 	$(GO) run ./cmd/vload -chaos -sessions 8 -frames 24 -size qcif -qp 16 -me acbm -backends 2 -json BENCH_cluster.json
 
-ci: test bench-smoke serve-smoke cluster-smoke
+qos-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/vcodecd ./cmd/vcodecd
+	$(GO) build -o bin/vload ./cmd/vload
+	BIN=bin sh scripts/qos_smoke.sh
+
+bench-qos:
+	mkdir -p bin
+	$(GO) build -o bin/vcodecd ./cmd/vcodecd
+	$(GO) run ./cmd/vload -qos -qp 16 -me acbm -daemon bin/vcodecd -json BENCH_qos.json
+
+ci: test bench-smoke serve-smoke cluster-smoke qos-smoke

@@ -18,6 +18,17 @@
 // `vcodec decode -packets` or codec.PacketReader + codec.PacketDecoder.
 // Session statistics arrive as X-Vcodec-* trailers.
 //
+// A closed-loop QoS controller ticks every -qos-interval, compares the
+// observed per-frame analysis latency against -qos-target-ms, and under
+// sustained overload steps sessions down a degradation ladder (higher
+// Qp, cheaper motion search, smaller complexity budget) instead of
+// letting latency grow without bound; quality is restored with
+// hysteresis once load subsides. Batch-priority sessions
+// (?priority=batch) degrade first and are scheduled behind live work;
+// ?qoslevel=N pins a session at a fixed level, exempt from the
+// controller and byte-reproducible offline. /healthz and /metrics
+// report the current degradation level.
+//
 // SIGINT/SIGTERM trigger graceful shutdown: new sessions get 503, the
 // /healthz status flips to "draining", and in-flight sessions stream to
 // completion (bounded by -drain-timeout) before the process exits.
@@ -58,6 +69,8 @@ func main() {
 		maxSess  = flag.Int("max-sessions", 8, "concurrent encode sessions")
 		maxQueue = flag.Int("max-queued", 32, "sessions allowed to wait for admission")
 		maxFrame = flag.Int("max-frames", 0, "per-session frame cap (0 = unlimited)")
+		qosTick  = flag.Duration("qos-interval", 0, "QoS control loop tick (0 = default 250ms)")
+		qosTgt   = flag.Float64("qos-target-ms", 0, "QoS per-frame analysis latency target in ms (0 = default 75)")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight sessions")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this debug address (e.g. 127.0.0.1:6060); empty disables")
 	)
@@ -95,6 +108,8 @@ func main() {
 		MaxSessions:         *maxSess,
 		MaxQueued:           *maxQueue,
 		MaxFramesPerSession: *maxFrame,
+		QosInterval:         *qosTick,
+		QosTargetFrameMs:    *qosTgt,
 	})
 	hs := &http.Server{
 		Handler: srv.Handler(),

@@ -11,6 +11,7 @@
 //	vload -selfhost -sessions 1,4,8 -verify -json BENCH_serve.json
 //	vload -url http://gw-a:8320,http://gw-b:8320 -sessions 8 -verify
 //	vload -chaos -json BENCH_cluster.json
+//	vload -qos -json BENCH_qos.json
 //
 // -url accepts multiple comma-separated endpoints; sessions round-robin
 // across them (several gateways, or backends driven directly).
@@ -32,6 +33,20 @@
 // its stream end to end; the aggregate lands in BENCH_cluster.json. With
 // -url, only the no-fault-injection scenarios (baseline, high-load) can
 // run against the remote endpoints. -scenarios picks a subset.
+//
+// -priority tags the sweep's sessions with a scheduling tier: live,
+// batch, or mixed (sessions alternate — the shape that shows the QoS
+// controller degrading batch before live). -qoslevel pins every session
+// at a fixed degradation level; the default is adaptive, under the
+// daemon's closed-loop controller, and the report's "qos levels" column
+// histograms where each session's stream ended up.
+//
+// -qos switches to the closed-loop QoS benchmark: a self-hosted vcodecd
+// with a fast control loop is ramped past saturation with mixed-priority
+// sessions; each degradation level is first byte-verified through a
+// pinned session against the offline encoder, and every ramp step must
+// end with zero truncated sessions and the controller restored to level
+// 0. The aggregate lands in BENCH_qos.json.
 package main
 
 import (
@@ -67,7 +82,11 @@ func main() {
 		verify   = flag.Bool("verify", false, "byte-compare one session per point against the offline encoder")
 		retryA   = flag.Bool("retry-after", false, "on 503, honor Retry-After and re-submit (bounded)")
 		retryMax = flag.Int("retry-max", 4, "max 503 re-submissions per session with -retry-after")
+		priority = flag.String("priority", "", "session scheduling tier: live|batch|mixed (default live)")
+		qosPin   = flag.String("qoslevel", "", "pin sessions at this QoS level 0..3 (default adaptive)")
 		chaosRun = flag.Bool("chaos", false, "run the cluster chaos benchmark instead of the serve sweep")
+		qosRun   = flag.Bool("qos", false, "run the closed-loop QoS overload benchmark instead of the serve sweep")
+		qosBin   = flag.String("daemon", "", "qos: exec this vcodecd binary as a separate process (honest gap percentiles on a saturated machine)")
 		scens    = flag.String("scenarios", "", "chaos: comma-separated scenario subset (default all)")
 		backends = flag.Int("backends", 2, "chaos: self-hosted backend count")
 		jsonPath = flag.String("json", "", "write the report to this path (BENCH_serve.json / BENCH_cluster.json)")
@@ -92,6 +111,51 @@ func main() {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, u)
 		}
+	}
+
+	switch *priority {
+	case "", "live", "batch", "mixed":
+	default:
+		fatal(fmt.Errorf("bad -priority %q (want live, batch or mixed)", *priority))
+	}
+
+	if *qosRun {
+		if *selfhost || len(urls) > 0 {
+			fatal(fmt.Errorf("-qos self-hosts its own daemon; drop -selfhost/-url"))
+		}
+		// The serve sweep's defaults stop below saturation; leave the ramp
+		// and clip length to RunQos unless set explicitly.
+		qosCounts, qosFrames := []int(nil), 0
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sessions":
+				qosCounts = counts
+			case "frames":
+				qosFrames = *frames
+			}
+		})
+		res, err := experiment.RunQos(experiment.QosConfig{
+			Sessions:  qosCounts,
+			Frames:    qosFrames,
+			Size:      size,
+			Profile:   prof,
+			Qp:        *qp,
+			Seed:      *seed,
+			Searcher:  *me,
+			Entropy:   *entropy,
+			DaemonBin: *qosBin,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiment.FormatQos(res))
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return
 	}
 
 	if *chaosRun {
@@ -171,6 +235,8 @@ func main() {
 		Searcher: *me,
 		Entropy:  *entropy,
 		Kbps:     *kbps,
+		Priority: *priority,
+		QosPin:   *qosPin,
 		Verify:   *verify,
 		Retry503: *retryA,
 		RetryMax: *retryMax,

@@ -170,4 +170,27 @@
 //     byte-verified end to end, and `make cluster-smoke` gates CI on
 //     boot → verified burst → kill a backend mid-run → still-verified
 //     burst → clean drain.
+//   - internal/server/qos.go closes the loop under overload: a
+//     controller ticks every Config.QosInterval, folds per-phase
+//     latency EWMAs, queue depth and session counts into one load
+//     score, and steps sessions down an explicit degradation ladder —
+//     Qp up, ACBM swapped for the cheap PBM searcher at the next intra
+//     boundary, complexity budget shrunk — instead of letting latency
+//     grow without bound; hysteresis (consecutive calm ticks, a dwell
+//     time, and a cost projection) restores quality without
+//     oscillating. Actuations apply at frame hand-off on the session
+//     goroutine, so every stream stays deterministic under Workers ×
+//     Pipeline × Pool; a session's actual level travels in the
+//     X-Vcodec-Qos-Level/-Transitions trailers. ?priority=batch
+//     sessions degrade one level deeper and are scheduled behind live
+//     work (with an anti-starvation share); ?qoslevel=N pins a session
+//     at a fixed rung, exempt from the controller and byte-identical to
+//     the offline encoder under server.ApplyQosLevel — the hook the
+//     verified benchmarks use. Admission 503s scale Retry-After with
+//     queue depth and degradation level, the gateway's poller prefers
+//     less-degraded backends on load ties, and `vload -qos` (make
+//     bench-qos → BENCH_qos.json) prices each rung offline (PSNR, kbps,
+//     encode time) then ramps mixed-priority sessions past saturation —
+//     zero truncated streams, full quality restored after the ramp;
+//     `make qos-smoke` gates CI on the same contract.
 package repro

@@ -2,9 +2,11 @@
 // process — boot the vcodecd serving layer on a loopback port, upload a
 // synthetic clip over HTTP, decode the packet stream as it arrives (note
 // the first packet lands after one frame, not one sequence), verify the
-// streamed bits match the offline encoder exactly, then put a
-// vcodec-gateway in front of two backends and run the same verified
-// session through the fleet.
+// streamed bits match the offline encoder exactly, put a vcodec-gateway
+// in front of two backends and run the same verified session through the
+// fleet, then exercise the QoS degradation ladder: a session pinned at a
+// degraded level still streams exactly what the offline encoder produces
+// at that level.
 //
 // Run with:
 //
@@ -34,6 +36,20 @@
 //	go run ./cmd/vload -url http://localhost:8320 -sessions 8 -verify
 //	go run ./cmd/vload -chaos -json BENCH_cluster.json   # chaos scenarios
 //	kill -TERM %3 && kill -TERM %1 %2             # gateway, then backends
+//
+// Under overload the daemon does not let latency grow without bound: a
+// closed-loop controller steps sessions down a degradation ladder
+// (higher Qp, cheaper motion search, smaller complexity budget) and
+// restores them with hysteresis once load subsides. Batch-priority
+// sessions degrade first and queue behind live ones; a pinned session
+// is exempt and byte-reproducible:
+//
+//	curl -sN --data-binary @f.y4m \
+//	    'http://localhost:8323/encode?qp=16&me=acbm&priority=batch' > f.pkt
+//	curl -sN --data-binary @f.y4m \
+//	    'http://localhost:8323/encode?qp=16&me=acbm&qoslevel=2' > f2.pkt
+//	curl -s http://localhost:8323/healthz | grep -o '"qos_level":[0-9]*'
+//	go run ./cmd/vload -qos -json BENCH_qos.json    # overload ramp
 package main
 
 import (
@@ -215,4 +231,45 @@ func main() {
 	fmt.Printf("fleet-routed session verified ✓ (backend=%s attempts=%s)\n",
 		resp2.Trailer.Get(gateway.TrailerBackend),
 		resp2.Trailer.Get(gateway.TrailerAttempts))
+
+	// 6. The QoS ladder: ?qoslevel=2 pins this session two rungs down
+	//    (higher Qp, the cheap PBM searcher, a shrunken complexity
+	//    budget). The pin exempts it from the closed-loop controller, so
+	//    its bytes are exactly the offline encoder's at that level — the
+	//    same determinism claim as step 4, one degradation rung lower.
+	//    Adaptive sessions get the same treatment dynamically: under
+	//    overload the controller steps them down (batch priority first),
+	//    the X-Vcodec-Qos-Level trailer reports where each stream ended,
+	//    and quality is restored once load subsides.
+	if err := frame.WriteY4M(&upload, frames, 30, 1); err != nil {
+		log.Fatal(err)
+	}
+	resp3, err := http.Post(base+"/encode?qp=16&me=acbm&qoslevel=2", "video/x-yuv4mpeg", &upload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	pinned, err := io.ReadAll(resp3.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	degraded, _, err := codec.EncodePackets(server.ApplyQosLevel(codec.Config{
+		Qp: 16, FPS: 30, Searcher: core.New(core.DefaultParams),
+	}, 2), frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat.Reset()
+	pw = codec.NewPacketWriter(&flat)
+	for i, pkt := range degraded {
+		if err := pw.WritePacket(i, pkt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !bytes.Equal(pinned, flat.Bytes()) {
+		log.Fatal("pinned degraded stream differs from the offline encoder")
+	}
+	fmt.Printf("\nsession pinned at QoS level %s verified against ApplyQosLevel ✓\n"+
+		"(%d bytes at level 2 vs %d at level 0 — quality traded for cycles)\n",
+		resp3.Trailer.Get(server.TrailerQosLevel), flat.Len(), len(routed))
 }

@@ -94,6 +94,13 @@ type Config struct {
 	// searchers this module provides do); otherwise the pool is dropped
 	// and the session analyses sequentially on its own goroutine.
 	Pool *Pool
+	// Priority is the session's scheduling class on a shared Pool: live
+	// (the zero value) macroblock tasks dispatch ahead of batch tasks, so
+	// a live session preempts batch sessions at the anti-diagonal
+	// boundary while batch retains an anti-starvation share (see Pool).
+	// Priority never reaches the analysis results, so it cannot change a
+	// single output bit. Ignored without Pool.
+	Priority Priority
 	// Workers sets how many goroutines analyse macroblocks concurrently
 	// (motion estimation, mode decision, transform/quantisation and
 	// reconstruction, scheduled per anti-diagonal wavefront; entropy

@@ -165,7 +165,7 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 		wg.Add(rows * cols)
 		for idx := 0; idx < rows*cols; idx++ {
 			idx := idx
-			pool.submit(func() {
+			pool.submit(e.cfg.Priority, func() {
 				e.analyzeIntraMB(src, recon, idx%cols, idx/cols, &results[idx])
 				wg.Done()
 			})
@@ -213,7 +213,7 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 			mbx := d - 2*mby
 			idx := mby*cols + mbx
 			mbx, mby := mbx, mby
-			pool.submit(func() {
+			pool.submit(e.cfg.Priority, func() {
 				c := <-searchers
 				e.analyzeInterMB(c.s, &c.in, src, recon, curField, mbx, mby, &results[idx])
 				searchers <- c

@@ -5,6 +5,36 @@ import (
 	"sync"
 )
 
+// Priority is a session's scheduling class on a shared Pool. The zero
+// value is PriorityLive, so single-session and test configurations need
+// not mention it.
+type Priority int
+
+const (
+	// PriorityLive is the interactive class: its macroblock tasks are
+	// dispatched ahead of batch tasks.
+	PriorityLive Priority = iota
+	// PriorityBatch is the throughput class: it yields workers to live
+	// sessions at the anti-diagonal boundary but is never starved
+	// entirely (see the anti-starvation share below).
+	PriorityBatch
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	if p == PriorityBatch {
+		return "batch"
+	}
+	return "live"
+}
+
+// batchShare is the anti-starvation quota: after batchShare consecutive
+// live dispatches while batch work is waiting, one batch task is
+// dispatched regardless. Batch therefore always receives at least
+// 1/(batchShare+1) of the pool's dispatches under a sustained live
+// flood.
+const batchShare = 8
+
 // Pool is a shared macroblock-analysis worker pool: a fixed set of
 // goroutines that execute analysis tasks for any number of concurrent
 // encoder sessions. It exists so a serving process (cmd/vcodecd) can cap
@@ -12,25 +42,38 @@ import (
 // letting every session spin up Config.Workers goroutines of its own —
 // N sessions share one pool rather than oversubscribing N×GOMAXPROCS.
 //
-// Scheduling and fairness: sessions submit one task per macroblock into a
-// single FIFO queue, so concurrent sessions interleave at macroblock
-// granularity — a session never holds a worker longer than one block's
-// analysis, and a newly admitted session starts drawing workers within
-// one macroblock's latency of every other session (fair-share by queue
-// position, not by priority). The wavefront barriers mean a session has
-// at most one anti-diagonal of tasks outstanding, which bounds how far
-// any session can run ahead in the queue.
+// Scheduling and fairness: sessions submit one task per macroblock, so
+// concurrent sessions interleave at macroblock granularity — a session
+// never holds a worker longer than one block's analysis, and a newly
+// admitted session starts drawing workers within one macroblock's
+// latency of every other session of its class. Two priority tiers sit
+// above that FIFO fairness: live tasks (Config.Priority) are dispatched
+// before batch tasks, which means a live session preempts batch sessions
+// at the anti-diagonal boundary — batch macroblocks already running
+// finish (preemption is cooperative, at task granularity), but the
+// batch session's next diagonal waits behind the live wavefront. Batch
+// is never starved outright: after batchShare consecutive live
+// dispatches with batch work queued, one batch task runs. Within a
+// class, order remains strictly FIFO, which preserves the bounded
+// run-ahead argument: the wavefront barriers mean a session has at most
+// one anti-diagonal of tasks outstanding.
 //
 // Deadlock freedom: pool workers never submit tasks and tasks never block
 // on other tasks (the per-frame searcher set is sized so a borrowed
 // searcher is always available; see analyzeFramePool), so every submitted
-// task eventually runs even when sessions outnumber workers.
+// task eventually runs even when sessions outnumber workers — the
+// priority tiers reorder dispatch but never withhold it.
 type Pool struct {
-	tasks chan func()
-	size  int
+	size int
 
 	mu     sync.Mutex
-	closed bool
+	cond   *sync.Cond
+	live   []func()
+	batch  []func()
+	// liveRun counts consecutive live dispatches while batch work waited;
+	// at batchShare the next dispatch is forced to the batch queue.
+	liveRun int
+	closed  bool
 }
 
 // NewPool starts a pool with the given number of workers (0 or negative
@@ -39,38 +82,67 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{
-		// A small buffer lets a session stage the next few macroblocks of
-		// a diagonal while workers finish the current ones; keeping it
-		// shallow is what preserves macroblock-level interleaving across
-		// sessions.
-		tasks: make(chan func(), workers),
-		size:  workers,
-	}
+	p := &Pool{size: workers}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
-		go func() {
-			for fn := range p.tasks {
-				fn()
-			}
-		}()
+		go p.worker()
 	}
 	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.live) == 0 && len(p.batch) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.live) == 0 && len(p.batch) == 0 {
+			p.mu.Unlock()
+			return // closed and drained
+		}
+		var fn func()
+		// Dispatch: live first, except when the anti-starvation share is
+		// owed to a waiting batch task.
+		if len(p.live) > 0 && (len(p.batch) == 0 || p.liveRun < batchShare) {
+			fn, p.live = p.live[0], p.live[1:]
+			if len(p.batch) > 0 {
+				p.liveRun++
+			} else {
+				p.liveRun = 0
+			}
+		} else {
+			fn, p.batch = p.batch[0], p.batch[1:]
+			p.liveRun = 0
+		}
+		p.mu.Unlock()
+		fn()
+	}
 }
 
 // Size returns the worker count.
 func (p *Pool) Size() int { return p.size }
 
-// submit enqueues one task; it blocks while the queue is full, which is
-// the fair-share backpressure between sessions.
-func (p *Pool) submit(fn func()) { p.tasks <- fn }
+// submit enqueues one task in its class's FIFO queue. The queues are
+// unbounded, but the wavefront barriers bound each session to one
+// anti-diagonal of outstanding tasks, so total queue depth is bounded by
+// the session count times the widest diagonal — the same bound the old
+// single-channel pool enforced through blocking.
+func (p *Pool) submit(pri Priority, fn func()) {
+	p.mu.Lock()
+	if pri == PriorityBatch {
+		p.batch = append(p.batch, fn)
+	} else {
+		p.live = append(p.live, fn)
+	}
+	p.mu.Unlock()
+	p.cond.Signal()
+}
 
-// Close stops the workers once the queue drains. It must only be called
+// Close stops the workers once the queues drain. It must only be called
 // after every session using the pool has finished; it is idempotent.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.closed {
-		p.closed = true
-		close(p.tasks)
-	}
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }

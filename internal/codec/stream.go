@@ -57,6 +57,11 @@ type EncodeStream struct {
 	overlap bool
 	closed  bool
 
+	// pending is the QoS actuation mailbox (see Actuate): drained on the
+	// session goroutine at the top of EncodeFrame, so every actuated
+	// parameter is fixed before the frame's analysis begins.
+	pending pendingActuation
+
 	// Pipeline-mode plumbing. werr is written only by the writer
 	// goroutine, before it closes failed; readers observe it through
 	// <-failed or <-done.
@@ -108,6 +113,9 @@ func (s *EncodeStream) EncodeFrame(f *frame.Frame) error {
 			return s.werr
 		default:
 		}
+	}
+	if a := s.pending.Swap(nil); a != nil {
+		s.e.applyActuation(*a)
 	}
 	j, err := s.e.analyzeFrameJob(f)
 	if err != nil {

@@ -59,6 +59,10 @@ type Budgeted struct {
 	outstanding int
 	framePts    int64
 	frameBlocks int
+
+	// baseTarget remembers the constructed Target so ScaleBudget is
+	// absolute (scale × original), not cumulative.
+	baseTarget float64
 }
 
 // NewBudgeted returns a controller targeting the given positions/MB.
@@ -72,9 +76,26 @@ func NewBudgeted(target float64, base Params) (*Budgeted, error) {
 	if err := base.Validate(); err != nil {
 		return nil, err
 	}
-	b := &Budgeted{Target: target, Base: base, scale: 1}
+	b := &Budgeted{Target: target, Base: base, scale: 1, baseTarget: target}
 	b.apply()
 	return b, nil
+}
+
+// ScaleBudget retargets the controller to scale × the constructed
+// budget (a QoS degradation shrinks it, restoration brings it back; the
+// call is absolute, so repeated actuations do not compound). It must be
+// called between frames — outside the Fork/Join window — where it is
+// safe by the same argument that makes the servo frame-granular: each
+// frame's thresholds are frozen at Fork, and the servo reads Target only
+// when the last fork joins. Non-positive scales are ignored.
+func (b *Budgeted) ScaleBudget(scale float64) {
+	if scale <= 0 {
+		return
+	}
+	if b.baseTarget <= 0 { // literal-constructed Budgeted: adopt Target
+		b.baseTarget = b.Target
+	}
+	b.Target = b.baseTarget * scale
 }
 
 // Name implements search.Searcher.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/server"
 	"repro/internal/video"
 )
 
@@ -50,9 +51,20 @@ type ServeConfig struct {
 	// (the kbps query param); sessions then run rate-controlled on the
 	// shared pool at full parallelism.
 	Kbps float64
+	// Priority selects the sessions' scheduling tier: "" or "live",
+	// "batch", or "mixed" (sessions alternate live/batch — the overload
+	// shape the QoS controller's batch-first degradation is for).
+	Priority string
+	// QosPin, when non-empty, pins every session at that QoS level
+	// (the qoslevel query param: "0".."3"); empty runs adaptive, under
+	// the server's closed-loop controller.
+	QosPin string
 	// Verify byte-compares one session's packets per point against the
 	// offline EncodePackets output — the "it serves traffic" claim is
-	// then also an "it serves the right bits" claim.
+	// then also an "it serves the right bits" claim. An adaptive run pins
+	// the verified session at level 0 (the controller could otherwise
+	// legitimately change its bytes mid-stream); a QosPin run verifies at
+	// the pinned level against ApplyQosLevel.
 	Verify bool
 	// Retry503, when set, honors a 503's Retry-After: the session sleeps
 	// the advertised delay and re-submits, up to RetryMax times (default
@@ -113,6 +125,13 @@ type ServePoint struct {
 	// Retry-After (only with ServeConfig.Retry503).
 	Retries503 int  `json:"retries_503,omitempty"`
 	Verified   bool `json:"verified,omitempty"`
+	// QosFinalLevels histograms the sessions by the QoS level their
+	// stream ended at (X-Vcodec-Qos-Level trailer): index L counts the
+	// sessions that finished at level L.
+	QosFinalLevels []int `json:"qos_final_levels,omitempty"`
+	// QosTransitions totals the mid-stream level changes actuated across
+	// all sessions (X-Vcodec-Qos-Transitions trailer).
+	QosTransitions int `json:"qos_transitions,omitempty"`
 }
 
 // ServeResult is the full serving report, serialisable to
@@ -136,6 +155,8 @@ type sessionSample struct {
 	frames      int
 	bytes       int64
 	retries503  int
+	qosLevel    int // final QoS level (trailer)
+	qosChanges  int // mid-stream level transitions (trailer)
 	packets     [][]byte // retained only for the verified session
 	err         error
 }
@@ -154,6 +175,9 @@ func RunServe(cfg ServeConfig) (*ServeResult, error) {
 		// Fixed-point formatting: %g's exponent form ("1e+06") would have
 		// its '+' decoded as a space in the query string.
 		query += "&kbps=" + strconv.FormatFloat(cfg.Kbps, 'f', -1, 64)
+	}
+	if cfg.QosPin != "" {
+		query += "&qoslevel=" + cfg.QosPin
 	}
 	urls := make([]string, len(cfg.URLs))
 	for i, base := range cfg.URLs {
@@ -210,7 +234,36 @@ func offlineConfig(cfg ServeConfig) (codec.Config, error) {
 		return scfg, err
 	}
 	scfg.Searcher = s
+	if cfg.QosPin != "" {
+		// A pinned session's bytes are the offline encoder's at that
+		// level — the server's documented qoslevel contract.
+		level, err := strconv.Atoi(cfg.QosPin)
+		if err != nil || level < 0 || level > server.MaxQosLevel {
+			return scfg, fmt.Errorf("bad QosPin %q (want 0..%d)", cfg.QosPin, server.MaxQosLevel)
+		}
+		scfg = server.ApplyQosLevel(scfg, level)
+	}
 	return scfg, nil
+}
+
+// sessionQuery appends session i's serving-layer parameters: its
+// priority tier (under "mixed", odd sessions run batch) and, for the
+// verified session of an adaptive run, the level-0 pin that keeps its
+// bytes offline-comparable while the controller degrades the rest.
+func sessionQuery(base string, i int, verify bool, cfg ServeConfig) string {
+	switch cfg.Priority {
+	case "", "live":
+	case "batch":
+		base += "&priority=batch"
+	case "mixed":
+		if i%2 == 1 {
+			base += "&priority=batch"
+		}
+	}
+	if verify && cfg.QosPin == "" {
+		base += "&qoslevel=0"
+	}
+	return base
 }
 
 func runServePoint(client *http.Client, urls []string, upload []byte, n int, cfg ServeConfig, offline [][]byte) (*ServePoint, error) {
@@ -221,7 +274,8 @@ func runServePoint(client *http.Client, urls []string, upload []byte, n int, cfg
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			samples[i] = runSession(client, urls[i%len(urls)], upload, cfg.Verify && i == 0, cfg)
+			verify := cfg.Verify && i == 0
+			samples[i] = runSession(client, sessionQuery(urls[i%len(urls)], i, verify, cfg), upload, verify, cfg)
 		}(i)
 	}
 	wg.Wait()
@@ -233,6 +287,7 @@ func runServePoint(client *http.Client, urls []string, upload []byte, n int, cfg
 		WallSeconds:      wall.Seconds(),
 	}
 	var firsts, gaps []time.Duration
+	levels := make([]int, server.MaxQosLevel+1)
 	for i := range samples {
 		s := &samples[i]
 		pt.Retries503 += s.retries503
@@ -242,9 +297,14 @@ func runServePoint(client *http.Client, urls []string, upload []byte, n int, cfg
 		}
 		pt.TotalFrames += s.frames
 		pt.BytesOut += s.bytes
+		if s.qosLevel >= 0 && s.qosLevel <= server.MaxQosLevel {
+			levels[s.qosLevel]++
+		}
+		pt.QosTransitions += s.qosChanges
 		firsts = append(firsts, s.firstPacket)
 		gaps = append(gaps, s.frameGaps...)
 	}
+	pt.QosFinalLevels = levels
 	if wall > 0 {
 		pt.FramesPerSec = float64(pt.TotalFrames) / wall.Seconds()
 	}
@@ -338,10 +398,17 @@ func runSession(client *http.Client, url string, upload []byte, keep bool, cfg S
 		last = now
 		s.frames++
 	}
+	s.qosLevel, _ = strconv.Atoi(resp.Trailer.Get("X-Vcodec-Qos-Level"))
+	s.qosChanges, _ = strconv.Atoi(resp.Trailer.Get("X-Vcodec-Qos-Transitions"))
 	if errT := resp.Trailer.Get("X-Vcodec-Error"); errT != "" {
 		s.err = fmt.Errorf("server: %s", errT)
 	} else if s.frames == 0 {
 		s.err = fmt.Errorf("no frame packets received")
+	} else if s.frames != cfg.Frames {
+		// Graceful degradation must never shorten a stream: a session that
+		// ends cleanly with fewer frames than it uploaded is a truncation,
+		// the contract violation the QoS design exists to avoid.
+		s.err = fmt.Errorf("truncated: %d/%d frames", s.frames, cfg.Frames)
 	}
 	return s
 }
@@ -377,16 +444,32 @@ func (r *ServeResult) WriteJSON(path string) error {
 func FormatServe(r *ServeResult) string {
 	out := fmt.Sprintf("serving: %s, %s %s, %d frames/session, Qp %d, %s, GOMAXPROCS %d\n",
 		r.URL, r.Profile, r.Size, r.Frames, r.Qp, r.Searcher, r.GoMaxProc)
-	out += fmt.Sprintf("%8s %8s %10s %9s %12s %12s %10s %10s %9s\n",
-		"sessions", "frames", "wall s", "frames/s", "first p50ms", "first p99ms", "gap p50ms", "gap p99ms", "verified")
+	out += fmt.Sprintf("%8s %8s %10s %9s %12s %12s %10s %10s %9s %12s\n",
+		"sessions", "frames", "wall s", "frames/s", "first p50ms", "first p99ms", "gap p50ms", "gap p99ms", "verified", "qos levels")
 	for _, p := range r.Points {
 		v := "-"
 		if p.Verified {
 			v = "yes"
 		}
-		out += fmt.Sprintf("%8d %8d %10.2f %9.1f %12.1f %12.1f %10.2f %10.2f %9s\n",
+		out += fmt.Sprintf("%8d %8d %10.2f %9.1f %12.1f %12.1f %10.2f %10.2f %9s %12s\n",
 			p.Sessions, p.TotalFrames, p.WallSeconds, p.FramesPerSec,
-			p.FirstPacketMsP50, p.FirstPacketMsP99, p.FrameMsP50, p.FrameMsP99, v)
+			p.FirstPacketMsP50, p.FirstPacketMsP99, p.FrameMsP50, p.FrameMsP99, v,
+			formatLevelHist(p.QosFinalLevels))
 	}
 	return out
+}
+
+// formatLevelHist renders a final-level histogram as "L0:8 L2:4"
+// (levels with no sessions omitted; "-" when empty).
+func formatLevelHist(levels []int) string {
+	var parts []string
+	for l, n := range levels {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("L%d:%d", l, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }

@@ -56,7 +56,13 @@ type backend struct {
 	// direct clients share a backend.
 	reportedActive int
 	reportedQueued int
-	lastPoll       time.Time
+	// reportedQos is the backend's QoS degradation level from /healthz
+	// (its batch tier — the deepest in force). On load ties the router
+	// prefers the less-degraded backend: a new session placed there
+	// encodes at higher quality, and the placement spreads pressure away
+	// from the part of the fleet already trading quality for latency.
+	reportedQos int
+	lastPoll    time.Time
 	// consecFails/openUntil implement the breaker (guarded by mu).
 	consecFails int
 	openUntil   time.Time
@@ -83,6 +89,14 @@ func (b *backend) load() int64 {
 		return r
 	}
 	return g
+}
+
+// qosLevel is the backend's last-polled degradation level (0 when the
+// backend predates the QoS field or has never been polled).
+func (b *backend) qosLevel() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reportedQos
 }
 
 // noteFailure charges one retryable attempt failure and opens the breaker
@@ -130,6 +144,7 @@ func (b *backend) snapshot() backendView {
 		Active:         b.active.Load(),
 		ReportedActive: b.reportedActive,
 		ReportedQueued: b.reportedQueued,
+		QosLevel:       b.reportedQos,
 		Routed:         b.sessionsRouted.Load(),
 		Failures:       b.attemptFailures.Load(),
 	}
@@ -144,6 +159,7 @@ type backendView struct {
 	Active         int64  `json:"sessions_active"`
 	ReportedActive int    `json:"reported_active"`
 	ReportedQueued int    `json:"reported_queued"`
+	QosLevel       int    `json:"qos_level"`
 	Routed         int64  `json:"sessions_routed"`
 	Failures       int64  `json:"attempt_failures"`
 }
@@ -154,7 +170,7 @@ type backendView struct {
 // a poll interval is not one to trust with a session.
 func (b *backend) poll(ctx context.Context, client *http.Client) {
 	alive, draining := false, false
-	active, queued := 0, 0
+	active, queued, qos := 0, 0, 0
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
 	if err == nil {
@@ -163,6 +179,7 @@ func (b *backend) poll(ctx context.Context, client *http.Client) {
 				Status         string `json:"status"`
 				SessionsActive int    `json:"sessions_active"`
 				SessionsQueued int    `json:"sessions_queued"`
+				QosLevel       int    `json:"qos_level"`
 			}
 			if json.NewDecoder(resp.Body).Decode(&hz) == nil {
 				switch {
@@ -173,7 +190,7 @@ func (b *backend) poll(ctx context.Context, client *http.Client) {
 					// sessions it has — it just must not receive new ones.
 					alive, draining = true, true
 				}
-				active, queued = hz.SessionsActive, hz.SessionsQueued
+				active, queued, qos = hz.SessionsActive, hz.SessionsQueued, hz.QosLevel
 			}
 			resp.Body.Close()
 		}
@@ -192,6 +209,7 @@ func (b *backend) poll(ctx context.Context, client *http.Client) {
 	b.draining = draining
 	b.reportedActive = active
 	b.reportedQueued = queued
+	b.reportedQos = qos
 	b.lastPoll = time.Now()
 	if !alive {
 		// A dead backend's breaker state is moot; reset it so recovery

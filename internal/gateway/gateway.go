@@ -9,8 +9,11 @@
 // dispatched to the eligible backend — alive, not draining, circuit
 // breaker closed — with the least load, where load is the larger of the
 // gateway's own in-flight count for that backend and the backend's
-// self-reported active+queued sessions. Ties break toward the backend
-// that has served the fewest sessions.
+// self-reported active+queued sessions. Ties break first toward the
+// backend reporting the lowest QoS degradation level (a session placed
+// there encodes at higher quality, and new load steers away from the
+// part of the fleet already trading quality for latency), then toward
+// the backend that has served the fewest sessions.
 //
 // # Retry semantics
 //
@@ -221,18 +224,22 @@ func (g *Gateway) pollLoop(b *backend) {
 
 // pick selects the least-loaded eligible backend, skipping those in
 // tried (this session's failed attempts) while an untried one exists.
+// Load ties break toward the backend with the lowest reported QoS
+// degradation level, then toward the fewest sessions routed.
 func (g *Gateway) pick(tried map[*backend]bool) *backend {
 	now := time.Now()
 	best := func(skipTried bool) *backend {
 		var sel *backend
 		var selLoad, selRouted int64
+		var selQos int
 		for _, b := range g.backends {
 			if !b.eligible(now) || (skipTried && tried[b]) {
 				continue
 			}
-			load, routed := b.load(), b.sessionsRouted.Load()
-			if sel == nil || load < selLoad || (load == selLoad && routed < selRouted) {
-				sel, selLoad, selRouted = b, load, routed
+			load, routed, qos := b.load(), b.sessionsRouted.Load(), b.qosLevel()
+			if sel == nil || load < selLoad ||
+				(load == selLoad && (qos < selQos || (qos == selQos && routed < selRouted))) {
+				sel, selLoad, selRouted, selQos = b, load, routed, qos
 			}
 		}
 		return sel

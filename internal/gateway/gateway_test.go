@@ -110,7 +110,10 @@ func offlinePackets(t *testing.T, frames []*frame.Frame, qp int) [][]byte {
 // stream against want, returning the response for trailer checks.
 func encodeVerified(t *testing.T, url string, qp int, body []byte, want [][]byte) *http.Response {
 	t.Helper()
-	resp, err := http.Post(fmt.Sprintf("%s/encode?qp=%d", url, qp), "video/x-yuv4mpeg", bytes.NewReader(body))
+	// qoslevel=0 pins the session out of the backend's QoS controller:
+	// under -race the encoder is slow enough to trip degradation, which
+	// would legitimately change the bytes being compared.
+	resp, err := http.Post(fmt.Sprintf("%s/encode?qp=%d&qoslevel=0", url, qp), "video/x-yuv4mpeg", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -583,7 +586,9 @@ func TestGatewayDrain(t *testing.T) {
 	respCh := make(chan *http.Response, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		resp, err := http.Post(ts.URL+"/encode?qp=18", "video/x-yuv4mpeg", rd)
+		// Pinned at level 0: the stream is byte-compared below and must
+		// not be degraded by a race-slowed backend's QoS controller.
+		resp, err := http.Post(ts.URL+"/encode?qp=18&qoslevel=0", "video/x-yuv4mpeg", rd)
 		if err != nil {
 			errCh <- err
 			return
@@ -732,5 +737,75 @@ func TestGatewayConfig(t *testing.T) {
 		if !strings.Contains(string(text), wantStr) {
 			t.Fatalf("metrics missing %q:\n%s", wantStr, text)
 		}
+	}
+}
+
+// fakeQosBackend is a health-endpoint-only backend reporting a fixed
+// occupancy and QoS degradation level (no /metrics, so the poller keeps
+// the /healthz numbers).
+func fakeQosBackend(t *testing.T, active, qosLevel int) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":          "ok",
+			"sessions_active": active,
+			"sessions_queued": 0,
+			"qos_level":       qosLevel,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestGatewayPrefersLessDegradedBackend pins the QoS-aware placement
+// rule: on a load tie the router picks the backend reporting the lowest
+// degradation level (listed first here, so a naive first-wins scan would
+// get it wrong) — but load still dominates, so an idle deeply-degraded
+// backend beats a busy healthy one. The re-exported per-backend QoS
+// gauge and the /healthz field ride along.
+func TestGatewayPrefersLessDegradedBackend(t *testing.T) {
+	degraded := fakeQosBackend(t, 1, 2)
+	healthy := fakeQosBackend(t, 1, 0)
+	g, ts := newGateway(t, testConfig(degraded.URL, healthy.URL))
+	waitEligible(t, g, 2)
+
+	if got := g.backends[0].qosLevel(); got != 2 {
+		t.Fatalf("polled qos level %d, want 2", got)
+	}
+	if b := g.pick(nil); b.url != healthy.URL {
+		t.Errorf("load tie routed to %s (qos 2), want %s (qos 0)", b.url, healthy.URL)
+	}
+
+	// Observability: the per-backend gauge and the healthz view.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	wantGauge := fmt.Sprintf("gateway_backend_qos_level{backend=%q} 2", degraded.URL)
+	if !strings.Contains(string(text), wantGauge) {
+		t.Errorf("metrics missing %q:\n%s", wantGauge, text)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if !strings.Contains(string(hz), `"qos_level":2`) {
+		t.Errorf("healthz missing backend qos_level: %s", hz)
+	}
+
+	// Load dominates: an idle backend at the deepest level still wins
+	// over a busy healthy one.
+	idleDegraded := fakeQosBackend(t, 0, 3)
+	g2, _ := newGateway(t, testConfig(healthy.URL, idleDegraded.URL))
+	waitEligible(t, g2, 2)
+	if b := g2.pick(nil); b.url != idleDegraded.URL {
+		t.Errorf("routed to %s, want idle %s (QoS is a tiebreak, not primary)", b.url, idleDegraded.URL)
 	}
 }

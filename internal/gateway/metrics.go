@@ -101,6 +101,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("gateway_backend_breaker_open", "1 if the circuit breaker rejects dispatch")
 	gauge("gateway_backend_sessions_active", "Gateway sessions in flight on the backend")
 	gauge("gateway_backend_reported_load", "Backend self-reported active+queued sessions")
+	gauge("gateway_backend_qos_level", "Backend self-reported QoS degradation level")
 	for _, b := range g.backends {
 		v := b.snapshot()
 		bin := func(x bool) int {
@@ -115,6 +116,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "gateway_backend_breaker_open%s %d\n", l, bin(v.BreakerOpen))
 		fmt.Fprintf(w, "gateway_backend_sessions_active%s %d\n", l, v.Active)
 		fmt.Fprintf(w, "gateway_backend_reported_load%s %d\n", l, int64(v.ReportedActive+v.ReportedQueued))
+		fmt.Fprintf(w, "gateway_backend_qos_level%s %d\n", l, v.QosLevel)
 		fmt.Fprintf(w, "gateway_backend_sessions_routed_total%s %d\n", l, v.Routed)
 		fmt.Fprintf(w, "gateway_backend_attempt_failures_total%s %d\n", l, v.Failures)
 		fmt.Fprintf(w, "gateway_backend_breaker_trips_total%s %d\n", l, b.breakerTrips.Load())

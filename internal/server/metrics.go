@@ -30,8 +30,10 @@ type metrics struct {
 	rateAchievedMilliKbps atomic.Int64
 }
 
-// handleHealthz reports liveness and the scheduler's occupancy. During
-// drain it flips to 503 so load balancers stop routing here.
+// handleHealthz reports liveness, the scheduler's occupancy and the QoS
+// degradation level (the batch level — the deepest in force; a fronting
+// gateway uses it to prefer less-degraded backends). During drain it
+// flips to 503 so load balancers stop routing here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	active, queued := s.sched.counts()
 	status := "ok"
@@ -40,12 +42,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
+	qosLevel := 0
+	if s.qos != nil {
+		_, qosLevel, _ = s.qos.snapshot()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":          status,
 		"sessions_active": active,
 		"sessions_queued": queued,
+		"qos_level":       qosLevel,
 		"uptime_seconds":  time.Since(s.start).Seconds(),
 	})
 }
@@ -90,4 +97,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g("vcodecd_rate_achieved_kbps_total", "sum of achieved kbps across rate-controlled sessions", float64(s.m.rateAchievedMilliKbps.Load())/1000)
 	g("vcodecd_pool_workers", "shared analysis pool size", s.pool.Size())
 	g("vcodecd_draining", "1 while graceful shutdown is draining sessions", draining)
+
+	live, batch := s.sched.countsByClass()
+	g("vcodecd_sessions_active_live", "live-priority sessions currently encoding", live)
+	g("vcodecd_sessions_active_batch", "batch-priority sessions currently encoding", batch)
+	if s.qos != nil {
+		liveLevel, batchLevel, perLevel := s.qos.snapshot()
+		g("vcodecd_qos_level", "current QoS degradation level (batch tier — the deepest in force)", batchLevel)
+		g("vcodecd_qos_level_live", "current QoS degradation level of live-priority sessions", liveLevel)
+		g("vcodecd_qos_degrades_total", "controller degradation steps taken", s.qos.degrades.Load())
+		g("vcodecd_qos_restores_total", "controller restoration steps taken", s.qos.restores.Load())
+		g("vcodecd_qos_actuations_total", "per-session level changes applied at frame hand-off", s.qos.actuations.Load())
+		fmt.Fprintf(w, "# HELP vcodecd_qos_sessions adaptive sessions by class and applied QoS level\n")
+		for cls, name := range []string{"live", "batch"} {
+			for level, n := range perLevel[cls] {
+				fmt.Fprintf(w, "vcodecd_qos_sessions{class=%q,level=\"%d\"} %d\n", name, level, n)
+			}
+		}
+	}
 }

@@ -1,0 +1,356 @@
+// Closed-loop QoS: under overload vcodecd trades quality for latency
+// instead of queueing or shedding. A periodic control loop computes a
+// load score from per-phase latency EWMAs and the scheduler's occupancy,
+// steps sessions through explicit degradation levels (quantiser up,
+// ACBM→PBM at a forced intra boundary, complexity budget down) and
+// restores them symmetrically with hysteresis when load drops. Every
+// per-session actuation rides the codec's frame-lag contract
+// (codec.Actuation): it is applied at frame hand-off on the session
+// goroutine, so degraded streams stay deterministic and race-clean under
+// Workers × Pipeline × Pool. Batch sessions degrade one step before live
+// sessions (the controller's step leads the live level by one).
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+// QoS trailers: the session's final degradation level and how many level
+// transitions the controller actuated on it mid-stream. A session with
+// zero transitions encoded its whole stream at the reported level, so
+// its bytes match the offline encoder with ApplyQosLevel applied.
+const (
+	TrailerQosLevel       = "X-Vcodec-Qos-Level"
+	TrailerQosTransitions = "X-Vcodec-Qos-Transitions"
+)
+
+// QosLevelSpec is one degradation step. Levels are absolute, not
+// cumulative: a session actuated to level L encodes exactly as if it had
+// been admitted with ApplyQosLevel(cfg, L).
+type QosLevelSpec struct {
+	// QpOffset is added to the session's base quantiser.
+	QpOffset int
+	// CheapSearcher swaps expensive motion estimators (ACBM, FSBM,
+	// RCFSBM) to PBM — the ~6× analysis-cost lever. Already-cheap
+	// estimators are left alone.
+	CheapSearcher bool
+	// BudgetScale multiplies a budget-controlled session's
+	// (core.Budgeted) complexity target instead of the searcher swap:
+	// the budget is that session's explicit complexity knob.
+	BudgetScale float64
+	// cost is the level's relative analysis cost, used to project
+	// whether a restoration would immediately re-breach the high water
+	// mark (anti-oscillation).
+	cost float64
+}
+
+// qosLevels is the degradation ladder. Level 0 is the session's
+// requested quality.
+var qosLevels = []QosLevelSpec{
+	{QpOffset: 0, CheapSearcher: false, BudgetScale: 1, cost: 1},
+	{QpOffset: 2, CheapSearcher: false, BudgetScale: 1, cost: 0.9},
+	{QpOffset: 4, CheapSearcher: true, BudgetScale: 0.5, cost: 0.25},
+	{QpOffset: 6, CheapSearcher: true, BudgetScale: 0.25, cost: 0.2},
+}
+
+// MaxQosLevel is the deepest degradation level (levels are 0..MaxQosLevel).
+var MaxQosLevel = len(qosLevels) - 1
+
+// qosMaxStep: the controller's global step runs one past the level count
+// because batch leads live by one step (batch-first degradation).
+var qosMaxStep = MaxQosLevel + 1
+
+// Controller tuning. Degradation is immediate (one breached tick; two
+// steps at once far past saturation) and restoration is slow (sustained
+// low score, a dwell after any change, and a cost projection that must
+// clear the high water mark) — degrade fast, restore carefully.
+const (
+	qosHighWater    = 1.0 // score above: degrade
+	qosLowWater     = 0.5 // score below: restoration pressure
+	qosRestoreTicks = 4   // consecutive low ticks per restore step
+	qosDwellTicks   = 6   // min ticks between any two step changes
+	qosEwmaAlpha    = 0.2 // per-frame latency EWMA weight
+)
+
+// levelForStep maps the controller's global step to a class's level:
+// batch takes the full step, live lags one behind (batch degrades first,
+// restores last).
+func levelForStep(step int, batch bool) int {
+	l := step
+	if !batch {
+		l = step - 1
+	}
+	if l < 0 {
+		l = 0
+	}
+	if l > MaxQosLevel {
+		l = MaxQosLevel
+	}
+	return l
+}
+
+// expensiveSearcher reports whether s is one of the estimators the
+// CheapSearcher degradation replaces with PBM.
+func expensiveSearcher(s search.Searcher) bool {
+	switch s.(type) {
+	case *core.ACBM, *search.FSBM, *search.RCFSBM:
+		return true
+	}
+	return false
+}
+
+// ApplyQosLevel degrades cfg to the given level: the quantiser offset is
+// added (the codec clamps), a budget-controlled searcher's target is
+// rescaled, and otherwise an expensive searcher is swapped to PBM. It is
+// the offline-verifiable meaning of a level: a session pinned (or
+// actuated, with zero further transitions) at level L streams bytes
+// identical to EncodePackets with ApplyQosLevel(cfg, L). Out-of-range
+// levels are clamped.
+func ApplyQosLevel(cfg codec.Config, level int) codec.Config {
+	if level < 0 {
+		level = 0
+	}
+	if level > MaxQosLevel {
+		level = MaxQosLevel
+	}
+	spec := qosLevels[level]
+	cfg.Qp += spec.QpOffset
+	if b, ok := cfg.Searcher.(*core.Budgeted); ok {
+		b.ScaleBudget(spec.BudgetScale)
+	} else if spec.CheapSearcher && expensiveSearcher(cfg.Searcher) {
+		cfg.Searcher = &search.PBM{}
+	}
+	return cfg
+}
+
+// qosSession is one adaptive session's coupling to the controller: the
+// controller writes the target level, the session goroutine applies it
+// at the next frame hand-off and records what is in force.
+type qosSession struct {
+	batch       bool
+	target      atomic.Int32 // controller-written desired level
+	applied     atomic.Int32 // session-written level actually encoding
+	transitions atomic.Int32 // mid-stream level changes applied
+}
+
+// qosController runs the closed loop: sessions feed per-frame phase
+// latencies in, the tick computes the load score and steps the global
+// degradation level, and registered sessions pick their class's level up
+// at the next frame hand-off.
+type qosController struct {
+	interval    time.Duration
+	targetMs    float64
+	maxSessions int
+	sched       *scheduler
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	sessions map[*qosSession]struct{}
+	// Per-phase latency EWMAs (ms): analysis is the EncodeFrame wall
+	// clock (pool queueing included — the overload signal), emit is the
+	// packet write + flush (entropy-side and client-side pressure).
+	analysisMs float64
+	emitMs     float64
+	frameSeen  bool // any observation since the last tick (idle decay)
+
+	step        int // global degradation step, 0..qosMaxStep
+	downRun     int
+	sinceChange int
+
+	degrades   atomic.Int64 // controller step-up events
+	restores   atomic.Int64 // controller step-down events
+	actuations atomic.Int64 // per-session level changes applied at hand-off
+}
+
+func newQosController(interval time.Duration, targetMs float64, maxSessions int, sched *scheduler) *qosController {
+	c := &qosController{
+		interval:    interval,
+		targetMs:    targetMs,
+		maxSessions: maxSessions,
+		sched:       sched,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		sessions:    make(map[*qosSession]struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *qosController) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+func (c *qosController) close() {
+	close(c.stop)
+	<-c.done
+}
+
+// register couples a session to the loop; it starts at the class's
+// current level (a session admitted under overload starts degraded).
+func (c *qosController) register(batch bool) *qosSession {
+	qs := &qosSession{batch: batch}
+	c.mu.Lock()
+	level := levelForStep(c.step, batch)
+	c.sessions[qs] = struct{}{}
+	c.mu.Unlock()
+	qs.target.Store(int32(level))
+	return qs
+}
+
+func (c *qosController) unregister(qs *qosSession) {
+	c.mu.Lock()
+	delete(c.sessions, qs)
+	c.mu.Unlock()
+}
+
+// observe feeds one frame's phase latencies into the EWMAs. Called from
+// session goroutines (analysis) and writer goroutines (emit).
+func (c *qosController) observe(analysis, emit time.Duration) {
+	c.mu.Lock()
+	if analysis > 0 {
+		c.analysisMs += qosEwmaAlpha * (float64(analysis.Nanoseconds())/1e6 - c.analysisMs)
+		c.frameSeen = true
+	}
+	if emit > 0 {
+		c.emitMs += qosEwmaAlpha * (float64(emit.Nanoseconds())/1e6 - c.emitMs)
+	}
+	c.mu.Unlock()
+}
+
+// tick computes the load score and applies one control decision.
+func (c *qosController) tick() {
+	active, queued := c.sched.counts()
+	c.mu.Lock()
+	if !c.frameSeen {
+		// No frame landed since the last tick: the latency estimate is
+		// stale evidence, decay it toward idle.
+		c.analysisMs *= 0.5
+		c.emitMs *= 0.5
+	}
+	c.frameSeen = false
+	score := c.analysisMs/c.targetMs + 0.25*c.emitMs/c.targetMs +
+		float64(queued)/float64(c.maxSessions) +
+		0.25*float64(active)/float64(c.maxSessions)
+	step := c.stepOn(score)
+	for qs := range c.sessions {
+		qs.target.Store(int32(levelForStep(step, qs.batch)))
+	}
+	c.mu.Unlock()
+}
+
+// stepOn advances the hysteresis state machine by one tick with the
+// given load score and returns the new global step. Degradation is
+// immediate — one tick above the high water mark steps up, two steps
+// when the score is twice the mark — while restoration needs
+// qosRestoreTicks consecutive ticks below the low water mark, a dwell of
+// qosDwellTicks since the last change, and a cost projection showing the
+// restored step would not immediately re-breach the high water mark.
+// The asymmetry is the no-oscillation argument: under sustained load the
+// projection holds the degraded level steady instead of flapping around
+// the expensive/cheap searcher boundary. Callers other than the control
+// loop (the deterministic unit test) drive it with synthetic scores;
+// c.mu must be held.
+func (c *qosController) stepOn(score float64) int {
+	c.sinceChange++
+	switch {
+	case score > qosHighWater:
+		c.downRun = 0
+		if c.step < qosMaxStep {
+			c.step++
+			if score > 2*qosHighWater && c.step < qosMaxStep {
+				c.step++
+			}
+			c.sinceChange = 0
+			c.degrades.Add(1)
+		}
+	case score < qosLowWater:
+		c.downRun++
+		if c.step > 0 && c.downRun >= qosRestoreTicks && c.sinceChange >= qosDwellTicks {
+			ratio := qosLevels[levelForStep(c.step-1, true)].cost /
+				qosLevels[levelForStep(c.step, true)].cost
+			if score*ratio < 0.9*qosHighWater {
+				c.step--
+				c.downRun = 0
+				c.sinceChange = 0
+				c.restores.Add(1)
+			}
+		}
+	default:
+		c.downRun = 0
+	}
+	return c.step
+}
+
+// currentStep reports the global degradation step (0..qosMaxStep).
+func (c *qosController) currentStep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// snapshot reports the controller state for /healthz and /metrics: the
+// in-force level per class and the count of registered sessions at each
+// applied level, per class.
+func (c *qosController) snapshot() (liveLevel, batchLevel int, perLevel [2][]int) {
+	perLevel[0] = make([]int, MaxQosLevel+1)
+	perLevel[1] = make([]int, MaxQosLevel+1)
+	c.mu.Lock()
+	liveLevel = levelForStep(c.step, false)
+	batchLevel = levelForStep(c.step, true)
+	for qs := range c.sessions {
+		cls := 0
+		if qs.batch {
+			cls = 1
+		}
+		perLevel[cls][qs.applied.Load()]++
+	}
+	c.mu.Unlock()
+	return liveLevel, batchLevel, perLevel
+}
+
+// qosActuationFor builds the codec actuation realising a level for a
+// session: the absolute quantiser offset, the searcher tier (the
+// original estimator or the shared-per-session cheap PBM; a
+// budget-controlled session keeps its searcher and rescales the budget
+// instead) — always stated in full, so actuations are idempotent and
+// restoration is symmetric.
+func qosActuationFor(level int, orig search.Searcher, cheap *search.PBM) codec.Actuation {
+	spec := qosLevels[level]
+	a := codec.Actuation{QpOffset: spec.QpOffset, Searcher: orig}
+	if _, ok := orig.(*core.Budgeted); ok {
+		a.BudgetScale = spec.BudgetScale
+	} else if spec.CheapSearcher && expensiveSearcher(orig) {
+		a.Searcher = cheap
+	}
+	return a
+}
+
+// retryAfterSeconds scales the admission 503's Retry-After with how
+// overloaded the server actually is: the queue backlog in units of the
+// session cap, plus the current degradation step, floored at 1s and
+// capped at 8s.
+func retryAfterSeconds(queued, step, maxSessions int) int {
+	s := 1 + step + queued/max(1, maxSessions)
+	if s > 8 {
+		s = 8
+	}
+	return s
+}

@@ -21,7 +21,12 @@
 // at macroblock granularity (a session submits at most one wavefront
 // diagonal of tasks before it must wait on the barrier), so an admitted
 // session makes analysis progress within one macroblock's latency of any
-// other — fair-share by FIFO queue position, no priorities, no starvation.
+// other of its class — fair-share by FIFO queue position within a
+// priority tier. Sessions carry ?priority=live|batch: live tasks
+// dispatch first (preempting batch at the anti-diagonal boundary), and
+// batch keeps a guaranteed anti-starvation share of dispatches (see
+// codec.Pool). The closed-loop QoS controller (qos.go) degrades batch
+// one level ahead of live under overload, same ordering, same rationale.
 //
 // # What may block where
 //
@@ -61,6 +66,10 @@ type scheduler struct {
 	mu       sync.Mutex
 	draining bool
 	active   int
+	// Per-class occupancy (live/batch priority tiers), for the QoS
+	// controller's batch-first decisions and the /metrics gauges.
+	activeLive  int
+	activeBatch int
 }
 
 func newScheduler(maxSessions, maxQueued int) *scheduler {
@@ -74,8 +83,9 @@ func newScheduler(maxSessions, maxQueued int) *scheduler {
 // admit blocks until the session may start encoding. It returns
 // errQueueFull when too many sessions are already waiting, errDraining
 // once shutdown has begun, or ctx.Err() when the client gave up while
-// queued. On nil return the caller must call release.
-func (s *scheduler) admit(ctx context.Context) error {
+// queued. On nil return the caller must call release with the same
+// class.
+func (s *scheduler) admit(ctx context.Context, batch bool) error {
 	select {
 	case <-s.drainCh:
 		return errDraining
@@ -105,14 +115,24 @@ func (s *scheduler) admit(ctx context.Context) error {
 		return errDraining
 	}
 	s.active++
+	if batch {
+		s.activeBatch++
+	} else {
+		s.activeLive++
+	}
 	s.mu.Unlock()
 	return nil
 }
 
 // release returns the session's slot.
-func (s *scheduler) release() {
+func (s *scheduler) release(batch bool) {
 	s.mu.Lock()
 	s.active--
+	if batch {
+		s.activeBatch--
+	} else {
+		s.activeLive--
+	}
 	s.mu.Unlock()
 	<-s.slots
 }
@@ -123,6 +143,14 @@ func (s *scheduler) counts() (active, queued int) {
 	active = s.active
 	s.mu.Unlock()
 	return active, int(s.queued.Load())
+}
+
+// countsByClass reports the active sessions per priority tier.
+func (s *scheduler) countsByClass() (live, batch int) {
+	s.mu.Lock()
+	live, batch = s.activeLive, s.activeBatch
+	s.mu.Unlock()
+	return live, batch
 }
 
 // beginDrain stops admitting new sessions (idempotent): queued sessions

@@ -14,6 +14,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/search"
 )
 
 // ContentType is the media type of the framed packet stream /encode
@@ -46,6 +47,16 @@ type Config struct {
 	MaxQueued int
 	// MaxFramesPerSession bounds one upload (0 = unlimited).
 	MaxFramesPerSession int
+	// QosInterval is the closed-loop QoS controller's tick period
+	// (default 250ms). Negative disables the controller entirely:
+	// sessions then encode at their requested (or pinned) level no
+	// matter the load.
+	QosInterval time.Duration
+	// QosTargetFrameMs is the per-frame analysis latency — EncodeFrame
+	// wall clock, shared-pool queueing included — the controller steers
+	// the EWMA to stay under (default 75, comfortably inside an
+	// interactive frame interval).
+	QosTargetFrameMs float64
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueued <= 0 {
 		c.MaxQueued = 32
 	}
+	if c.QosInterval == 0 {
+		c.QosInterval = 250 * time.Millisecond
+	}
+	if c.QosTargetFrameMs <= 0 {
+		c.QosTargetFrameMs = 75
+	}
 	return c
 }
 
@@ -67,12 +84,13 @@ type Server struct {
 	cfg   Config
 	pool  *codec.Pool
 	sched *scheduler
+	qos   *qosController // nil when Config.QosInterval < 0
 	mux   *http.ServeMux
 	m     metrics
 	start time.Time
 }
 
-// New builds a server and starts its analysis pool.
+// New builds a server and starts its analysis pool and QoS control loop.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -81,6 +99,9 @@ func New(cfg Config) *Server {
 		sched: newScheduler(cfg.MaxSessions, cfg.MaxQueued),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+	}
+	if cfg.QosInterval > 0 {
+		s.qos = newQosController(cfg.QosInterval, cfg.QosTargetFrameMs, cfg.MaxSessions, s.sched)
 	}
 	s.mux.HandleFunc("/encode", s.handleEncode)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -99,9 +120,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.sched.waitIdle(ctx)
 }
 
-// Close releases the analysis pool. Only call it after Drain has
-// returned nil (pool workers must be idle).
-func (s *Server) Close() { s.pool.Close() }
+// Close stops the QoS control loop and releases the analysis pool. Only
+// call it after Drain has returned nil (pool workers must be idle).
+func (s *Server) Close() {
+	if s.qos != nil {
+		s.qos.close()
+	}
+	s.pool.Close()
+}
 
 // handleEncode runs one encode session: Y4M frames in (chunked), framed
 // packets out, flushed per packet.
@@ -111,22 +137,30 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a YUV4MPEG2 stream", http.StatusMethodNotAllowed)
 		return
 	}
-	cfg, err := parseSessionConfig(r.URL.Query())
+	cfg, opts, err := parseSessionConfig(r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.sched.admit(r.Context()); err != nil {
+	if err := s.sched.admit(r.Context(), opts.batch); err != nil {
 		switch err {
 		case errDraining, errQueueFull:
 			s.m.sessionsRejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			// Retry-After scales with the actual backlog and how degraded
+			// the fleet already is — a rejected client under deep overload
+			// backs off harder than one that just raced a full queue.
+			_, queued := s.sched.counts()
+			step := 0
+			if s.qos != nil {
+				step = s.qos.currentStep()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queued, step, s.cfg.MaxSessions)))
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		default: // client gave up while queued
 		}
 		return
 	}
-	defer s.sched.release()
+	defer s.sched.release(opts.batch)
 	s.m.sessionsTotal.Add(1)
 
 	y4m, err := frame.NewY4MReader(r.Body)
@@ -150,6 +184,26 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	// streams the bytes the offline encoder would produce.
 	cfg.Pool = s.pool
 	cfg.Pipeline = true
+	if opts.batch {
+		cfg.Priority = codec.PriorityBatch
+	}
+
+	// QoS coupling. A pinned session (qoslevel=N) takes its degradation
+	// at admission and is exempt from the controller — its whole stream
+	// encodes at one level, byte-verifiable against the offline encoder.
+	// An adaptive session registers with the control loop and applies the
+	// controller's target level at each frame hand-off below.
+	var qs *qosSession
+	qosLevel := 0
+	if opts.pinned >= 0 {
+		cfg = ApplyQosLevel(cfg, opts.pinned)
+		qosLevel = opts.pinned
+	} else if s.qos != nil {
+		qs = s.qos.register(opts.batch)
+		defer s.qos.unregister(qs)
+	}
+	origSearcher := cfg.Searcher
+	cheapSearcher := &search.PBM{}
 
 	// The response streams while the request body is still being read;
 	// HTTP/1 needs full-duplex explicitly enabled (no-op error on HTTP/2).
@@ -157,7 +211,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	_ = rc.EnableFullDuplex()
 
 	w.Header().Set("Content-Type", ContentType)
-	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerTargetKbps, TrailerError}, ", "))
+	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerTargetKbps, TrailerQosLevel, TrailerQosTransitions, TrailerError}, ", "))
 
 	// The request context dies the moment the client disconnects (or a
 	// fronting gateway abandons the attempt). Every per-frame step checks
@@ -172,6 +226,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("client gone: %w", err)
 		}
+		emitStart := time.Now()
 		if err := pw.WritePacket(p.Index, p.Data); err != nil {
 			return err
 		}
@@ -180,6 +235,9 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		// slow client's backpressure into the encode loop.
 		if err := rc.Flush(); err != nil {
 			return err
+		}
+		if s.qos != nil {
+			s.qos.observe(0, time.Since(emitStart))
 		}
 		s.m.packetsTotal.Add(1)
 		s.m.bytesOut.Add(int64(len(p.Data)))
@@ -209,9 +267,28 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 			sessionErr = fmt.Errorf("session frame cap (%d) exceeded", s.cfg.MaxFramesPerSession)
 			break
 		}
+		// Frame hand-off is the only point a QoS level may change: the
+		// actuation lands on the session goroutine before this frame's
+		// analysis, so the stream stays deterministic for the actuation
+		// schedule it actually received.
+		if qs != nil {
+			if t := int(qs.target.Load()); t != qosLevel {
+				es.Actuate(qosActuationFor(t, origSearcher, cheapSearcher))
+				qosLevel = t
+				qs.applied.Store(int32(t))
+				if frames > 0 {
+					qs.transitions.Add(1)
+				}
+				s.qos.actuations.Add(1)
+			}
+		}
+		encStart := time.Now()
 		if err := es.EncodeFrame(f); err != nil {
 			sessionErr = err
 			break
+		}
+		if s.qos != nil {
+			s.qos.observe(time.Since(encStart), 0)
 		}
 		frames++
 	}
@@ -239,19 +316,52 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 			s.m.rateAchievedMilliKbps.Add(int64(stats.BitrateKbps() * 1000))
 		}
 	}
+	w.Header().Set(TrailerQosLevel, strconv.Itoa(qosLevel))
+	transitions := 0
+	if qs != nil {
+		transitions = int(qs.transitions.Load())
+	}
+	w.Header().Set(TrailerQosTransitions, strconv.Itoa(transitions))
 	if sessionErr != nil {
 		s.m.sessionsFailed.Add(1)
 		w.Header().Set(TrailerError, sessionErr.Error())
 	}
 }
 
+// sessionOpts carries the serving-layer (non-codec) session parameters.
+type sessionOpts struct {
+	// batch marks the session PriorityBatch on the shared pool (and
+	// first in line for QoS degradation).
+	batch bool
+	// pinned, when ≥ 0, fixes the session's QoS level for its whole
+	// lifetime, exempt from the controller. -1 = adaptive.
+	pinned int
+}
+
 // parseSessionConfig maps /encode query parameters onto a codec.Config:
 // qp, me (searcher), entropy, gop, range, ap, deblock, kbps (target
 // bitrate; frame-lag rate control) and budget (target motion-search
 // positions/MB; the ACBM complexity servo). Rate profiles run at full
-// pool parallelism — nothing here degrades the session to serial.
-func parseSessionConfig(q url.Values) (codec.Config, error) {
+// pool parallelism — nothing here degrades the session to serial. The
+// serving-layer parameters ride alongside: priority (live|batch pool
+// tier) and qoslevel (pin the session at one degradation level).
+func parseSessionConfig(q url.Values) (codec.Config, sessionOpts, error) {
 	cfg := codec.Config{Qp: 16}
+	opts := sessionOpts{pinned: -1}
+	switch strings.ToLower(q.Get("priority")) {
+	case "", "live":
+	case "batch":
+		opts.batch = true
+	default:
+		return cfg, opts, fmt.Errorf("unknown priority %q (want live|batch)", q.Get("priority"))
+	}
+	if v := q.Get("qoslevel"); v != "" {
+		n, e := strconv.Atoi(v)
+		if e != nil || n < 0 || n > MaxQosLevel {
+			return cfg, opts, fmt.Errorf("bad qoslevel=%q (want 0..%d)", v, MaxQosLevel)
+		}
+		opts.pinned = n
+	}
 	var err error
 	intArg := func(name string, def int) int {
 		v := q.Get(name)
@@ -283,29 +393,29 @@ func parseSessionConfig(q url.Values) (codec.Config, error) {
 	if v := q.Get("kbps"); v != "" {
 		kbps, e := strconv.ParseFloat(v, 64)
 		if e != nil || kbps < 0 {
-			return cfg, fmt.Errorf("bad kbps=%q", v)
+			return cfg, opts, fmt.Errorf("bad kbps=%q", v)
 		}
 		cfg.TargetKbps = kbps
 	}
 	if err != nil {
-		return cfg, err
+		return cfg, opts, err
 	}
 	if cfg.Qp < 1 || cfg.Qp > 31 {
-		return cfg, fmt.Errorf("qp %d out of range 1..31", cfg.Qp)
+		return cfg, opts, fmt.Errorf("qp %d out of range 1..31", cfg.Qp)
 	}
 	if cfg.Searcher, err = core.SearcherByName(q.Get("me")); err != nil {
-		return cfg, err
+		return cfg, opts, err
 	}
 	if v := q.Get("budget"); v != "" {
 		target, e := strconv.ParseFloat(v, 64)
 		if e != nil || target <= 0 {
-			return cfg, fmt.Errorf("bad budget=%q (want positive positions/MB)", v)
+			return cfg, opts, fmt.Errorf("bad budget=%q (want positive positions/MB)", v)
 		}
 		if me := strings.ToLower(q.Get("me")); me != "" && me != "acbm" {
-			return cfg, fmt.Errorf("budget requires the ACBM searcher (got me=%q)", q.Get("me"))
+			return cfg, opts, fmt.Errorf("budget requires the ACBM searcher (got me=%q)", q.Get("me"))
 		}
 		if cfg.Searcher, e = core.NewBudgeted(target, core.DefaultParams); e != nil {
-			return cfg, e
+			return cfg, opts, e
 		}
 	}
 	switch strings.ToLower(q.Get("entropy")) {
@@ -314,7 +424,7 @@ func parseSessionConfig(q url.Values) (codec.Config, error) {
 	case "arith", "arithmetic", "sac":
 		cfg.Entropy = codec.EntropyArith
 	default:
-		return cfg, fmt.Errorf("unknown entropy backend %q", q.Get("entropy"))
+		return cfg, opts, fmt.Errorf("unknown entropy backend %q", q.Get("entropy"))
 	}
-	return cfg, nil
+	return cfg, opts, nil
 }

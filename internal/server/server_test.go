@@ -71,7 +71,7 @@ func TestEncodeRoundTrip(t *testing.T) {
 	frames := video.Generate(video.Foreman, frame.SQCIF, 6, 7)
 	_, ts := newTestServer(t, Config{})
 
-	resp, err := http.Post(ts.URL+"/encode?qp=14&me=acbm&entropy=arith", "video/x-yuv4mpeg",
+	resp, err := http.Post(ts.URL+"/encode?qp=14&me=acbm&entropy=arith&qoslevel=0", "video/x-yuv4mpeg",
 		bytes.NewReader(y4mBody(t, frames)))
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +134,10 @@ func TestEncodeRoundTrip(t *testing.T) {
 
 // TestConcurrentSessionsByteIdentical is the acceptance gate: 8 sessions
 // encode at once on the shared pool and every streamed bitstream must be
-// byte-identical to the offline encoder. Run under -race by make test.
+// byte-identical to the offline encoder. The sessions pin qoslevel=0 —
+// the documented way to demand constant quality — so the QoS controller
+// cannot trade quality for latency mid-test. Run under -race by make
+// test.
 func TestConcurrentSessionsByteIdentical(t *testing.T) {
 	const sessions = 8
 	frames := video.Generate(video.Carphone, frame.SQCIF, 5, 9)
@@ -153,7 +156,7 @@ func TestConcurrentSessionsByteIdentical(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Post(ts.URL+"/encode?qp=15", "video/x-yuv4mpeg", bytes.NewReader(body))
+			resp, err := http.Post(ts.URL+"/encode?qp=15&qoslevel=0", "video/x-yuv4mpeg", bytes.NewReader(body))
 			if err != nil {
 				errs[i] = err
 				return
@@ -225,7 +228,7 @@ func TestRateControlledSessionsTrackTargets(t *testing.T) {
 			fail := func(format string, args ...any) {
 				errs[i] = fmt.Errorf("target %g: %s", target, fmt.Sprintf(format, args...))
 			}
-			resp, err := http.Post(fmt.Sprintf("%s/encode?qp=16&kbps=%g", ts.URL, target),
+			resp, err := http.Post(fmt.Sprintf("%s/encode?qp=16&kbps=%g&qoslevel=0", ts.URL, target),
 				"video/x-yuv4mpeg", bytes.NewReader(body))
 			if err != nil {
 				fail("%v", err)
@@ -310,7 +313,7 @@ func TestBudgetSessionParam(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/encode?qp=14&budget=150", "video/x-yuv4mpeg", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+"/encode?qp=14&budget=150&qoslevel=0", "video/x-yuv4mpeg", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
