@@ -32,10 +32,14 @@
 #                       or 503), require restore to level 0, clean drain
 #   make bench-qos    — regenerate BENCH_qos.json (per-level cost table +
 #                       overload ramp under the closed-loop controller)
+#   make obs-smoke    — boot vcodecd, run a vload burst, fetch a session's
+#                       flight-recorder trace by its trailer ID, assert
+#                       the per-frame timeline matches the stream, check
+#                       the /metrics histograms, clean drain
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos ci
+.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos obs-smoke ci
 
 build:
 	$(GO) vet ./...
@@ -43,12 +47,13 @@ build:
 
 test: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/ ./internal/gateway/
+	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/ ./internal/gateway/ ./internal/obs/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/acbmbench -experiment rate -frames 6 -size sqcif
 	$(GO) test -run TestEncodeFrameAllocCeiling -count=1 -v ./internal/codec/
+	$(GO) test -run TestRecorderOverheadGuard -count=1 -v ./internal/codec/
 
 bench-speed:
 	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json
@@ -86,4 +91,10 @@ bench-qos:
 	$(GO) build -o bin/vcodecd ./cmd/vcodecd
 	$(GO) run ./cmd/vload -qos -qp 16 -me acbm -daemon bin/vcodecd -json BENCH_qos.json
 
-ci: test bench-smoke serve-smoke cluster-smoke qos-smoke
+obs-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/vcodecd ./cmd/vcodecd
+	$(GO) build -o bin/vload ./cmd/vload
+	BIN=bin sh scripts/obs_smoke.sh
+
+ci: test bench-smoke serve-smoke cluster-smoke qos-smoke obs-smoke

@@ -11,12 +11,22 @@
 //
 //	POST /encode?qp=16&me=acbm&entropy=arith&gop=30   Y4M in, packets out
 //	GET  /healthz                                     liveness + occupancy
-//	GET  /metrics                                     Prometheus text
+//	GET  /metrics                                     Prometheus text + latency histograms
+//	GET  /debug/vcodec/sessions                       live + completed session summaries
+//	GET  /debug/vcodec/trace?id=TRACE                 one session's per-frame timeline
+//	GET  /debug/vcodec/qos                            QoS controller decision audit
 //
 // The response body is a stream of codec.PacketWriter records (uvarint
 // index, uvarint length, payload), flushed per packet; decode it with
 // `vcodec decode -packets` or codec.PacketReader + codec.PacketDecoder.
 // Session statistics arrive as X-Vcodec-* trailers.
+//
+// Every session carries a trace ID — accepted from an inbound
+// X-Vcodec-Trace header (a fronting gateway sets one per session) or
+// minted locally — under which an always-on flight recorder keeps a
+// per-frame timeline of phase latencies (read, queue wait, analysis,
+// entropy, emit), bits, Qp, and QoS actuations. The ID is echoed in the
+// X-Vcodec-Trace trailer and keys /debug/vcodec/trace.
 //
 // A closed-loop QoS controller ticks every -qos-interval, compares the
 // observed per-frame analysis latency against -qos-target-ms, and under
@@ -38,10 +48,14 @@
 //
 // -pprof 127.0.0.1:6060 serves the net/http/pprof endpoints on a
 // separate debug listener (never on the serving address), so live
-// sessions can be CPU/heap-profiled in production:
+// sessions can be CPU/heap-profiled in production. Session goroutines
+// carry pprof labels (vcodec_session = trace ID, vcodec_priority,
+// vcodec_searcher), so profiles slice by session. The flight-recorder
+// debug endpoints are mounted on the same listener:
 //
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//	curl http://127.0.0.1:6060/debug/vcodec/sessions
 package main
 
 import (
@@ -76,11 +90,22 @@ func main() {
 	)
 	flag.Parse()
 
+	srv := server.New(server.Config{
+		PoolWorkers:         *pool,
+		MaxSessions:         *maxSess,
+		MaxQueued:           *maxQueue,
+		MaxFramesPerSession: *maxFrame,
+		QosInterval:         *qosTick,
+		QosTargetFrameMs:    *qosTgt,
+	})
+
 	if *pprofA != "" {
 		// The profiling endpoints live on their own mux and listener so
 		// they are never exposed on the serving address and cannot contend
 		// with session admission. net/http/pprof registers its handlers on
-		// http.DefaultServeMux.
+		// http.DefaultServeMux; the flight-recorder debug endpoints mount
+		// beside them so one debug listener answers both.
+		http.Handle("/debug/vcodec/", srv.Handler())
 		dln, err := net.Listen("tcp", *pprofA)
 		if err != nil {
 			log.Fatalf("vcodecd: pprof listen: %v", err)
@@ -102,15 +127,6 @@ func main() {
 			log.Fatalf("vcodecd: %v", err)
 		}
 	}
-
-	srv := server.New(server.Config{
-		PoolWorkers:         *pool,
-		MaxSessions:         *maxSess,
-		MaxQueued:           *maxQueue,
-		MaxFramesPerSession: *maxFrame,
-		QosInterval:         *qosTick,
-		QosTargetFrameMs:    *qosTgt,
-	})
 	hs := &http.Server{
 		Handler: srv.Handler(),
 		// No WriteTimeout: sessions are long-lived streams whose pace the

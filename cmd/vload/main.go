@@ -47,6 +47,14 @@
 // pinned session against the offline encoder, and every ramp step must
 // end with zero truncated sessions and the controller restored to level
 // 0. The aggregate lands in BENCH_qos.json.
+//
+// Every report names each point's slowest session by its trace ID (the
+// X-Vcodec-Trace trailer) and dumps that session's per-frame timeline —
+// read, queue wait, analysis, entropy and emit latency, bits, Qp, QoS
+// level — pulled from the serving node's flight recorder via
+// /debug/vcodec/trace (through the gateway's fleet-wide proxy on -chaos
+// runs). A tail-latency investigation starts from that ID, not from a
+// percentile.
 package main
 
 import (

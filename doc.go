@@ -193,4 +193,23 @@
 //     encode time) then ramps mixed-priority sessions past saturation —
 //     zero truncated streams, full quality restored after the ramp;
 //     `make qos-smoke` gates CI on the same contract.
+//   - internal/obs is the always-on flight recorder behind the serving
+//     layer's observability: every session gets a trace ID (minted at
+//     the gateway — or accepted from the client's X-Vcodec-Trace header
+//     — propagated to the backend and echoed in both sides' trailers)
+//     and a lock-free per-frame event ring recording each frame's phase
+//     breakdown — Y4M read, pool-queue wait, max preemption stall,
+//     analysis, entropy, emit — plus bits, Qp, QoS level and actuation
+//     marks, written from the existing phase boundaries via the
+//     codec.Config.Observer hook. The recorder observes and never
+//     actuates: byte-identity and the per-frame allocation ceiling hold
+//     with it on, and `make bench-smoke` guards its overhead. Exposure:
+//     log-bucketed latency histograms on both /metrics endpoints
+//     (vcodecd per-phase, gateway route/relay-gap), /debug/vcodec/
+//     sessions + trace?id= + qos JSON endpoints (the gateway proxies
+//     trace lookups fleet-wide), and pprof labels (vcodec_session/
+//     priority/searcher) on session goroutines so live profiles slice
+//     by session. vload names each point's slowest session by trace ID
+//     and dumps its timeline; `make obs-smoke` gates CI on burst →
+//     fetch-trace-by-ID → timeline-matches-stream → clean drain.
 package repro

@@ -50,10 +50,25 @@
 //	    'http://localhost:8323/encode?qp=16&me=acbm&qoslevel=2' > f2.pkt
 //	curl -s http://localhost:8323/healthz | grep -o '"qos_level":[0-9]*'
 //	go run ./cmd/vload -qos -json BENCH_qos.json    # overload ramp
+//
+// Every session also leaves a flight record: the X-Vcodec-Trace trailer
+// names it (mint your own by sending the header), and the debug
+// endpoints replay its per-frame phase timeline — through the gateway,
+// which proxies the lookup across the fleet, or against a backend
+// directly:
+//
+//	id=$(curl -sN --data-binary @f.y4m -D - \
+//	    'http://localhost:8320/encode?qp=16&me=acbm' -o /dev/null \
+//	    | grep -i x-vcodec-trace | tr -d '\r' | cut -d' ' -f2)
+//	curl -s "http://localhost:8320/debug/vcodec/trace?id=$id"
+//	curl -s http://localhost:8323/debug/vcodec/sessions
+//	curl -s http://localhost:8323/debug/vcodec/qos
+//	curl -s http://localhost:8323/metrics | grep analysis_seconds_bucket
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
@@ -65,6 +80,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/frame"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/video"
 )
@@ -272,4 +288,27 @@ func main() {
 	fmt.Printf("\nsession pinned at QoS level %s verified against ApplyQosLevel ✓\n"+
 		"(%d bytes at level 2 vs %d at level 0 — quality traded for cycles)\n",
 		resp3.Trailer.Get(server.TrailerQosLevel), flat.Len(), len(routed))
+
+	// 7. The flight recorder: the fleet session's X-Vcodec-Trace trailer
+	//    keys a per-frame phase timeline on whichever backend served it;
+	//    the gateway proxies the lookup so the client needs no routing
+	//    knowledge. This is the handle a tail-latency investigation
+	//    starts from — vload prints it for each point's slowest session.
+	traceID := resp2.Trailer.Get(gateway.TrailerTrace)
+	tr, err := http.Get(gwBase + "/debug/vcodec/trace?id=" + traceID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Body.Close()
+	var rec obs.Record
+	if err := json.NewDecoder(tr.Body).Decode(&rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nflight record %s (%d frames, served by %s):\n",
+		rec.TraceID, rec.Frames, tr.Header.Get(gateway.TrailerBackend))
+	for _, ev := range rec.Events[:3] {
+		fmt.Printf("  frame %d: read %.2f  wait %.2f  analysis %.2f  entropy %.2f  emit %.2f ms  %d bits\n",
+			ev.Index, ev.ReadMs, ev.QueueWaitMs, ev.AnalysisMs, ev.EntropyMs, ev.EmitMs, ev.Bits)
+	}
+	fmt.Printf("  ... %d more frames in the ring\n", len(rec.Events)-3)
 }

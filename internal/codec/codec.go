@@ -101,6 +101,16 @@ type Config struct {
 	// Priority never reaches the analysis results, so it cannot change a
 	// single output bit. Ignored without Pool.
 	Priority Priority
+	// Observer, when non-nil, receives per-frame phase timings (analysis
+	// wall clock, shared-pool queue wait, entropy wall clock, encoded
+	// size) as the encode progresses — the serving layer's flight
+	// recorder attaches here; see FrameObserver for the callback and
+	// concurrency contract. Observation is strictly one-way: the codec
+	// never reads anything back from the Observer, so attaching one
+	// cannot change a single output bit, and the nil path is exactly the
+	// pre-observer code (the alloc-ceiling and overhead-guard tests pin
+	// both properties).
+	Observer FrameObserver
 	// Workers sets how many goroutines analyse macroblocks concurrently
 	// (motion estimation, mode decision, transform/quantisation and
 	// reconstruction, scheduled per anti-diagonal wavefront; entropy

@@ -3,6 +3,7 @@ package codec
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dct"
@@ -119,6 +120,14 @@ type Encoder struct {
 	// entropy by the writer) and only read after Flush.
 	analysisTime time.Duration
 	entropyTime  time.Duration
+
+	// obsWaitNs/obsStallNs accumulate the current frame's shared-pool
+	// queue wait (summed across MB tasks, and the worst single task).
+	// Pool workers add via noteQueueWait; the session goroutine drains
+	// both with Swap(0) when it reports the frame to cfg.Observer. Only
+	// touched when an Observer is attached.
+	obsWaitNs  atomic.Int64
+	obsStallNs atomic.Int64
 
 	stats SequenceStats
 }
@@ -331,7 +340,13 @@ func (e *Encoder) analyzeFrameJob(f *frame.Frame) (*frameJob, error) {
 		j.cost = jobCost(j.results)
 	}
 	e.frames++
-	e.analysisTime += time.Since(start)
+	wall := time.Since(start)
+	e.analysisTime += wall
+	if ob := e.cfg.Observer; ob != nil {
+		ob.FrameAnalyzed(j.index, wall,
+			time.Duration(e.obsWaitNs.Swap(0)), time.Duration(e.obsStallNs.Swap(0)),
+			j.intra, j.qp)
+	}
 	return j, nil
 }
 
@@ -388,7 +403,11 @@ func (e *Encoder) writeFrameJob(j *frameJob) FrameStats {
 	fs.Bits = e.sw.Len() - startBits
 	fs.Qp = j.qp
 	j.wroteBits = fs.Bits
-	e.entropyTime += time.Since(start)
+	wall := time.Since(start)
+	e.entropyTime += wall
+	if ob := e.cfg.Observer; ob != nil {
+		ob.FrameWritten(j.index, wall, fs.Bits)
+	}
 
 	py, _ := frame.PSNR(j.src.Y, j.recon.Y)
 	pcb, _ := frame.PSNR(j.src.Cb, j.recon.Cb)

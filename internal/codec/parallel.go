@@ -2,6 +2,7 @@ package codec
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/frame"
 	"repro/internal/mvfield"
@@ -161,14 +162,31 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 	cols, rows := e.size.MacroblockCols(), e.size.MacroblockRows()
 	var wg sync.WaitGroup
 
+	// With an Observer attached each task additionally records how long
+	// it sat in the pool queue (the cross-session contention /
+	// preemption-stall signal). The timestamp capture and atomic adds
+	// observe scheduling, never influence it, so results are unchanged;
+	// the nil-observer closures below stay literally the pre-observer
+	// code so the hot path and its allocation profile are untouched.
+	observe := e.cfg.Observer != nil
+
 	if intra {
 		wg.Add(rows * cols)
 		for idx := 0; idx < rows*cols; idx++ {
 			idx := idx
-			pool.submit(e.cfg.Priority, func() {
-				e.analyzeIntraMB(src, recon, idx%cols, idx/cols, &results[idx])
-				wg.Done()
-			})
+			if observe {
+				submitT := time.Now()
+				pool.submit(e.cfg.Priority, func() {
+					e.noteQueueWait(time.Since(submitT))
+					e.analyzeIntraMB(src, recon, idx%cols, idx/cols, &results[idx])
+					wg.Done()
+				})
+			} else {
+				pool.submit(e.cfg.Priority, func() {
+					e.analyzeIntraMB(src, recon, idx%cols, idx/cols, &results[idx])
+					wg.Done()
+				})
+			}
 		}
 		wg.Wait()
 		return
@@ -213,12 +231,23 @@ func (e *Encoder) analyzeFramePool(src, recon *frame.Frame, curField *mvfield.Fi
 			mbx := d - 2*mby
 			idx := mby*cols + mbx
 			mbx, mby := mbx, mby
-			pool.submit(e.cfg.Priority, func() {
-				c := <-searchers
-				e.analyzeInterMB(c.s, &c.in, src, recon, curField, mbx, mby, &results[idx])
-				searchers <- c
-				wg.Done()
-			})
+			if observe {
+				submitT := time.Now()
+				pool.submit(e.cfg.Priority, func() {
+					e.noteQueueWait(time.Since(submitT))
+					c := <-searchers
+					e.analyzeInterMB(c.s, &c.in, src, recon, curField, mbx, mby, &results[idx])
+					searchers <- c
+					wg.Done()
+				})
+			} else {
+				pool.submit(e.cfg.Priority, func() {
+					c := <-searchers
+					e.analyzeInterMB(c.s, &c.in, src, recon, curField, mbx, mby, &results[idx])
+					searchers <- c
+					wg.Done()
+				})
+			}
 		}
 		wg.Wait() // barrier: diagonal complete, writes published
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package codec
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package codec
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose ~20x slowdown makes wall-clock perf bounds
+// noise-dominated.
+const raceEnabled = true

@@ -210,7 +210,11 @@ func (e *Encoder) writeFramePacket(j *frameJob) ([]byte, FrameStats) {
 	fs.Bits = 8 * len(pkt)
 	fs.Qp = j.qp
 	j.wroteBits = fs.Bits
-	e.entropyTime += time.Since(start)
+	wall := time.Since(start)
+	e.entropyTime += wall
+	if ob := e.cfg.Observer; ob != nil {
+		ob.FrameWritten(j.index, wall, fs.Bits)
+	}
 
 	py, _ := frame.PSNR(j.src.Y, j.recon.Y)
 	pcb, _ := frame.PSNR(j.src.Cb, j.recon.Cb)

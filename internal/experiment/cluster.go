@@ -116,6 +116,9 @@ type ClusterPoint struct {
 	// the scenario (zero when driving bare backends).
 	GatewayRetries int64 `json:"gateway_retries"`
 	BreakerTrips   int64 `json:"breaker_trips"`
+	// Worst names the scenario's slowest completed session by trace ID,
+	// timeline fetched through the gateway's fleet-wide trace proxy.
+	Worst *WorstSession `json:"worst_session,omitempty"`
 }
 
 // ClusterResult is the full chaos report, serialisable to
@@ -359,6 +362,31 @@ func runScenario(client *http.Client, name string, urls []string, upload []byte,
 	pt.FirstPacketMsP50 = quantileMs(firsts, 0.50)
 	pt.FirstPacketMsP99 = quantileMs(firsts, 0.99)
 
+	// The scenario's tail: slowest completed session, timeline resolved
+	// through the gateway's trace proxy (best-effort under chaos — the
+	// serving backend may be the one that just died).
+	worst := -1
+	for i := range samples {
+		if samples[i].outcome != outcomeCompleted || samples[i].traceID == "" {
+			continue
+		}
+		if worst < 0 || samples[i].wall > samples[worst].wall {
+			worst = i
+		}
+	}
+	if worst >= 0 {
+		s := &samples[worst]
+		w := &WorstSession{
+			TraceID:       s.traceID,
+			Backend:       s.backend,
+			Attempts:      s.attempts,
+			WallMs:        float64(s.wall.Nanoseconds()) / 1e6,
+			FirstPacketMs: float64(s.firstPacket.Nanoseconds()) / 1e6,
+		}
+		w.Timeline, w.DroppedFrames = fetchTimeline(client, urls, s.traceID)
+		pt.Worst = w
+	}
+
 	if pt.Truncated > 0 {
 		return nil, fmt.Errorf("%d sessions returned truncated-but-clean streams (delivery contract violated)", pt.Truncated)
 	}
@@ -384,6 +412,9 @@ type clusterSample struct {
 	attempts    int
 	retries503  int
 	firstPacket time.Duration
+	wall        time.Duration // accepted submission → stream drained
+	traceID     string        // X-Vcodec-Trace trailer
+	backend     string        // X-Vcodec-Backend trailer
 	err         error
 }
 
@@ -444,6 +475,9 @@ func runClusterSession(client *http.Client, base string, upload []byte, offline 
 			n++
 		}
 		resp.Body.Close()
+		s.wall = time.Since(begin)
+		s.traceID = resp.Trailer.Get("X-Vcodec-Trace")
+		s.backend = resp.Trailer.Get("X-Vcodec-Backend")
 		s.attempts = 1
 		if a, err := strconv.Atoi(resp.Trailer.Get("X-Vcodec-Attempts")); err == nil {
 			s.attempts = a
@@ -544,6 +578,7 @@ func FormatCluster(r *ClusterResult) string {
 		out += fmt.Sprintf("%-18s %9d %10d %8d %9d %10d %8.2f %9d %12.1f %12.1f\n",
 			p.Scenario, p.Sessions, p.Completed, p.Retried, p.FailedExplicit, p.Truncated,
 			p.WallSeconds, p.GatewayRetries, p.FirstPacketMsP50, p.FirstPacketMsP99)
+		out += formatWorst(p.Worst)
 	}
 	return out
 }

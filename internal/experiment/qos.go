@@ -136,6 +136,9 @@ type QosPoint struct {
 	// RestoredToZero records that the controller walked back to level 0
 	// after the point's sessions drained — degradation is not sticky.
 	RestoredToZero bool `json:"restored_to_zero"`
+	// Worst names the ramp step's slowest session by trace ID, with the
+	// flight-recorder timeline showing where its frames spent the time.
+	Worst *WorstSession `json:"worst_session,omitempty"`
 }
 
 // QosLevelCost is one degradation rung's offline price/performance: what
@@ -252,6 +255,7 @@ func RunQos(cfg QosConfig) (*QosResult, error) {
 			FrameMsP99:       pt.FrameMsP99,
 			QosFinalLevels:   pt.QosFinalLevels,
 			QosTransitions:   pt.QosTransitions,
+			Worst:            pt.Worst,
 		}
 		// The point's load is gone; the controller must hand quality
 		// back (restore hysteresis: a few ticks per step). The counter
@@ -430,6 +434,7 @@ func FormatQos(r *QosResult) string {
 			p.Sessions, p.TotalFrames, p.WallSeconds, p.FramesPerSec,
 			p.FrameMsP50, p.FrameMsP99, formatLevelHist(p.QosFinalLevels),
 			p.QosTransitions, p.Degrades, p.Restores, rst)
+		out += formatWorst(p.Worst)
 	}
 	return out
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/video"
 )
@@ -132,6 +133,9 @@ type ServePoint struct {
 	// QosTransitions totals the mid-stream level changes actuated across
 	// all sessions (X-Vcodec-Qos-Transitions trailer).
 	QosTransitions int `json:"qos_transitions,omitempty"`
+	// Worst names the point's slowest session by trace ID, with its
+	// per-frame timeline fetched from the flight recorder.
+	Worst *WorstSession `json:"worst_session,omitempty"`
 }
 
 // ServeResult is the full serving report, serialisable to
@@ -152,11 +156,15 @@ type ServeResult struct {
 type sessionSample struct {
 	firstPacket time.Duration
 	frameGaps   []time.Duration
+	wall        time.Duration // request sent → stream drained
 	frames      int
 	bytes       int64
 	retries503  int
-	qosLevel    int // final QoS level (trailer)
-	qosChanges  int // mid-stream level transitions (trailer)
+	qosLevel    int      // final QoS level (trailer)
+	qosChanges  int      // mid-stream level transitions (trailer)
+	traceID     string   // X-Vcodec-Trace trailer — flight-recorder key
+	backend     string   // X-Vcodec-Backend trailer (gateway runs)
+	attempts    int      // X-Vcodec-Attempts trailer (gateway runs)
 	packets     [][]byte // retained only for the verified session
 	err         error
 }
@@ -308,6 +316,35 @@ func runServePoint(client *http.Client, urls []string, upload []byte, n int, cfg
 	if wall > 0 {
 		pt.FramesPerSec = float64(pt.TotalFrames) / wall.Seconds()
 	}
+	// The tail: name the slowest session and pull its timeline back from
+	// the flight recorder before later sessions push it out of the
+	// completed ring.
+	worst := -1
+	for i := range samples {
+		if samples[i].err != nil || samples[i].traceID == "" {
+			continue
+		}
+		if worst < 0 || samples[i].wall > samples[worst].wall {
+			worst = i
+		}
+	}
+	if worst >= 0 {
+		s := &samples[worst]
+		w := &WorstSession{
+			TraceID:       s.traceID,
+			Backend:       s.backend,
+			Attempts:      s.attempts,
+			WallMs:        float64(s.wall.Nanoseconds()) / 1e6,
+			FirstPacketMs: float64(s.firstPacket.Nanoseconds()) / 1e6,
+			GapP99Ms:      quantileMs(s.frameGaps, 0.99),
+		}
+		bases := make([]string, len(urls))
+		for i, u := range urls {
+			bases[i] = debugBase(u)
+		}
+		w.Timeline, w.DroppedFrames = fetchTimeline(client, bases, s.traceID)
+		pt.Worst = w
+	}
 	pt.FirstPacketMsP50 = quantileMs(firsts, 0.50)
 	pt.FirstPacketMsP99 = quantileMs(firsts, 0.99)
 	pt.FrameMsP50 = quantileMs(gaps, 0.50)
@@ -398,8 +435,12 @@ func runSession(client *http.Client, url string, upload []byte, keep bool, cfg S
 		last = now
 		s.frames++
 	}
+	s.wall = time.Since(begin)
 	s.qosLevel, _ = strconv.Atoi(resp.Trailer.Get("X-Vcodec-Qos-Level"))
 	s.qosChanges, _ = strconv.Atoi(resp.Trailer.Get("X-Vcodec-Qos-Transitions"))
+	s.traceID = resp.Trailer.Get(obs.TraceIDHeader)
+	s.backend = resp.Trailer.Get("X-Vcodec-Backend")
+	s.attempts, _ = strconv.Atoi(resp.Trailer.Get("X-Vcodec-Attempts"))
 	if errT := resp.Trailer.Get("X-Vcodec-Error"); errT != "" {
 		s.err = fmt.Errorf("server: %s", errT)
 	} else if s.frames == 0 {
@@ -455,6 +496,7 @@ func FormatServe(r *ServeResult) string {
 			p.Sessions, p.TotalFrames, p.WallSeconds, p.FramesPerSec,
 			p.FirstPacketMsP50, p.FirstPacketMsP99, p.FrameMsP50, p.FrameMsP99, v,
 			formatLevelHist(p.QosFinalLevels))
+		out += formatWorst(p.Worst)
 	}
 	return out
 }

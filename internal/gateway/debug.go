@@ -1,0 +1,42 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// handleDebugTrace resolves a trace ID fleet-wide: the gateway does not
+// know which backend served a session (trailers go to the client, not
+// back to the gateway state), so it fans the lookup out across its
+// backends and relays the first hit. The X-Vcodec-Backend response
+// header names the backend the timeline came from.
+func (g *Gateway) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := obs.SanitizeTraceID(r.URL.Query().Get("id"))
+	if id == "" {
+		http.Error(w, "missing or malformed id parameter", http.StatusBadRequest)
+		return
+	}
+	for _, b := range g.backends {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			b.url+"/debug/vcodec/trace?id="+id, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := g.pollC.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(TrailerBackend, b.url)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	http.Error(w, "trace id unknown on every backend", http.StatusNotFound)
+}

@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand/v2"
 	"net/http"
 	"strconv"
@@ -53,6 +54,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config sizes the gateway.
@@ -129,6 +132,9 @@ type Gateway struct {
 	m        metrics
 	start    time.Time
 
+	routeHist    *obs.Histogram // arrival → commit (first byte to client)
+	relayGapHist *obs.Histogram // gap between committed-stream chunks
+
 	draining atomic.Bool
 	active   atomic.Int64
 
@@ -150,6 +156,9 @@ func New(cfg Config) (*Gateway, error) {
 		pollC:  &http.Client{Timeout: cfg.ConnectTimeout},
 		start:  time.Now(),
 
+		routeHist:    obs.NewHistogram("gateway_route_seconds", "session arrival to backend-stream commit"),
+		relayGapHist: obs.NewHistogram("gateway_relay_gap_seconds", "gap between relayed stream chunks"),
+
 		pollStop: make(chan struct{}),
 	}
 	for _, u := range cfg.Backends {
@@ -158,6 +167,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("/encode", g.handleEncode)
 	g.mux.HandleFunc("/healthz", g.handleHealthz)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.HandleFunc("/debug/vcodec/trace", g.handleDebugTrace)
 	for _, b := range g.backends {
 		g.pollDone.Add(1)
 		go g.pollLoop(b)
@@ -298,6 +308,16 @@ func (g *Gateway) handleEncode(w http.ResponseWriter, r *http.Request) {
 	g.m.sessionsTotal.Add(1)
 	begin := time.Now()
 
+	// Trace identity: one ID per session, across every dispatch attempt.
+	// An inbound X-Vcodec-Trace (sanitized) is honored so an upstream
+	// caller can stitch its own traces through; otherwise the gateway
+	// mints. The ID travels to the backend as a request header and comes
+	// back to the client in both sides' trailers.
+	traceID := obs.SanitizeTraceID(r.Header.Get(obs.TraceIDHeader))
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+
 	upload := newReplayUpload(r.Body, g.cfg.ReplayLimit)
 	defer upload.close()
 	tried := make(map[*backend]bool)
@@ -322,7 +342,7 @@ func (g *Gateway) handleEncode(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		g.m.attemptsTotal.Add(1)
-		res := g.tryBackend(w, r, b, upload, begin, attempt)
+		res := g.tryBackend(w, r, b, upload, begin, attempt, traceID)
 		switch res.kind {
 		case attemptCommitted:
 			return // stream fully handled (success or explicit in-band error)
@@ -346,7 +366,12 @@ func (g *Gateway) handleEncode(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	g.m.sessionsFailed.Add(1)
+	log.Printf("gateway: session %s failed after %d attempts: %v", traceID, g.cfg.MaxAttempts, lastErr)
 	w.Header().Set("Retry-After", "1")
+	// Terminal failure happens before any body byte, so the trace ID can
+	// still ride a plain response header — load tools keep the identity
+	// of sessions that never placed.
+	w.Header().Set(TrailerTrace, traceID)
 	http.Error(w, fmt.Sprintf("gateway: session failed after %d attempts: %v", g.cfg.MaxAttempts, lastErr),
 		http.StatusServiceUnavailable)
 }
@@ -372,7 +397,7 @@ type attemptResult struct {
 // — from that point the attempt owns the session to its end, and a
 // mid-stream failure is reported in the X-Vcodec-Error trailer rather
 // than by retry.
-func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend, upload *replayUpload, begin time.Time, attempt int) attemptResult {
+func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend, upload *replayUpload, begin time.Time, attempt int, traceID string) attemptResult {
 	b.active.Add(1)
 	defer b.active.Add(-1)
 
@@ -393,6 +418,10 @@ func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend,
 		return attemptResult{kind: attemptFailed, err: err}
 	}
 	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	// Propagate the session's trace identity: the backend keys its
+	// flight recorder by this ID, so the gateway trailer and the backend
+	// timeline name the same session.
+	req.Header.Set(obs.TraceIDHeader, traceID)
 
 	// Phase 1: dial + response headers, bounded by ConnectTimeout.
 	connT := time.AfterFunc(g.cfg.ConnectTimeout, cancel)
@@ -439,7 +468,9 @@ func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend,
 	// Commit: relay headers and the first chunk. From here on the
 	// attempt is the session.
 	b.sessionsRouted.Add(1)
-	g.m.routeNs.Add(time.Since(begin).Nanoseconds())
+	routeDur := time.Since(begin)
+	g.m.routeNs.Add(routeDur.Nanoseconds())
+	g.routeHist.Observe(routeDur)
 	g.m.sessionsRouted.Add(1)
 	rc := http.NewResponseController(w)
 	_ = rc.EnableFullDuplex()
@@ -447,10 +478,11 @@ func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend,
 	// resp.Trailer is pre-populated with the backend's declared trailer
 	// names at header-parse time (the client moves them out of the Trailer
 	// header), so it is the declaration list to forward. The gateway's own
-	// trailers ride along; TrailerError may already be among the backend's.
-	trailers := []string{TrailerBackend, TrailerAttempts, TrailerError}
+	// trailers ride along; TrailerError and TrailerTrace may already be
+	// among the backend's, so they are deduplicated here.
+	trailers := []string{TrailerBackend, TrailerAttempts, TrailerError, TrailerTrace}
 	for name := range resp.Trailer {
-		if name != TrailerError {
+		if name != TrailerError && name != TrailerTrace {
 			trailers = append(trailers, name)
 		}
 	}
@@ -467,6 +499,10 @@ func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend,
 	}
 	w.Header().Set(TrailerBackend, b.url)
 	w.Header().Set(TrailerAttempts, strconv.Itoa(attempt))
+	// Set explicitly (not only via the backend's echoed trailer): the
+	// gateway's trailer carries the ID even against a backend build that
+	// does not echo it.
+	w.Header().Set(TrailerTrace, traceID)
 	if werr != nil {
 		// Mid-stream death: the stream is truncated and says so. The
 		// brokenness is the backend's, not the request's — feed the
@@ -486,6 +522,7 @@ func (g *Gateway) tryBackend(w http.ResponseWriter, r *http.Request, b *backend,
 func (g *Gateway) relay(w http.ResponseWriter, rc *http.ResponseController, resp *http.Response, buf []byte, n int, cancel context.CancelFunc) error {
 	idleT := time.AfterFunc(g.cfg.StreamIdleTimeout, cancel)
 	defer idleT.Stop()
+	lastChunk := time.Now()
 	for {
 		if n > 0 {
 			if _, err := w.Write(buf[:n]); err != nil {
@@ -497,6 +534,11 @@ func (g *Gateway) relay(w http.ResponseWriter, rc *http.ResponseController, resp
 		var err error
 		n, err = resp.Body.Read(buf)
 		idleT.Reset(g.cfg.StreamIdleTimeout)
+		// Gap between successive backend chunks — the client-visible
+		// stream smoothness, one observation per chunk.
+		now := time.Now()
+		g.relayGapHist.Observe(now.Sub(lastChunk))
+		lastChunk = now
 		if err == io.EOF {
 			if n > 0 {
 				if _, werr := w.Write(buf[:n]); werr != nil {

@@ -117,6 +117,14 @@ func encodeVerified(t *testing.T, url string, qp int, body []byte, want [][]byte
 	if err != nil {
 		t.Fatal(err)
 	}
+	verifyStream(t, resp, want)
+	return resp
+}
+
+// verifyStream drains resp's packet stream, byte-verifying against want
+// and failing on an error trailer. It closes the body.
+func verifyStream(t *testing.T, resp *http.Response, want [][]byte) {
+	t.Helper()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
@@ -141,7 +149,6 @@ func encodeVerified(t *testing.T, url string, qp int, body []byte, want [][]byte
 	if errT := resp.Trailer.Get(TrailerError); errT != "" {
 		t.Fatalf("error trailer: %s", errT)
 	}
-	return resp
 }
 
 // TestGatewayRoutesAndVerifies is the tentpole acceptance path: concurrent

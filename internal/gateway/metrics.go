@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Trailer names the gateway adds to (or sets on) the packet stream.
@@ -18,6 +20,11 @@ const (
 	// itself when a committed stream dies mid-session, so a client checks
 	// one trailer for both failure sources.
 	TrailerError = "X-Vcodec-Error"
+	// TrailerTrace is the session's trace ID: minted here per session
+	// (or accepted from the inbound request), forwarded to the backend
+	// as a header, and echoed in both sides' trailers — the key into the
+	// backend's /debug/vcodec/trace timeline.
+	TrailerTrace = obs.TraceIDHeader
 )
 
 // metrics holds the gateway-side counters. Per-backend state lives on the
@@ -102,6 +109,14 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("gateway_backend_sessions_active", "Gateway sessions in flight on the backend")
 	gauge("gateway_backend_reported_load", "Backend self-reported active+queued sessions")
 	gauge("gateway_backend_qos_level", "Backend self-reported QoS degradation level")
+	// The per-backend counter families need their metadata emitted once,
+	// before the per-backend loop interleaves their samples.
+	counterFamily := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	counterFamily("gateway_backend_sessions_routed_total", "Sessions committed to this backend")
+	counterFamily("gateway_backend_attempt_failures_total", "Dispatch attempts this backend failed")
+	counterFamily("gateway_backend_breaker_trips_total", "Times this backend's circuit breaker opened")
 	for _, b := range g.backends {
 		v := b.snapshot()
 		bin := func(x bool) int {
@@ -121,4 +136,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "gateway_backend_attempt_failures_total%s %d\n", l, v.Failures)
 		fmt.Fprintf(w, "gateway_backend_breaker_trips_total%s %d\n", l, b.breakerTrips.Load())
 	}
+
+	// Routing and relay latency distributions.
+	g.routeHist.WriteProm(w)
+	g.relayGapHist.WriteProm(w)
 }

@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/video"
+)
+
+// TestTracePropagation pins the fleet-wide trace contract: an inbound
+// X-Vcodec-Trace header survives gateway dispatch into the backend's
+// flight recorder and comes back in the gateway trailer; sessions
+// without one get a minted ID; and the gateway's /debug/vcodec/trace
+// proxy resolves either kind across its backends.
+func TestTracePropagation(t *testing.T) {
+	frames := video.Generate(video.Foreman, frame.SQCIF, 5, 7)
+	body := y4mBody(t, frames)
+	want := offlinePackets(t, frames, 16)
+	_, bts := newBackend(t, server.Config{})
+	g, gts := newGateway(t, testConfig(bts.URL))
+	waitEligible(t, g, 1)
+
+	// Client-supplied trace ID, honored end to end.
+	const chosen = "fleet-test-trace-01"
+	req, err := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("%s/encode?qp=16&qoslevel=0", gts.URL), bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "video/x-yuv4mpeg")
+	req.Header.Set(obs.TraceIDHeader, chosen)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyStream(t, resp, want)
+	if got := resp.Trailer.Get(TrailerTrace); got != chosen {
+		t.Errorf("gateway trace trailer %q, want %q", got, chosen)
+	}
+	wantFrames, _ := strconv.Atoi(resp.Trailer.Get(server.TrailerFrames))
+
+	// The gateway's debug proxy finds the backend's timeline under the
+	// same ID — proof the header crossed the dispatch boundary.
+	rec := fetchTrace(t, gts.URL, chosen)
+	if rec.TraceID != chosen {
+		t.Errorf("backend recorded trace %q, want %q", rec.TraceID, chosen)
+	}
+	if rec.Frames != wantFrames || rec.Frames != len(frames) {
+		t.Errorf("trace has %d frames, trailer said %d, input had %d",
+			rec.Frames, wantFrames, len(frames))
+	}
+	if !rec.Done {
+		t.Error("trace not marked done after session completed")
+	}
+
+	// No inbound ID: the gateway mints one, and it resolves the same way.
+	resp2 := encodeVerified(t, gts.URL, 16, body, want)
+	minted := resp2.Trailer.Get(TrailerTrace)
+	if obs.SanitizeTraceID(minted) != minted || minted == "" {
+		t.Fatalf("minted trace trailer %q is empty or malformed", minted)
+	}
+	if minted == chosen {
+		t.Fatalf("minted ID collided with the client-chosen one")
+	}
+	if rec := fetchTrace(t, gts.URL, minted); rec.TraceID != minted {
+		t.Errorf("minted trace resolves to %q", rec.TraceID)
+	}
+
+	// Unknown and malformed IDs.
+	for id, wantCode := range map[string]int{
+		"feedfacefeedface": http.StatusNotFound,
+		"bad/../id":        http.StatusBadRequest,
+	} {
+		r, err := http.Get(gts.URL + "/debug/vcodec/trace?id=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != wantCode {
+			t.Errorf("trace %q: status %d, want %d", id, r.StatusCode, wantCode)
+		}
+	}
+}
+
+// fetchTrace pulls one flight record through the gateway's debug proxy.
+func fetchTrace(t *testing.T, gatewayURL, id string) obs.Record {
+	t.Helper()
+	resp, err := http.Get(gatewayURL + "/debug/vcodec/trace?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: status %d", id, resp.StatusCode)
+	}
+	if resp.Header.Get(TrailerBackend) == "" {
+		t.Errorf("trace %s: proxy did not name the serving backend", id)
+	}
+	var rec obs.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatalf("trace %s: %v", id, err)
+	}
+	return rec
+}

@@ -1,0 +1,58 @@
+// Package obs is the serving stack's observability substrate: a
+// frame-level flight recorder cheap enough to leave on for every
+// session, log-bucketed latency histograms for the /metrics exposition,
+// and the trace identity that ties a gateway session to the backend
+// frame timeline it produced.
+//
+// Everything here observes and nothing actuates: no recorder state is
+// ever read back into an encode decision, so turning observation on or
+// off cannot change a single output bit — the invariant the codec's
+// byte-identity tests pin with the recorder attached.
+//
+// The recorder's write path is designed for the per-macroblock and
+// per-frame hot paths it instruments: preallocated slab of slots, one
+// atomic store per field, no locks, no allocation after construction,
+// and a nil *FlightRecorder is a valid no-op receiver (the
+// "compiled-out" baseline the overhead guard benchmarks against).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceIDHeader is the HTTP header (and trailer) carrying a session's
+// trace identity across the gateway hop. The gateway mints an ID per
+// session (honoring an inbound one), forwards it to the backend, and
+// both sides report it in their trailers, so a load-test outlier is
+// traceable to a specific backend, attempt and frame timeline.
+const TraceIDHeader = "X-Vcodec-Trace"
+
+// NewTraceID returns a fresh 16-hex-digit trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a valid (if shared) identity rather than a panic path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeTraceID validates an externally supplied trace ID: 1..64
+// characters of [A-Za-z0-9_-]. Anything else returns "" and the caller
+// mints a fresh ID — inbound headers never inject log or JSON content.
+func SanitizeTraceID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}

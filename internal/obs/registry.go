@@ -1,0 +1,95 @@
+package obs
+
+import "sync"
+
+// DefaultCompletedSessions is how many finished flight records a
+// Registry retains for the debug endpoints.
+const DefaultCompletedSessions = 32
+
+// Registry tracks a server's live flight recorders and a bounded ring
+// of recently completed ones, keyed by trace ID, for the
+// /debug/vcodec/sessions and /debug/vcodec/trace endpoints.
+type Registry struct {
+	mu   sync.Mutex
+	live map[string]*FlightRecorder
+	done []*FlightRecorder // ring, next points at the oldest
+	next int
+}
+
+// NewRegistry builds a registry retaining keep completed sessions
+// (<= 0 selects DefaultCompletedSessions).
+func NewRegistry(keep int) *Registry {
+	if keep <= 0 {
+		keep = DefaultCompletedSessions
+	}
+	return &Registry{live: make(map[string]*FlightRecorder), done: make([]*FlightRecorder, 0, keep)}
+}
+
+// Add registers a live session recorder. A duplicate trace ID replaces
+// the previous entry (last writer wins; IDs are client-suppliable).
+func (g *Registry) Add(r *FlightRecorder) {
+	if g == nil || r == nil {
+		return
+	}
+	g.mu.Lock()
+	g.live[r.traceID] = r
+	g.mu.Unlock()
+}
+
+// Complete moves a recorder from the live set to the completed ring.
+func (g *Registry) Complete(r *FlightRecorder) {
+	if g == nil || r == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.live[r.traceID] == r {
+		delete(g.live, r.traceID)
+	}
+	if len(g.done) < cap(g.done) {
+		g.done = append(g.done, r)
+	} else if cap(g.done) > 0 {
+		g.done[g.next] = r
+		g.next = (g.next + 1) % cap(g.done)
+	}
+	g.mu.Unlock()
+}
+
+// Lookup finds a recorder by trace ID, checking live sessions first,
+// then the completed ring newest-first. Returns nil when unknown.
+func (g *Registry) Lookup(id string) *FlightRecorder {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.live[id]; ok {
+		return r
+	}
+	for i := len(g.done) - 1; i >= 0; i-- {
+		// Scan in ring positions starting from the newest entry.
+		r := g.done[(g.next+i)%len(g.done)]
+		if r != nil && r.traceID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// Sessions lists the live and completed sessions (completed
+// newest-first).
+func (g *Registry) Sessions() (live, completed []Summary) {
+	if g == nil {
+		return nil, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, r := range g.live {
+		live = append(live, r.Summarize())
+	}
+	for i := len(g.done) - 1; i >= 0; i-- {
+		if r := g.done[(g.next+i)%len(g.done)]; r != nil {
+			completed = append(completed, r.Summarize())
+		}
+	}
+	return live, completed
+}

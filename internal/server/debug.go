@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Flight-recorder debug endpoints. All three serve JSON and observe
+// live state without pausing it: listings and traces are lock-free
+// snapshots of the per-session atomic rings, so hitting them under
+// full load perturbs nothing.
+//
+//	/debug/vcodec/sessions      — live + recently completed sessions
+//	/debug/vcodec/trace?id=X    — one session's per-frame timeline
+//	/debug/vcodec/qos           — the QoS controller's decision audit
+
+// handleDebugSessions lists live sessions and the retained ring of
+// completed ones (newest first), each as a one-line summary keyed by
+// trace ID.
+func (s *Server) handleDebugSessions(w http.ResponseWriter, r *http.Request) {
+	live, completed := s.obs.Sessions()
+	if live == nil {
+		live = []obs.Summary{}
+	}
+	if completed == nil {
+		completed = []obs.Summary{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"live":      live,
+		"completed": completed,
+	})
+}
+
+// handleDebugTrace serves one session's flight record — identity,
+// summary and the per-frame phase timeline still held in its ring — by
+// trace ID. Unknown (or aged-out) IDs return 404.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := obs.SanitizeTraceID(r.URL.Query().Get("id"))
+	if id == "" {
+		http.Error(w, "missing or malformed id parameter", http.StatusBadRequest)
+		return
+	}
+	rec := s.obs.Lookup(id)
+	if rec == nil {
+		http.Error(w, "unknown trace id (session may have aged out of the completed ring)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec.Snapshot())
+}
+
+// handleDebugQos serves the QoS controller's per-tick decision audit:
+// what the controller saw, what it scored, and what it did, oldest
+// first across the retained window.
+func (s *Server) handleDebugQos(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.qos == nil {
+		json.NewEncoder(w).Encode(map[string]any{
+			"enabled": false,
+			"ticks":   []QosAuditEntry{},
+		})
+		return
+	}
+	ticks := s.qos.auditSnapshot()
+	if ticks == nil {
+		ticks = []QosAuditEntry{}
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"enabled": true,
+		"ticks":   ticks,
+	})
+}

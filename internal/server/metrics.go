@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // metrics are vcodecd's cumulative counters. Rates exposed on /metrics
@@ -75,44 +77,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	g := func(name, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n%s %v\n", name, help, name, v)
+	// Every sample ships with HELP and TYPE so strict exposition-format
+	// parsers (and the metrics tests) accept the page: counters for the
+	// monotonic _total series, gauges for point-in-time values.
+	g := func(name, typ, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
 	}
-	g("vcodecd_sessions_active", "sessions currently encoding", active)
-	g("vcodecd_sessions_queued", "sessions waiting for admission", queued)
-	g("vcodecd_sessions_total", "sessions admitted since start", s.m.sessionsTotal.Load())
-	g("vcodecd_sessions_rejected_total", "sessions rejected by admission control", s.m.sessionsRejected.Load())
-	g("vcodecd_sessions_failed_total", "sessions that ended with an error", s.m.sessionsFailed.Load())
-	g("vcodecd_frames_total", "frame packets emitted", frames)
-	g("vcodecd_packets_total", "packets emitted (header + frame)", s.m.packetsTotal.Load())
-	g("vcodecd_response_bytes_total", "packet payload bytes streamed to clients", s.m.bytesOut.Load())
-	g("vcodecd_analysis_seconds_total", "cumulative macroblock-analysis wall clock", float64(s.m.analysisNs.Load())/1e9)
-	g("vcodecd_entropy_seconds_total", "cumulative entropy-coding wall clock", float64(s.m.entropyNs.Load())/1e9)
-	g("vcodecd_session_seconds_total", "cumulative session wall clock", float64(s.m.sessionNs.Load())/1e9)
-	g("vcodecd_frames_per_second", "frame packets per second of uptime", fps)
-	g("vcodecd_analysis_ms_per_frame", "mean analysis latency per frame", analysisMs)
-	g("vcodecd_entropy_ms_per_frame", "mean entropy latency per frame", entropyMs)
-	g("vcodecd_rate_sessions_total", "completed sessions that ran bitrate control", s.m.rateSessions.Load())
-	g("vcodecd_rate_target_kbps_total", "sum of kbps targets across rate-controlled sessions", float64(s.m.rateTargetMilliKbps.Load())/1000)
-	g("vcodecd_rate_achieved_kbps_total", "sum of achieved kbps across rate-controlled sessions", float64(s.m.rateAchievedMilliKbps.Load())/1000)
-	g("vcodecd_pool_workers", "shared analysis pool size", s.pool.Size())
-	g("vcodecd_draining", "1 while graceful shutdown is draining sessions", draining)
+	g("vcodecd_sessions_active", "gauge", "sessions currently encoding", active)
+	g("vcodecd_sessions_queued", "gauge", "sessions waiting for admission", queued)
+	g("vcodecd_sessions_total", "counter", "sessions admitted since start", s.m.sessionsTotal.Load())
+	g("vcodecd_sessions_rejected_total", "counter", "sessions rejected by admission control", s.m.sessionsRejected.Load())
+	g("vcodecd_sessions_failed_total", "counter", "sessions that ended with an error", s.m.sessionsFailed.Load())
+	g("vcodecd_frames_total", "counter", "frame packets emitted", frames)
+	g("vcodecd_packets_total", "counter", "packets emitted (header + frame)", s.m.packetsTotal.Load())
+	g("vcodecd_response_bytes_total", "counter", "packet payload bytes streamed to clients", s.m.bytesOut.Load())
+	g("vcodecd_analysis_seconds_total", "counter", "cumulative macroblock-analysis wall clock", float64(s.m.analysisNs.Load())/1e9)
+	g("vcodecd_entropy_seconds_total", "counter", "cumulative entropy-coding wall clock", float64(s.m.entropyNs.Load())/1e9)
+	g("vcodecd_session_seconds_total", "counter", "cumulative session wall clock", float64(s.m.sessionNs.Load())/1e9)
+	g("vcodecd_frames_per_second", "gauge", "frame packets per second of uptime", fps)
+	g("vcodecd_analysis_ms_per_frame", "gauge", "mean analysis latency per frame", analysisMs)
+	g("vcodecd_entropy_ms_per_frame", "gauge", "mean entropy latency per frame", entropyMs)
+	g("vcodecd_rate_sessions_total", "counter", "completed sessions that ran bitrate control", s.m.rateSessions.Load())
+	g("vcodecd_rate_target_kbps_total", "counter", "sum of kbps targets across rate-controlled sessions", float64(s.m.rateTargetMilliKbps.Load())/1000)
+	g("vcodecd_rate_achieved_kbps_total", "counter", "sum of achieved kbps across rate-controlled sessions", float64(s.m.rateAchievedMilliKbps.Load())/1000)
+	g("vcodecd_pool_workers", "gauge", "shared analysis pool size", s.pool.Size())
+	g("vcodecd_draining", "gauge", "1 while graceful shutdown is draining sessions", draining)
 
 	live, batch := s.sched.countsByClass()
-	g("vcodecd_sessions_active_live", "live-priority sessions currently encoding", live)
-	g("vcodecd_sessions_active_batch", "batch-priority sessions currently encoding", batch)
+	g("vcodecd_sessions_active_live", "gauge", "live-priority sessions currently encoding", live)
+	g("vcodecd_sessions_active_batch", "gauge", "batch-priority sessions currently encoding", batch)
 	if s.qos != nil {
 		liveLevel, batchLevel, perLevel := s.qos.snapshot()
-		g("vcodecd_qos_level", "current QoS degradation level (batch tier — the deepest in force)", batchLevel)
-		g("vcodecd_qos_level_live", "current QoS degradation level of live-priority sessions", liveLevel)
-		g("vcodecd_qos_degrades_total", "controller degradation steps taken", s.qos.degrades.Load())
-		g("vcodecd_qos_restores_total", "controller restoration steps taken", s.qos.restores.Load())
-		g("vcodecd_qos_actuations_total", "per-session level changes applied at frame hand-off", s.qos.actuations.Load())
-		fmt.Fprintf(w, "# HELP vcodecd_qos_sessions adaptive sessions by class and applied QoS level\n")
+		g("vcodecd_qos_level", "gauge", "current QoS degradation level (batch tier — the deepest in force)", batchLevel)
+		g("vcodecd_qos_level_live", "gauge", "current QoS degradation level of live-priority sessions", liveLevel)
+		g("vcodecd_qos_degrades_total", "counter", "controller degradation steps taken", s.qos.degrades.Load())
+		g("vcodecd_qos_restores_total", "counter", "controller restoration steps taken", s.qos.restores.Load())
+		g("vcodecd_qos_actuations_total", "counter", "per-session level changes applied at frame hand-off", s.qos.actuations.Load())
+		fmt.Fprintf(w, "# HELP vcodecd_qos_sessions adaptive sessions by class and applied QoS level\n# TYPE vcodecd_qos_sessions gauge\n")
 		for cls, name := range []string{"live", "batch"} {
 			for level, n := range perLevel[cls] {
 				fmt.Fprintf(w, "vcodecd_qos_sessions{class=%q,level=\"%d\"} %d\n", name, level, n)
 			}
 		}
+	}
+
+	// Latency distributions from the flight-recorder substrate.
+	for _, h := range []*obs.Histogram{
+		s.hist.firstPacket, s.hist.frameGap, s.hist.read,
+		s.hist.analysis, s.hist.entropy, s.hist.emit, s.hist.queueWait,
+	} {
+		h.WriteProm(w)
 	}
 }

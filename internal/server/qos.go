@@ -168,6 +168,35 @@ type qosController struct {
 	degrades   atomic.Int64 // controller step-up events
 	restores   atomic.Int64 // controller step-down events
 	actuations atomic.Int64 // per-session level changes applied at hand-off
+
+	// audit is a bounded ring of per-tick decision records for
+	// /debug/vcodec/qos: every tick appends the inputs the controller saw
+	// (EWMAs, occupancy), the score it computed, and what it decided.
+	// Written under c.mu in tick; auditNext points at the oldest entry.
+	audit     []QosAuditEntry
+	auditNext int
+}
+
+// qosAuditEntries is the audit ring capacity (~32s of history at the
+// default 250ms tick).
+const qosAuditEntries = 128
+
+// QosAuditEntry is one control-loop tick as /debug/vcodec/qos reports
+// it: every input to the decision, the decision, and the resulting
+// per-class levels — enough to reconstruct why the fleet degraded (or
+// refused to restore) at any point in the retained window.
+type QosAuditEntry struct {
+	Time       string  `json:"time"`
+	AnalysisMs float64 `json:"analysis_ms"` // EWMA at decision time
+	EmitMs     float64 `json:"emit_ms"`     // EWMA at decision time
+	Active     int     `json:"active"`
+	Queued     int     `json:"queued"`
+	Score      float64 `json:"score"`
+	Step       int     `json:"step"` // global step after the decision
+	LiveLevel  int     `json:"live_level"`
+	BatchLevel int     `json:"batch_level"`
+	// Action is "degrade", "restore", or "" when the step held.
+	Action string `json:"action,omitempty"`
 }
 
 func newQosController(interval time.Duration, targetMs float64, maxSessions int, sched *scheduler) *qosController {
@@ -249,11 +278,51 @@ func (c *qosController) tick() {
 	score := c.analysisMs/c.targetMs + 0.25*c.emitMs/c.targetMs +
 		float64(queued)/float64(c.maxSessions) +
 		0.25*float64(active)/float64(c.maxSessions)
+	prevStep := c.step
 	step := c.stepOn(score)
 	for qs := range c.sessions {
 		qs.target.Store(int32(levelForStep(step, qs.batch)))
 	}
+	action := ""
+	if step > prevStep {
+		action = "degrade"
+	} else if step < prevStep {
+		action = "restore"
+	}
+	c.auditAppend(QosAuditEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		AnalysisMs: c.analysisMs,
+		EmitMs:     c.emitMs,
+		Active:     active,
+		Queued:     queued,
+		Score:      score,
+		Step:       step,
+		LiveLevel:  levelForStep(step, false),
+		BatchLevel: levelForStep(step, true),
+		Action:     action,
+	})
 	c.mu.Unlock()
+}
+
+// auditAppend records one tick's decision in the audit ring. c.mu held.
+func (c *qosController) auditAppend(e QosAuditEntry) {
+	if len(c.audit) < qosAuditEntries {
+		c.audit = append(c.audit, e)
+		return
+	}
+	c.audit[c.auditNext] = e
+	c.auditNext = (c.auditNext + 1) % len(c.audit)
+}
+
+// auditSnapshot returns the retained decision history, oldest first.
+func (c *qosController) auditSnapshot() []QosAuditEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]QosAuditEntry, 0, len(c.audit))
+	for i := 0; i < len(c.audit); i++ {
+		out = append(out, c.audit[(c.auditNext+i)%len(c.audit)])
+	}
+	return out
 }
 
 // stepOn advances the hysteresis state machine by one tick with the

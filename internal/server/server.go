@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/url"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/search"
 )
 
@@ -32,6 +35,10 @@ const (
 	// trailers alone.
 	TrailerTargetKbps = "X-Vcodec-Target-Kbps"
 	TrailerError      = "X-Vcodec-Error"
+	// TrailerTrace echoes the session's trace ID (minted here, or
+	// accepted from an inbound X-Vcodec-Trace header — typically the
+	// gateway's), the key into /debug/vcodec/trace.
+	TrailerTrace = obs.TraceIDHeader
 )
 
 // Config sizes the serving layer.
@@ -87,7 +94,34 @@ type Server struct {
 	qos   *qosController // nil when Config.QosInterval < 0
 	mux   *http.ServeMux
 	m     metrics
+	obs   *obs.Registry // per-session flight recorders (always on)
+	hist  serverHists
 	start time.Time
+}
+
+// serverHists are vcodecd's latency distributions, exposed on /metrics.
+// Every observation is a phase boundary the serving path already times,
+// so the histograms cost one atomic add each on top of existing code.
+type serverHists struct {
+	firstPacket *obs.Histogram // request start → first frame packet flushed
+	frameGap    *obs.Histogram // gap between consecutive frame-packet flushes
+	read        *obs.Histogram // Y4M source-frame read (client upload pressure)
+	analysis    *obs.Histogram // per-frame phase-1 wall clock
+	entropy     *obs.Histogram // per-frame phase-2 wall clock
+	emit        *obs.Histogram // per-packet write + client flush
+	queueWait   *obs.Histogram // per-frame summed shared-pool queue wait
+}
+
+func newServerHists() serverHists {
+	return serverHists{
+		firstPacket: obs.NewHistogram("vcodecd_first_packet_seconds", "request start to first frame packet flushed"),
+		frameGap:    obs.NewHistogram("vcodecd_frame_gap_seconds", "gap between consecutive frame-packet flushes"),
+		read:        obs.NewHistogram("vcodecd_read_seconds", "Y4M source-frame read latency"),
+		analysis:    obs.NewHistogram("vcodecd_analysis_seconds", "per-frame macroblock-analysis wall clock"),
+		entropy:     obs.NewHistogram("vcodecd_entropy_seconds", "per-frame entropy-coding wall clock"),
+		emit:        obs.NewHistogram("vcodecd_emit_seconds", "per-packet write plus client flush"),
+		queueWait:   obs.NewHistogram("vcodecd_queue_wait_seconds", "per-frame summed shared-pool queue wait"),
+	}
 }
 
 // New builds a server and starts its analysis pool and QoS control loop.
@@ -98,6 +132,8 @@ func New(cfg Config) *Server {
 		pool:  codec.NewPool(cfg.PoolWorkers),
 		sched: newScheduler(cfg.MaxSessions, cfg.MaxQueued),
 		mux:   http.NewServeMux(),
+		obs:   obs.NewRegistry(0),
+		hist:  newServerHists(),
 		start: time.Now(),
 	}
 	if cfg.QosInterval > 0 {
@@ -106,6 +142,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/encode", s.handleEncode)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/vcodec/sessions", s.handleDebugSessions)
+	s.mux.HandleFunc("/debug/vcodec/trace", s.handleDebugTrace)
+	s.mux.HandleFunc("/debug/vcodec/qos", s.handleDebugQos)
 	return s
 }
 
@@ -163,14 +202,53 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	defer s.sched.release(opts.batch)
 	s.m.sessionsTotal.Add(1)
 
+	// Trace identity: accept a sanitized inbound ID (normally minted by
+	// the fronting gateway) or mint one here. The ID keys the session's
+	// flight recorder into /debug/vcodec/trace and is echoed in the
+	// response trailers, so client, gateway and backend all name the
+	// same session.
+	traceID := obs.SanitizeTraceID(r.Header.Get(obs.TraceIDHeader))
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	pri := "live"
+	if opts.batch {
+		pri = "batch"
+	}
+	meName := strings.ToLower(r.URL.Query().Get("me"))
+	if meName == "" {
+		meName = "acbm"
+	}
+	rec := obs.NewFlightRecorder(traceID, obs.Meta{Priority: pri, Searcher: meName, PinnedLevel: opts.pinned}, 0)
+	s.obs.Add(rec)
+	defer s.obs.Complete(rec)
+
+	// pprof labels scope the session goroutine — and the pipeline writer
+	// goroutine it spawns, which inherits the labels at creation — so a
+	// CPU or goroutine profile taken under load attributes samples to
+	// session, priority class and searcher.
+	pprof.Do(r.Context(), pprof.Labels(
+		"vcodec_session", traceID,
+		"vcodec_priority", pri,
+		"vcodec_searcher", meName,
+	), func(ctx context.Context) {
+		s.encodeSession(ctx, w, r, cfg, opts, rec, traceID)
+	})
+}
+
+// encodeSession runs an admitted session: Y4M frames in, framed packets
+// out, the flight recorder observing every phase boundary along the way.
+func (s *Server) encodeSession(ctx context.Context, w http.ResponseWriter, r *http.Request, cfg codec.Config, opts sessionOpts, rec *obs.FlightRecorder, traceID string) {
 	y4m, err := frame.NewY4MReader(r.Body)
 	if err != nil {
+		rec.Finish(err)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if sz := y4m.Size(); sz.W%16 != 0 || sz.H%16 != 0 {
-		http.Error(w, fmt.Sprintf("frame size %dx%d not divisible into 16x16 macroblocks", sz.W, sz.H),
-			http.StatusBadRequest)
+		err := fmt.Errorf("frame size %dx%d not divisible into 16x16 macroblocks", sz.W, sz.H)
+		rec.Finish(err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if fps := y4m.FPS(); fps > 0 {
@@ -187,6 +265,11 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	if opts.batch {
 		cfg.Priority = codec.PriorityBatch
 	}
+	// The flight recorder rides the codec's observer hook: per-frame
+	// analysis/entropy wall clocks, pool queue waits and encoded sizes
+	// flow into the session's ring and the server-wide histograms.
+	// Observation is one-way — nothing here can change an output bit.
+	cfg.Observer = &sessionObserver{rec: rec, h: &s.hist}
 
 	// QoS coupling. A pinned session (qoslevel=N) takes its degradation
 	// at admission and is exempt from the controller — its whole stream
@@ -198,6 +281,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	if opts.pinned >= 0 {
 		cfg = ApplyQosLevel(cfg, opts.pinned)
 		qosLevel = opts.pinned
+		rec.SetQosLevel(qosLevel)
 	} else if s.qos != nil {
 		qs = s.qos.register(opts.batch)
 		defer s.qos.unregister(qs)
@@ -211,16 +295,20 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	_ = rc.EnableFullDuplex()
 
 	w.Header().Set("Content-Type", ContentType)
-	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerTargetKbps, TrailerQosLevel, TrailerQosTransitions, TrailerError}, ", "))
+	w.Header().Set("Trailer", strings.Join([]string{TrailerFrames, TrailerPSNRY, TrailerKbps, TrailerTargetKbps, TrailerQosLevel, TrailerQosTransitions, TrailerTrace, TrailerError}, ", "))
 
-	// The request context dies the moment the client disconnects (or a
-	// fronting gateway abandons the attempt). Every per-frame step checks
-	// it, so a dead session releases its scheduler slot and pool share
-	// within one frame instead of encoding the rest of a buffered upload
-	// into a socket nobody reads — small packets can keep "succeeding"
-	// into kernel buffers long after the peer is gone.
-	ctx := r.Context()
+	// The labelled request context (see handleEncode) dies the moment the
+	// client disconnects (or a fronting gateway abandons the attempt).
+	// Every per-frame step checks it, so a dead session releases its
+	// scheduler slot and pool share within one frame instead of encoding
+	// the rest of a buffered upload into a socket nobody reads — small
+	// packets can keep "succeeding" into kernel buffers long after the
+	// peer is gone.
 
+	begin := time.Now()
+	// Emit-side stream state: owned by whichever goroutine runs the emit
+	// callback (the pipeline writer), never shared.
+	var lastEmit time.Time
 	pw := codec.NewPacketWriter(w)
 	es := codec.NewEncodeStream(cfg, func(p codec.Packet) error {
 		if err := ctx.Err(); err != nil {
@@ -236,18 +324,27 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		if err := rc.Flush(); err != nil {
 			return err
 		}
+		emitDur := time.Since(emitStart)
 		if s.qos != nil {
-			s.qos.observe(0, time.Since(emitStart))
+			s.qos.observe(0, emitDur)
 		}
+		s.hist.emit.Observe(emitDur)
 		s.m.packetsTotal.Add(1)
 		s.m.bytesOut.Add(int64(len(p.Data)))
 		if p.Index > 0 {
 			s.m.framesTotal.Add(1)
+			rec.FrameEmitted(p.Index-1, emitDur)
+			now := time.Now()
+			if lastEmit.IsZero() {
+				s.hist.firstPacket.Observe(now.Sub(begin))
+			} else {
+				s.hist.frameGap.Observe(now.Sub(lastEmit))
+			}
+			lastEmit = now
 		}
 		return nil
 	})
 
-	begin := time.Now()
 	frames := 0
 	var sessionErr error
 	for {
@@ -255,6 +352,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 			sessionErr = fmt.Errorf("client gone: %w", err)
 			break
 		}
+		readStart := time.Now()
 		f, err := y4m.ReadFrame()
 		if err == io.EOF {
 			break
@@ -263,6 +361,9 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 			sessionErr = err
 			break
 		}
+		readDur := time.Since(readStart)
+		rec.FrameRead(frames, readDur)
+		s.hist.read.Observe(readDur)
 		if s.cfg.MaxFramesPerSession > 0 && frames >= s.cfg.MaxFramesPerSession {
 			sessionErr = fmt.Errorf("session frame cap (%d) exceeded", s.cfg.MaxFramesPerSession)
 			break
@@ -274,6 +375,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		if qs != nil {
 			if t := int(qs.target.Load()); t != qosLevel {
 				es.Actuate(qosActuationFor(t, origSearcher, cheapSearcher))
+				rec.FrameActuated(frames, t)
 				qosLevel = t
 				qs.applied.Store(int32(t))
 				if frames > 0 {
@@ -322,10 +424,35 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		transitions = int(qs.transitions.Load())
 	}
 	w.Header().Set(TrailerQosTransitions, strconv.Itoa(transitions))
+	w.Header().Set(TrailerTrace, traceID)
+	rec.Finish(sessionErr)
 	if sessionErr != nil {
 		s.m.sessionsFailed.Add(1)
 		w.Header().Set(TrailerError, sessionErr.Error())
+		log.Printf("session %s failed after %d frames: %v", traceID, frames, sessionErr)
 	}
+}
+
+// sessionObserver bridges codec.FrameObserver to a session's flight
+// recorder and the server-wide latency histograms. Its methods run on
+// the session goroutine (FrameAnalyzed) and the pipeline writer
+// goroutine (FrameWritten); both targets are lock-free.
+type sessionObserver struct {
+	rec *obs.FlightRecorder
+	h   *serverHists
+}
+
+func (o *sessionObserver) FrameAnalyzed(index int, wall, queueWait, maxStall time.Duration, intra bool, qp int) {
+	o.rec.FrameAnalyzed(index, wall, queueWait, maxStall, intra, qp)
+	o.h.analysis.Observe(wall)
+	if queueWait > 0 {
+		o.h.queueWait.Observe(queueWait)
+	}
+}
+
+func (o *sessionObserver) FrameWritten(index int, wall time.Duration, bits int) {
+	o.rec.FrameWritten(index, wall, bits)
+	o.h.entropy.Observe(wall)
 }
 
 // sessionOpts carries the serving-layer (non-codec) session parameters.

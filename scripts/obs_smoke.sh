@@ -1,0 +1,93 @@
+#!/bin/sh
+# obs-smoke: boot vcodecd on a random loopback port, drive it with a
+# short vload burst, then exercise the flight-recorder surface end to
+# end: list completed sessions, fetch one trace by ID, assert its frame
+# count matches what the session streamed, check the /metrics histogram
+# metadata, and require a clean SIGTERM drain.
+# Expects the vcodecd and vload binaries in $BIN (default ./bin).
+set -eu
+
+BIN=${BIN:-bin}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+"$BIN/vcodecd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -max-sessions 4 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "obs-smoke: vcodecd never wrote its address" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "obs-smoke: daemon on $addr"
+
+frames=6
+"$BIN/vload" -url "http://$addr" -sessions 2 -frames $frames -size sqcif
+
+# Every burst session must be in the completed ring, listed by trace ID.
+curl -sf "http://$addr/debug/vcodec/sessions" >"$tmp/sessions"
+completed=$(tr ',' '\n' <"$tmp/sessions" | grep -c '"trace_id"')
+if [ "$completed" -lt 2 ]; then
+	echo "obs-smoke: $completed sessions listed, want >= 2" >&2
+	cat "$tmp/sessions" >&2
+	exit 1
+fi
+
+# Fetch the first listed trace by ID and assert its frame count matches
+# what the session streamed.
+trace=$(tr ',' '\n' <"$tmp/sessions" | grep '"trace_id"' | head -1 | sed 's/.*"trace_id":"\([^"]*\)".*/\1/')
+echo "obs-smoke: fetching trace $trace"
+curl -sf "http://$addr/debug/vcodec/trace?id=$trace" >"$tmp/trace"
+got=$(tr ',' '\n' <"$tmp/trace" | grep '"frames"' | head -1 | sed 's/[^0-9]*//g')
+if [ "$got" != "$frames" ]; then
+	echo "obs-smoke: trace $trace has $got frames, want $frames" >&2
+	cat "$tmp/trace" >&2
+	exit 1
+fi
+events=$(tr '{' '\n' <"$tmp/trace" | grep -c '"analysis_ms"')
+if [ "$events" != "$frames" ]; then
+	echo "obs-smoke: trace $trace has $events timeline events, want $frames" >&2
+	exit 1
+fi
+
+# An unknown ID must 404, not 200-with-garbage.
+if curl -sf "http://$addr/debug/vcodec/trace?id=doesnotexist00" >/dev/null 2>&1; then
+	echo "obs-smoke: unknown trace ID did not 404" >&2
+	exit 1
+fi
+
+# The latency histograms must be on /metrics with their TYPE metadata.
+curl -sf "http://$addr/metrics" >"$tmp/metrics"
+for fam in vcodecd_analysis_seconds vcodecd_entropy_seconds vcodecd_emit_seconds vcodecd_first_packet_seconds; do
+	if ! grep -q "^# TYPE $fam histogram\$" "$tmp/metrics"; then
+		echo "obs-smoke: /metrics missing 'TYPE $fam histogram'" >&2
+		exit 1
+	fi
+	if ! grep -q "^${fam}_bucket{le=\"+Inf\"}" "$tmp/metrics"; then
+		echo "obs-smoke: /metrics missing ${fam} +Inf bucket" >&2
+		exit 1
+	fi
+done
+echo "obs-smoke: trace + histograms verified"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+if wait "$pid"; then
+	pid=""
+	echo "obs-smoke: clean shutdown"
+else
+	rc=$?
+	pid=""
+	echo "obs-smoke: vcodecd exited with status $rc" >&2
+	exit 1
+fi
