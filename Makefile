@@ -5,14 +5,24 @@
 #                       under the race detector (certifies the wavefront
 #                       encoder and the multi-session serving layer)
 #   make bench-smoke  — 1-iteration pass over every benchmark so bench
-#                       code cannot rot, a quick rate-experiment run
-#                       (compiles and exercises the frame-lag controller
-#                       on every push), and the allocation-regression
-#                       check (fails loudly if EncodeFrame allocs/frame
-#                       climb above the ceiling pinned in
-#                       internal/codec/alloc_test.go)
+#                       code cannot rot, the SAD kernel dispatch sanity
+#                       check (logs the detected ISA, probes every tier
+#                       for bit-identity with scalar), the perf ratchet
+#                       (serial ns/frame vs BENCH_ratchet.json — fails
+#                       on a step regression), a quick rate-experiment
+#                       run (compiles and exercises the frame-lag
+#                       controller on every push), and the
+#                       allocation-regression check (fails loudly if
+#                       EncodeFrame allocs/frame climb above the ceiling
+#                       pinned in internal/codec/alloc_test.go)
 #   make bench-speed  — regenerate BENCH_speed.json (ns/frame, fps,
 #                       points/block for each searcher × worker count)
+#   make bench-matrix — regenerate BENCH_speed.json with the full
+#                       GOMAXPROCS × workers × pipeline scaling matrix
+#                       (same artifact, explicit sweep axes)
+#   make ratchet-pin  — re-pin BENCH_ratchet.json baselines on this host
+#                       (run after a deliberate perf change, commit the
+#                       result)
 #   make bench-rate   — regenerate BENCH_rate.json (kbps tracking error +
 #                       ns/frame for rate-controlled encodes: serial vs
 #                       workers vs pipelined vs shared pool, per searcher)
@@ -39,7 +49,7 @@
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed bench-rate serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos obs-smoke ci
+.PHONY: build test bench-smoke bench-speed bench-matrix bench-rate ratchet-pin serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos obs-smoke ci
 
 build:
 	$(GO) vet ./...
@@ -47,16 +57,24 @@ build:
 
 test: build
 	$(GO) test ./...
-	$(GO) test -race ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/ ./internal/gateway/ ./internal/obs/
+	$(GO) test -race ./internal/metrics/ ./internal/codec/ ./internal/core/ ./internal/search/ ./internal/server/ ./internal/gateway/ ./internal/obs/
 
 bench-smoke:
+	$(GO) run ./cmd/acbmbench -experiment dispatch
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/acbmbench -experiment ratchet -frames 30
 	$(GO) run ./cmd/acbmbench -experiment rate -frames 6 -size sqcif
 	$(GO) test -run TestEncodeFrameAllocCeiling -count=1 -v ./internal/codec/
 	$(GO) test -run TestRecorderOverheadGuard -count=1 -v ./internal/codec/
 
 bench-speed:
 	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json
+
+bench-matrix:
+	$(GO) run ./cmd/acbmbench -experiment speed -frames 30 -json BENCH_speed.json
+
+ratchet-pin:
+	$(GO) run ./cmd/acbmbench -experiment ratchet -frames 30 -update-ratchet
 
 bench-rate:
 	$(GO) run ./cmd/acbmbench -experiment rate -frames 30 -json BENCH_rate.json

@@ -12,11 +12,18 @@
 //	acbmbench -experiment headline       # §4 claims
 //	acbmbench -frames 30 -qps 30,24,18   # reduced sweep for quick runs
 //	acbmbench -alpha 2000 -beta 4        # explore the quality/cost knobs
-//	acbmbench -experiment speed -workers 4 -json BENCH_speed.json
+//	acbmbench -experiment speed -json BENCH_speed.json
 //	                                     # encoder wall-clock: ns/frame, fps,
 //	                                     # the analysis/entropy phase split and
-//	                                     # points/MB per searcher × workers ×
-//	                                     # pipeline on/off
+//	                                     # points/MB per searcher × GOMAXPROCS ×
+//	                                     # workers × pipeline on/off, with the
+//	                                     # host CPU + active SAD kernel ISA
+//	acbmbench -experiment dispatch       # kernel dispatch sanity: detected CPU
+//	                                     # features, registered tiers, one-shot
+//	                                     # bit-identity probe per tier
+//	acbmbench -experiment ratchet        # serial ns/frame vs the checked-in
+//	                                     # BENCH_ratchet.json band (CI gate);
+//	                                     # -update-ratchet re-pins the baselines
 package main
 
 import (
@@ -36,20 +43,23 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|speed|rate|all")
-		frames   = flag.Int("frames", experiment.DefaultFrames, "sequence length at 30 fps")
-		sizeName = flag.String("size", "qcif", "frame format: sqcif|qcif|cif")
-		seed     = flag.Uint64("seed", experiment.DefaultSeed, "texture seed")
-		qpsArg   = flag.String("qps", "", "comma-separated Qp list (default 30,28,...,16)")
-		alpha    = flag.Int("alpha", core.DefaultParams.Alpha, "ACBM α parameter")
-		beta     = flag.Int("beta", core.DefaultParams.Beta, "ACBM β parameter")
-		gammaNum = flag.Int("gamma-num", core.DefaultParams.GammaNum, "ACBM γ numerator")
-		gammaDen = flag.Int("gamma-den", core.DefaultParams.GammaDen, "ACBM γ denominator")
-		workers  = flag.Int("workers", 0, "encoder worker goroutines for the speed/rate experiments (0 = default sweep)")
-		kbps     = flag.Float64("kbps", 0, "rate experiment: target bitrate in kbit/s (0 = default 80)")
-		jsonPath = flag.String("json", "", "write the speed/rate experiment result to this JSON file (e.g. BENCH_speed.json, BENCH_rate.json)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
-		memProf  = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
+		expName       = flag.String("experiment", "all", "experiment to run: fig4|fig5|fig6|table1|headline|map|hw|pareto|loss|seeds|speed|rate|dispatch|ratchet|all")
+		frames        = flag.Int("frames", experiment.DefaultFrames, "sequence length at 30 fps")
+		sizeName      = flag.String("size", "qcif", "frame format: sqcif|qcif|cif")
+		seed          = flag.Uint64("seed", experiment.DefaultSeed, "texture seed")
+		qpsArg        = flag.String("qps", "", "comma-separated Qp list (default 30,28,...,16)")
+		alpha         = flag.Int("alpha", core.DefaultParams.Alpha, "ACBM α parameter")
+		beta          = flag.Int("beta", core.DefaultParams.Beta, "ACBM β parameter")
+		gammaNum      = flag.Int("gamma-num", core.DefaultParams.GammaNum, "ACBM γ numerator")
+		gammaDen      = flag.Int("gamma-den", core.DefaultParams.GammaDen, "ACBM γ denominator")
+		workers       = flag.Int("workers", 0, "encoder worker goroutines for the speed/rate experiments (0 = default sweep)")
+		gmps          = flag.Int("gomaxprocs", 0, "speed experiment: sweep GOMAXPROCS {1, n} (0 = default {1, NumCPU})")
+		ratchetPath   = flag.String("ratchet", experiment.DefaultRatchetPath, "ratchet experiment: path of the checked-in baseline file")
+		updateRatchet = flag.Bool("update-ratchet", false, "ratchet experiment: re-pin the baselines from this run instead of checking")
+		kbps          = flag.Float64("kbps", 0, "rate experiment: target bitrate in kbit/s (0 = default 80)")
+		jsonPath      = flag.String("json", "", "write the speed/rate experiment result to this JSON file (e.g. BENCH_speed.json, BENCH_rate.json)")
+		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+		memProf       = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	flag.Parse()
 
@@ -238,7 +248,7 @@ func main() {
 	}
 	if want("speed") {
 		ran = true
-		run("Encoder speed (wavefront workers, SWAR SAD, spiral FSBM)", func() error {
+		run("Encoder speed (GOMAXPROCS × workers × pipeline matrix, SIMD SAD)", func() error {
 			cfg := experiment.SpeedConfig{
 				Profile: video.Foreman, Size: size, Frames: *frames, Seed: *seed,
 			}
@@ -246,6 +256,12 @@ func main() {
 				cfg.Workers = []int{1, *workers}
 				if *workers == 1 {
 					cfg.Workers = []int{1}
+				}
+			}
+			if *gmps > 0 {
+				cfg.GoMaxProcs = []int{1, *gmps}
+				if *gmps == 1 {
+					cfg.GoMaxProcs = []int{1}
 				}
 			}
 			res, err := experiment.RunSpeed(cfg)
@@ -280,6 +296,70 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+			return nil
+		})
+	}
+	if want("dispatch") {
+		ran = true
+		run("SAD kernel dispatch sanity", func() error {
+			report, err := experiment.DispatchReport()
+			fmt.Print(report)
+			return err
+		})
+	}
+	// The ratchet is a CI gate, not a report: it exits non-zero on a
+	// perf regression, so it only runs when asked for by name — an
+	// `-experiment all` run must not fail on a slow machine.
+	if *expName == "ratchet" {
+		ran = true
+		title := "Perf ratchet: serial ns/frame vs " + *ratchetPath
+		if *updateRatchet {
+			title = "Perf ratchet: re-pinning " + *ratchetPath
+		}
+		run(title, func() error {
+			cfg := experiment.SpeedConfig{
+				Profile: video.Foreman, Size: size, Frames: *frames, Seed: *seed,
+				GoMaxProcs: []int{1}, Workers: []int{1},
+			}
+			res, err := experiment.RunSpeed(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiment.FormatSpeed(res))
+			if *updateRatchet {
+				r, err := experiment.RatchetFromSpeed(res, cfg)
+				if err != nil {
+					return err
+				}
+				if err := r.WriteJSON(*ratchetPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s (tolerance %.0f%%, cross-host ×%.1f)\n",
+					*ratchetPath, 100*r.Tolerance, r.CrossHostMultiplier)
+				return nil
+			}
+			r, err := experiment.LoadRatchet(*ratchetPath)
+			if err != nil {
+				return err
+			}
+			outcomes, err := r.Check(res)
+			if err != nil {
+				return err
+			}
+			failed := 0
+			for _, o := range outcomes {
+				fmt.Println(o)
+				if !o.OK {
+					failed++
+				}
+			}
+			if len(outcomes) > 0 && outcomes[0].CrossHost {
+				fmt.Printf("warning: baselines were pinned on %q (ISA %s), this host is %q (ISA %s) — band widened ×%.1f\n",
+					r.Host.CPUModel, r.Host.KernelISA, res.Host.CPUModel, res.Host.KernelISA, r.CrossHostMultiplier)
+			}
+			if failed > 0 {
+				return fmt.Errorf("%d searcher(s) regressed past the ratchet band", failed)
 			}
 			return nil
 		})

@@ -38,11 +38,26 @@
 //     change because lazily computed samples are byte-equal to the eager
 //     grid (differential tests pin this) and SAD probes/compensation read
 //     the same values either way, in the same order.
-//   - internal/metrics runs the SAD family on SWAR kernels — 8 pixels per
-//     uint64 load, split into 16-bit lanes, with an unrolled fast path for
-//     the 16-wide macroblock case — with the scalar loops kept as
-//     differential-test references. Half-pel candidates are evaluated by
-//     fused kernels (SADHalfPelPlane) that apply the H.263 bilinear
+//   - internal/metrics runs the SAD family through a runtime-dispatched
+//     kernel table with four tiers: scalar (the differential-test
+//     reference), SWAR (8 pixels per uint64 load, split into 16-bit
+//     lanes), and on amd64 two Go-assembly tiers — SSE2 (PSADBW sums 16
+//     absolute differences per instruction into qword lanes; PAVGB is
+//     the exact H.263 (a+b+1)>>1 for straight half-pel phases; the
+//     diagonal (a+b+c+d+2)>>2 widens to words because no PAVGB
+//     composition reproduces its rounding) and AVX2 (32-pixel rows per
+//     VPSADBW step, 16-wide macroblocks packed two rows per YMM
+//     register). CPUID feature detection (OSXSAVE + XGETBV before any
+//     AVX2 claim) picks the best tier at init; VCODEC_SAD_KERNEL=
+//     scalar|swar|sse2|avx2 overrides it, and SetKernelISA swaps tiers
+//     at runtime for tests. The dispatch contract is that every tier is
+//     bit-identical — SADCapped's per-row early-termination values
+//     included — so the active ISA can never change an encoded bit,
+//     only ns/frame; the per-ISA differential+fuzz suite, the encoder
+//     bitstream-identity test, and the bench-smoke dispatch probe all
+//     pin this. Half-pel candidates are evaluated by fused kernels
+//     (SADHalfPelPlane, and the SADHalfPelRing batch that scores all 8
+//     neighbour phases in one pass) that apply the H.263 bilinear
 //     rounding inside the difference loop, directly against the integer
 //     reference plane: searcher refinement never materialises half-pel
 //     storage at all, so the tiles that do get filled are only those
@@ -106,13 +121,21 @@
 //     Pipeline × Pool by golden -race tests; `make bench-rate` writes
 //     BENCH_rate.json (kbps tracking error, ns/frame per mode).
 //
-// `make bench-speed` (or `acbmbench -experiment speed -json
-// BENCH_speed.json`) records the encoder's speed trajectory — ns/frame,
-// fps, the analysis/entropy phase split, points/block, allocs/frame and
-// the half-pel bytes actually materialised per frame, per searcher,
-// worker count and pipeline mode. For ad-hoc investigation, `acbmbench
-// -cpuprofile/-memprofile` write pprof profiles of any experiment, and
-// `vcodecd -pprof addr` serves net/http/pprof for live sessions.
+// `make bench-speed` / `make bench-matrix` (or `acbmbench -experiment
+// speed -json BENCH_speed.json`) record the encoder's speed trajectory —
+// ns/frame, fps, the analysis/entropy phase split, points/block,
+// allocs/frame and the half-pel bytes actually materialised per frame —
+// across the full GOMAXPROCS × workers × pipeline matrix, per searcher.
+// Each point carries the GOMAXPROCS and kernel ISA it ran under, and the
+// artifact embeds the host (CPU model, core count, registered kernel
+// tiers), so a number is never divorced from the machine that produced
+// it. BENCH_ratchet.json pins per-searcher serial ns/frame baselines;
+// `make bench-smoke` re-measures and fails CI past a tolerance band
+// (widened automatically on a different CPU), and `make ratchet-pin`
+// re-pins after a deliberate perf change. For ad-hoc investigation,
+// `acbmbench -cpuprofile/-memprofile` write pprof profiles of any
+// experiment, and `vcodecd -pprof addr` serves net/http/pprof for live
+// sessions.
 //
 // # Serving architecture
 //

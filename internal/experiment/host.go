@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Host records the machine context a benchmark artifact was measured
+// on. Speed numbers are meaningless without it: ns/frame on a laptop
+// and on a CI runner are different experiments, and the active SAD
+// kernel ISA (scalar / swar / sse2 / avx2) is as much a part of the
+// configuration as the worker count. BENCH_speed.json embeds a Host so
+// every artifact is self-describing, and the perf ratchet
+// (BENCH_ratchet.json) compares its recorded Host against the current
+// one to decide how much slack the tolerance band gets.
+type Host struct {
+	// CPUModel is the "model name" line from /proc/cpuinfo on Linux,
+	// or the architecture when unavailable.
+	CPUModel string `json:"cpu_model"`
+	NumCPU   int    `json:"num_cpu"`
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	// KernelISA is the SAD kernel tier active when the artifact was
+	// produced; KernelISAs lists every tier the dispatch table
+	// registered on this machine (fallback order, best last).
+	KernelISA  string   `json:"kernel_isa"`
+	KernelISAs []string `json:"kernel_isas"`
+	// CPUFeatures is the detected x86 feature set relevant to the
+	// kernels (empty on non-amd64).
+	CPUFeatures []string `json:"cpu_features,omitempty"`
+}
+
+// DetectHost snapshots the current machine and kernel-dispatch state.
+func DetectHost() Host {
+	return Host{
+		CPUModel:    cpuModel(),
+		NumCPU:      runtime.NumCPU(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		KernelISA:   metrics.ActiveKernelISA(),
+		KernelISAs:  metrics.KernelISAs(),
+		CPUFeatures: metrics.DetectedCPUFeatures(),
+	}
+}
+
+// SameCPU reports whether two hosts are close enough that their
+// ns/frame numbers are directly comparable: same CPU model and the
+// same active kernel ISA.
+func (h Host) SameCPU(other Host) bool {
+	return h.CPUModel == other.CPUModel && h.KernelISA == other.KernelISA
+}
+
+// cpuModel returns the first "model name" from /proc/cpuinfo; on
+// non-Linux platforms (or a masked procfs) it degrades to GOARCH so
+// the field is never empty.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if i := strings.IndexByte(rest, ':'); i >= 0 {
+				if m := strings.TrimSpace(rest[i+1:]); m != "" {
+					return m
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
+}

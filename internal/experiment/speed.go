@@ -10,6 +10,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/metrics"
 	"repro/internal/search"
 	"repro/internal/video"
 )
@@ -26,8 +27,15 @@ type SpeedConfig struct {
 	Frames  int
 	Qp      int
 	Seed    uint64
-	// Workers lists the codec.Config.Workers values to measure. Default
-	// {1, GOMAXPROCS} (deduplicated).
+	// GoMaxProcs lists the runtime.GOMAXPROCS values to sweep. Default
+	// {1, NumCPU} (deduplicated), so the artifact carries a scaling
+	// curve even when nobody asked for one. RunSpeed restores the
+	// process value when it returns.
+	GoMaxProcs []int
+	// Workers lists the codec.Config.Workers values to measure. When
+	// empty, each GOMAXPROCS point measures {1, gomaxprocs}
+	// (deduplicated), so the matrix separates "more runnable
+	// goroutines" from "more OS parallelism".
 	Workers []int
 	// Repeats is how many times each encode runs; the fastest repeat is
 	// reported (default 3).
@@ -47,10 +55,10 @@ func (c SpeedConfig) withDefaults() SpeedConfig {
 	if c.Seed == 0 {
 		c.Seed = DefaultSeed
 	}
-	if len(c.Workers) == 0 {
-		c.Workers = []int{1}
-		if n := runtime.GOMAXPROCS(0); n > 1 {
-			c.Workers = append(c.Workers, n)
+	if len(c.GoMaxProcs) == 0 {
+		c.GoMaxProcs = []int{1}
+		if n := runtime.NumCPU(); n > 1 {
+			c.GoMaxProcs = append(c.GoMaxProcs, n)
 		}
 	}
 	if c.Repeats <= 0 {
@@ -59,14 +67,30 @@ func (c SpeedConfig) withDefaults() SpeedConfig {
 	return c
 }
 
-// SpeedPoint is one (searcher, workers, pipeline) measurement. The phase
+// workersFor expands the Workers axis for one GOMAXPROCS point.
+func (c SpeedConfig) workersFor(gomaxprocs int) []int {
+	if len(c.Workers) > 0 {
+		return c.Workers
+	}
+	if gomaxprocs > 1 {
+		return []int{1, gomaxprocs}
+	}
+	return []int{1}
+}
+
+// SpeedPoint is one (searcher, gomaxprocs, workers, pipeline)
+// measurement. The phase
 // split — analysis vs entropy wall clock per frame — tracks the encoder's
 // serial fraction: analysis parallelises across workers and overlaps the
 // entropy phase in pipeline mode, so the entropy column is the Amdahl
 // ceiling the bitstream/entropy optimisations must keep shrinking.
 type SpeedPoint struct {
 	Searcher string `json:"searcher"`
-	Workers  int    `json:"workers"`
+	// GoMaxProcs is the runtime.GOMAXPROCS in force for this point;
+	// KernelISA is the SAD kernel tier that produced it.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	KernelISA  string `json:"kernel_isa"`
+	Workers    int    `json:"workers"`
 	// Pipeline reports whether entropy coding of frame n overlapped
 	// analysis of frame n+1 (codec.Pipeline).
 	Pipeline           bool    `json:"pipeline"`
@@ -93,29 +117,35 @@ type SpeedPoint struct {
 }
 
 // SpeedResult is the full speed report, serialisable to BENCH_speed.json.
+// Host makes the artifact self-describing: the CPU model, core count
+// and active SAD kernel ISA the points were measured under.
 type SpeedResult struct {
-	Profile   string       `json:"profile"`
-	Size      string       `json:"size"`
-	Frames    int          `json:"frames"`
-	Qp        int          `json:"qp"`
-	GoMaxProc int          `json:"gomaxprocs"`
-	Points    []SpeedPoint `json:"points"`
+	Profile string       `json:"profile"`
+	Size    string       `json:"size"`
+	Frames  int          `json:"frames"`
+	Qp      int          `json:"qp"`
+	Host    Host         `json:"host"`
+	Points  []SpeedPoint `json:"points"`
 }
 
 // RunSpeed measures encode wall-clock for FSBM, PBM and ACBM across the
-// configured worker counts. Bitstreams are identical across worker counts
-// (the wavefront encoder guarantees it), so the numbers are directly
-// comparable.
+// GOMAXPROCS × Workers × Pipeline matrix. Bitstreams are identical
+// across every cell (the wavefront encoder guarantees it), so the
+// numbers are directly comparable; the matrix exists to separate the
+// three scaling axes — OS parallelism, wavefront width, and
+// analysis/entropy overlap. The process GOMAXPROCS is restored before
+// returning.
 func RunSpeed(cfg SpeedConfig) (*SpeedResult, error) {
 	cfg = cfg.withDefaults()
 	frames := video.Generate(cfg.Profile, cfg.Size, cfg.Frames, cfg.Seed)
 	res := &SpeedResult{
-		Profile:   cfg.Profile.String(),
-		Size:      fmt.Sprintf("%dx%d", cfg.Size.W, cfg.Size.H),
-		Frames:    cfg.Frames,
-		Qp:        cfg.Qp,
-		GoMaxProc: runtime.GOMAXPROCS(0),
+		Profile: cfg.Profile.String(),
+		Size:    fmt.Sprintf("%dx%d", cfg.Size.W, cfg.Size.H),
+		Frames:  cfg.Frames,
+		Qp:      cfg.Qp,
+		Host:    DetectHost(),
 	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	searchers := []struct {
 		name string
 		mk   func() search.Searcher
@@ -126,55 +156,60 @@ func RunSpeed(cfg SpeedConfig) (*SpeedResult, error) {
 	}
 	for _, s := range searchers {
 		base := 0.0
-		for _, workers := range cfg.Workers {
-			for _, pipeline := range []bool{false, true} {
-				var best time.Duration
-				var stats *codec.SequenceStats
-				var analysis, entropy time.Duration
-				var allocs, allocBytes, interpBytes uint64
-				for rep := 0; rep < cfg.Repeats; rep++ {
-					ecfg := codec.Config{
-						Qp: cfg.Qp, Searcher: s.mk(), Workers: workers,
+		for _, gmp := range cfg.GoMaxProcs {
+			runtime.GOMAXPROCS(gmp)
+			for _, workers := range cfg.workersFor(gmp) {
+				for _, pipeline := range []bool{false, true} {
+					var best time.Duration
+					var stats *codec.SequenceStats
+					var analysis, entropy time.Duration
+					var allocs, allocBytes, interpBytes uint64
+					for rep := 0; rep < cfg.Repeats; rep++ {
+						ecfg := codec.Config{
+							Qp: cfg.Qp, Searcher: s.mk(), Workers: workers,
+						}
+						var ms0, ms1 runtime.MemStats
+						runtime.ReadMemStats(&ms0)
+						_, ib0 := frame.InterpFillStats()
+						start := time.Now()
+						st, a, en, err := encodeTimed(ecfg, pipeline, frames)
+						el := time.Since(start)
+						if err != nil {
+							return nil, fmt.Errorf("speed %s gomaxprocs=%d workers=%d pipeline=%v: %w",
+								s.name, gmp, workers, pipeline, err)
+						}
+						runtime.ReadMemStats(&ms1)
+						_, ib1 := frame.InterpFillStats()
+						if rep == 0 || el < best {
+							best, stats, analysis, entropy = el, st, a, en
+							allocs = ms1.Mallocs - ms0.Mallocs
+							allocBytes = ms1.TotalAlloc - ms0.TotalAlloc
+							interpBytes = ib1 - ib0
+						}
 					}
-					var ms0, ms1 runtime.MemStats
-					runtime.ReadMemStats(&ms0)
-					_, ib0 := frame.InterpFillStats()
-					start := time.Now()
-					st, a, en, err := encodeTimed(ecfg, pipeline, frames)
-					el := time.Since(start)
-					if err != nil {
-						return nil, fmt.Errorf("speed %s workers=%d pipeline=%v: %w",
-							s.name, workers, pipeline, err)
+					perFrame := float64(best.Nanoseconds()) / float64(cfg.Frames)
+					pt := SpeedPoint{
+						Searcher:            s.name,
+						GoMaxProcs:          gmp,
+						KernelISA:           metrics.ActiveKernelISA(),
+						Workers:             workers,
+						Pipeline:            pipeline,
+						NsPerFrame:          perFrame,
+						FPS:                 1e9 / perFrame,
+						AnalysisNsPerFrame:  float64(analysis.Nanoseconds()) / float64(cfg.Frames),
+						EntropyNsPerFrame:   float64(entropy.Nanoseconds()) / float64(cfg.Frames),
+						PointsPerMB:         stats.AvgSearchPointsPerMB(),
+						PSNRY:               stats.AvgPSNRY(),
+						AllocsPerFrame:      float64(allocs) / float64(cfg.Frames),
+						AllocBytesPerFrame:  float64(allocBytes) / float64(cfg.Frames),
+						InterpBytesPerFrame: float64(interpBytes) / float64(cfg.Frames),
 					}
-					runtime.ReadMemStats(&ms1)
-					_, ib1 := frame.InterpFillStats()
-					if rep == 0 || el < best {
-						best, stats, analysis, entropy = el, st, a, en
-						allocs = ms1.Mallocs - ms0.Mallocs
-						allocBytes = ms1.TotalAlloc - ms0.TotalAlloc
-						interpBytes = ib1 - ib0
+					if base == 0 {
+						base = perFrame
 					}
+					pt.Speedup = base / perFrame
+					res.Points = append(res.Points, pt)
 				}
-				perFrame := float64(best.Nanoseconds()) / float64(cfg.Frames)
-				pt := SpeedPoint{
-					Searcher:            s.name,
-					Workers:             workers,
-					Pipeline:            pipeline,
-					NsPerFrame:          perFrame,
-					FPS:                 1e9 / perFrame,
-					AnalysisNsPerFrame:  float64(analysis.Nanoseconds()) / float64(cfg.Frames),
-					EntropyNsPerFrame:   float64(entropy.Nanoseconds()) / float64(cfg.Frames),
-					PointsPerMB:         stats.AvgSearchPointsPerMB(),
-					PSNRY:               stats.AvgPSNRY(),
-					AllocsPerFrame:      float64(allocs) / float64(cfg.Frames),
-					AllocBytesPerFrame:  float64(allocBytes) / float64(cfg.Frames),
-					InterpBytesPerFrame: float64(interpBytes) / float64(cfg.Frames),
-				}
-				if base == 0 {
-					base = perFrame
-				}
-				pt.Speedup = base / perFrame
-				res.Points = append(res.Points, pt)
 			}
 		}
 	}
@@ -222,18 +257,20 @@ func (r *SpeedResult) WriteJSON(path string) error {
 // FormatSpeed renders the result as the aligned text table acbmbench
 // prints alongside (or instead of) the JSON artifact.
 func FormatSpeed(r *SpeedResult) string {
-	out := fmt.Sprintf("encoder speed: %s %s, %d frames, Qp %d, GOMAXPROCS %d\n",
-		r.Profile, r.Size, r.Frames, r.Qp, r.GoMaxProc)
-	out += fmt.Sprintf("%-6s %8s %5s %12s %8s %12s %12s %10s %9s %9s %10s %10s %8s\n",
-		"algo", "workers", "pipe", "ns/frame", "fps", "analysis/fr", "entropy/fr", "points/MB", "PSNR-Y",
+	out := fmt.Sprintf("encoder speed: %s %s, %d frames, Qp %d\n",
+		r.Profile, r.Size, r.Frames, r.Qp)
+	out += fmt.Sprintf("host: %s (%d cpus), kernel ISA %s (of %v)\n",
+		r.Host.CPUModel, r.Host.NumCPU, r.Host.KernelISA, r.Host.KernelISAs)
+	out += fmt.Sprintf("%-6s %4s %8s %5s %12s %8s %12s %12s %10s %9s %9s %10s %10s %8s\n",
+		"algo", "gmp", "workers", "pipe", "ns/frame", "fps", "analysis/fr", "entropy/fr", "points/MB", "PSNR-Y",
 		"allocs/fr", "kB-alloc/fr", "kB-interp/fr", "speedup")
 	for _, p := range r.Points {
 		pipe := "off"
 		if p.Pipeline {
 			pipe = "on"
 		}
-		out += fmt.Sprintf("%-6s %8d %5s %12.0f %8.2f %12.0f %12.0f %10.1f %9.2f %9.1f %10.1f %10.1f %7.2fx\n",
-			p.Searcher, p.Workers, pipe, p.NsPerFrame, p.FPS,
+		out += fmt.Sprintf("%-6s %4d %8d %5s %12.0f %8.2f %12.0f %12.0f %10.1f %9.2f %9.1f %10.1f %10.1f %7.2fx\n",
+			p.Searcher, p.GoMaxProcs, p.Workers, pipe, p.NsPerFrame, p.FPS,
 			p.AnalysisNsPerFrame, p.EntropyNsPerFrame, p.PointsPerMB, p.PSNRY,
 			p.AllocsPerFrame, p.AllocBytesPerFrame/1024, p.InterpBytesPerFrame/1024, p.Speedup)
 	}

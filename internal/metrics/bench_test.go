@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// Kernel microbenchmarks, one sub-benchmark per registered ISA tier —
+// the numbers behind the "SIMD ≥1.5× over SWAR" acceptance line:
+//
+//	go test -run=- -bench 'Kernel' -benchmem ./internal/metrics/
+//
+// The 16×16 shapes are the motion-search hot path; 8×8 is the chroma /
+// sub-block shape.
+
+func benchPlanes() (cur, ref *frame.Plane) {
+	rng := rand.New(rand.NewSource(1234))
+	cur = paddedPlane(rng, 352, 64, 16)
+	ref = paddedPlane(rng, 352, 64, 16)
+	return cur, ref
+}
+
+func benchEachISA(b *testing.B, fn func(b *testing.B)) {
+	b.Helper()
+	for _, isa := range KernelISAs() {
+		restore, err := SetKernelISA(isa)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(isa, fn)
+		restore()
+	}
+}
+
+func BenchmarkKernelSAD16x16(b *testing.B) {
+	cur, ref := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(16 * 16)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += SAD(cur, 32, 16, ref, 33+i%4, 17, 16, 16)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkKernelSAD8x8(b *testing.B) {
+	cur, ref := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(8 * 8)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += SAD(cur, 32, 16, ref, 33+i%4, 17, 8, 8)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkKernelSADCapped16x16(b *testing.B) {
+	cur, ref := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(16 * 16)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			// Cap high enough to never terminate: worst-case cost.
+			sink += SADCapped(cur, 32, 16, ref, 33+i%4, 17, 16, 16, 1<<30)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkKernelIntraSAD16x16(b *testing.B) {
+	cur, _ := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(16 * 16)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += IntraSAD(cur, 32+i%4, 16, 16, 16)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkKernelHalfPelH16x16(b *testing.B) {
+	cur, ref := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(16 * 16)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += SADHalfPelPlane(cur, 32, 16, ref, 2*(33+i%4)+1, 2*17, 16, 16)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkKernelHalfPelD16x16(b *testing.B) {
+	cur, ref := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(16 * 16)
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += SADHalfPelPlane(cur, 32, 16, ref, 2*(33+i%4)+1, 2*17+1, 16, 16)
+		}
+		benchSink = sink
+	})
+}
+
+func BenchmarkKernelHalfPelRing16x16(b *testing.B) {
+	cur, ref := benchPlanes()
+	benchEachISA(b, func(b *testing.B) {
+		b.SetBytes(8 * 16 * 16)
+		var ring [9]int
+		for i := 0; i < b.N; i++ {
+			SADHalfPelRing(cur, 32, 16, ref, 33+i%4, 17, 16, 16, &ring)
+		}
+		benchSink = ring[0]
+	})
+}
+
+// benchSink defeats dead-code elimination of the benchmark bodies.
+var benchSink int

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package metrics
+
+// archKernelTables reports no architecture-specific kernel tiers: arm64
+// and unknown ISAs run the portable SWAR tier exactly as before. (An
+// arm64 UABDL/UADALP tier would slot in here.)
+func archKernelTables() []*kernelTable { return nil }
+
+// DetectedCPUFeatures lists the SIMD feature flags relevant to kernel
+// selection that the host CPU advertises; empty off amd64.
+func DetectedCPUFeatures() []string { return nil }

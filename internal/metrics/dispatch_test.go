@@ -1,0 +1,312 @@
+package metrics
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// withEachISA runs fn as a subtest once per kernel tier available on
+// this host, with that tier active for the duration. On amd64 this
+// covers scalar, swar, sse2 and (hardware permitting) avx2 — including
+// the fallback path a machine without AVX2 would take, by pinning the
+// lower tiers explicitly.
+func withEachISA(t *testing.T, fn func(t *testing.T, isa string)) {
+	t.Helper()
+	for _, isa := range KernelISAs() {
+		restore, err := SetKernelISA(isa)
+		if err != nil {
+			t.Fatalf("SetKernelISA(%q): %v", isa, err)
+		}
+		t.Run(isa, func(t *testing.T) { fn(t, isa) })
+		restore()
+	}
+}
+
+// TestKernelISAFallbackOrder pins the dispatch contract: scalar first,
+// SWAR second, architecture tiers after, and the automatic pick is the
+// last entry (unless the env override redirected it).
+func TestKernelISAFallbackOrder(t *testing.T) {
+	isas := KernelISAs()
+	if len(isas) < 2 || isas[0] != "scalar" || isas[1] != "swar" {
+		t.Fatalf("KernelISAs() = %v, want scalar,swar prefix", isas)
+	}
+	if os.Getenv(KernelEnvVar) == "" && KernelInitNote() == "" {
+		if got, want := ActiveKernelISA(), isas[len(isas)-1]; got != want {
+			t.Errorf("active ISA %q, want automatic pick %q", got, want)
+		}
+	}
+}
+
+// TestKernelDispatchSanity is the check bench-smoke runs in one-shot
+// form: the selected tier must be one the detected CPU features
+// actually support, and every advertised SIMD feature must have
+// produced its tier.
+func TestKernelDispatchSanity(t *testing.T) {
+	feats := DetectedCPUFeatures()
+	isas := KernelISAs()
+	have := func(list []string, s string) bool {
+		for _, v := range list {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tier := range isas {
+		switch tier {
+		case "scalar", "swar":
+		default:
+			if !have(feats, tier) && !(tier == "sse2" && len(feats) == 0) {
+				t.Errorf("tier %q registered but not in detected features %v", tier, feats)
+			}
+		}
+	}
+	if have(feats, "avx2") && !have(isas, "avx2") {
+		t.Errorf("CPU advertises avx2 but no avx2 tier registered (isas %v)", isas)
+	}
+	if !have(isas, ActiveKernelISA()) {
+		t.Errorf("active ISA %q not among registered tiers %v", ActiveKernelISA(), isas)
+	}
+}
+
+func TestSetKernelISAUnknown(t *testing.T) {
+	_, err := SetKernelISA("neon")
+	if err == nil {
+		t.Fatal("SetKernelISA(neon) succeeded; want error")
+	}
+	ue, ok := err.(*UnknownISAError)
+	if !ok {
+		t.Fatalf("error type %T, want *UnknownISAError", err)
+	}
+	if ue.Name != "neon" || !strings.Contains(err.Error(), "scalar") {
+		t.Errorf("error %q should name the ISA and list the available tiers", err)
+	}
+	if got := ActiveKernelISA(); got == "neon" {
+		t.Error("failed SetKernelISA changed the active tier")
+	}
+}
+
+// TestKernelTiersMatchScalar is the central differential test: every
+// registered tier must return bit-identical values to the scalar
+// reference (and therefore to the SWAR tier) for the whole SAD family,
+// across widths that exercise 16-byte chunks, 8-byte tails and the
+// scalar trailing columns, heights including the h=1 rows the capped
+// mixed-width path issues, unaligned strides, and caps that terminate
+// at every possible row.
+func TestKernelTiersMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cur := paddedPlane(rng, 72, 40, 5)
+	ref := paddedPlane(rng, 72, 40, 11)
+	withEachISA(t, func(t *testing.T, isa string) {
+		for _, w := range []int{4, 8, 12, 16, 20, 24, 32, 48} {
+			for _, h := range []int{1, 2, 4, 8, 16} {
+				for _, off := range [][4]int{{0, 0, 1, 1}, {3, 2, 17, 9}, {21, 13, 5, 23}, {48, 24, 24, 24}} {
+					cx, cy, rx, ry := off[0], off[1], off[2], off[3]
+					if cx+w > cur.W || cy+h > cur.H || rx+w+1 > ref.W || ry+h+1 > ref.H {
+						continue
+					}
+					if got, want := SAD(cur, cx, cy, ref, rx, ry, w, h), sadScalar(cur, cx, cy, ref, rx, ry, w, h); got != want {
+						t.Fatalf("SAD w=%d h=%d: got %d want %d", w, h, got, want)
+					}
+					if got, want := Mean(cur, cx, cy, w, h), (planeSumScalar(cur, cx, cy, w, h)+w*h/2)/(w*h); got != want {
+						t.Fatalf("Mean w=%d h=%d: got %d want %d", w, h, got, want)
+					}
+					if got, want := IntraSAD(cur, cx, cy, w, h), intraSADScalar(cur, cx, cy, w, h); got != want {
+						t.Fatalf("IntraSAD w=%d h=%d: got %d want %d", w, h, got, want)
+					}
+					// Caps spanning "exit at first row" to "never exit",
+					// pinning both the exit decision and the exact
+					// cumulative value returned at the exit row.
+					full := sadScalar(cur, cx, cy, ref, rx, ry, w, h)
+					for _, cap := range []int{0, full / 4, full / 2, full - 1, full, 1 << 30} {
+						if got, want := SADCapped(cur, cx, cy, ref, rx, ry, w, h, cap), sadCappedScalar(cur, cx, cy, ref, rx, ry, w, h, cap); got != want {
+							t.Fatalf("SADCapped w=%d h=%d cap=%d: got %d want %d", w, h, cap, got, want)
+						}
+					}
+					// All three half-pel phases, uncapped and capped —
+					// H.263 rounding ((a+b+1)>>1, (a+b+c+d+2)>>2) must
+					// survive each tier's arithmetic exactly.
+					for _, d := range [][2]int{{1, 0}, {0, 1}, {1, 1}} {
+						hx, hy := 2*rx+d[0], 2*ry+d[1]
+						if got, want := SADHalfPelPlane(cur, cx, cy, ref, hx, hy, w, h), sadHalfPelPlaneScalar(cur, cx, cy, ref, hx, hy, w, h); got != want {
+							t.Fatalf("SADHalfPelPlane w=%d h=%d phase=%v: got %d want %d", w, h, d, got, want)
+						}
+						for _, cap := range []int{0, full / 2, 1 << 30} {
+							if got, want := SADHalfPelPlaneCapped(cur, cx, cy, ref, hx, hy, w, h, cap), sadHalfPelPlaneCappedScalar(cur, cx, cy, ref, hx, hy, w, h, cap); got != want {
+								t.Fatalf("SADHalfPelPlaneCapped w=%d h=%d phase=%v cap=%d: got %d want %d", w, h, d, cap, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestRingAcrossISAs checks the fused ring kernel of every tier against
+// eight independent scalar probes, and that the centre slot is left
+// untouched.
+func TestRingAcrossISAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cur := paddedPlane(rng, 64, 40, 7)
+	ref := paddedPlane(rng, 64, 40, 3)
+	withEachISA(t, func(t *testing.T, isa string) {
+		for _, sz := range [][2]int{{8, 8}, {16, 16}, {16, 8}, {8, 16}, {24, 8}} {
+			w, h := sz[0], sz[1]
+			for _, pos := range [][4]int{{1, 1, 1, 1}, {5, 9, 11, 3}, {17, 3, 2, 19}} {
+				cx, cy, rx, ry := pos[0], pos[1], pos[2], pos[3]
+				if cx+w > cur.W || cy+h > cur.H || rx+w > ref.W-1 || ry+h > ref.H-1 {
+					continue
+				}
+				ring := [9]int{4: -12345}
+				SADHalfPelRing(cur, cx, cy, ref, rx, ry, w, h, &ring)
+				if ring[4] != -12345 {
+					t.Fatalf("ring centre slot overwritten: %d", ring[4])
+				}
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						want := sadHalfPelPlaneScalar(cur, cx, cy, ref, 2*rx+dx, 2*ry+dy, w, h)
+						if got := ring[(dy+1)*3+dx+1]; got != want {
+							t.Fatalf("ring w=%d h=%d (%d,%d) slot(%d,%d): got %d want %d", w, h, rx, ry, dx, dy, got, want)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestSADCappedEarlyExitRowValues pins the early-termination value
+// itself: with a constant-difference block, the cap is crossed at a
+// known row and every tier must return exactly that row's cumulative
+// sum.
+func TestSADCappedEarlyExitRowValues(t *testing.T) {
+	w, h := 16, 16
+	cur := &frame.Plane{W: w, H: h, Stride: w, Pix: make([]uint8, w*h)}
+	ref := &frame.Plane{W: w, H: h, Stride: w, Pix: make([]uint8, w*h)}
+	for i := range cur.Pix {
+		cur.Pix[i] = 10
+	}
+	rowSum := w * 10
+	withEachISA(t, func(t *testing.T, isa string) {
+		for rows := 1; rows <= h; rows++ {
+			cap := rows*rowSum - 1 // crossed exactly at row `rows`
+			want := rows * rowSum
+			if got := SADCapped(cur, 0, 0, ref, 0, 0, w, h, cap); got != want {
+				t.Fatalf("cap=%d: got %d, want cumulative row value %d", cap, got, want)
+			}
+		}
+		if got := SADCapped(cur, 0, 0, ref, 0, 0, w, h, h*rowSum); got != h*rowSum {
+			t.Fatalf("cap==total must return exact total: got %d", got)
+		}
+	})
+}
+
+// FuzzKernelTiersSAD drives arbitrary pixels and geometry through every
+// registered tier and cross-checks the scalar reference for SAD,
+// SADCapped, Mean and IntraSAD.
+func FuzzKernelTiersSAD(f *testing.F) {
+	f.Add([]byte("seedseedseedseedseedseedseedseed"), uint8(16), uint8(8), uint8(1), uint8(2), uint8(0), uint8(0), uint8(3), uint16(500))
+	f.Add(make([]byte, 64), uint8(4), uint8(4), uint8(0), uint8(0), uint8(1), uint8(1), uint8(0), uint16(0))
+	f.Fuzz(func(t *testing.T, pix []byte, wSel, hSel, cxSel, cySel, rxSel, rySel, pad8 uint8, cap16 uint16) {
+		widths := []int{4, 8, 12, 16, 20, 24, 32}
+		w := widths[int(wSel)%len(widths)]
+		h := 1 + int(hSel)%16
+		pad := int(pad8) % 9
+		pw, ph := w+8, h+8
+		need := (pw + pad) * ph
+		buf := make([]uint8, 2*need)
+		for i := range buf {
+			if len(pix) > 0 {
+				buf[i] = pix[i%len(pix)]
+			}
+		}
+		cur := &frame.Plane{W: pw, H: ph, Stride: pw + pad, Pix: buf[:need]}
+		ref := &frame.Plane{W: pw, H: ph, Stride: pw + pad, Pix: buf[need:]}
+		cx, cy := int(cxSel)%(pw-w+1), int(cySel)%(ph-h+1)
+		rx, ry := int(rxSel)%(pw-w+1), int(rySel)%(ph-h+1)
+		cap := int(cap16)
+		wantSAD := sadScalar(cur, cx, cy, ref, rx, ry, w, h)
+		wantCapped := sadCappedScalar(cur, cx, cy, ref, rx, ry, w, h, cap)
+		wantIntra := intraSADScalar(cur, cx, cy, w, h)
+		for _, isa := range KernelISAs() {
+			restore, err := SetKernelISA(isa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := SAD(cur, cx, cy, ref, rx, ry, w, h); got != wantSAD {
+				t.Errorf("%s SAD w=%d h=%d: got %d want %d", isa, w, h, got, wantSAD)
+			}
+			if got := SADCapped(cur, cx, cy, ref, rx, ry, w, h, cap); got != wantCapped {
+				t.Errorf("%s SADCapped w=%d h=%d cap=%d: got %d want %d", isa, w, h, cap, got, wantCapped)
+			}
+			if got := IntraSAD(cur, cx, cy, w, h); got != wantIntra {
+				t.Errorf("%s IntraSAD w=%d h=%d: got %d want %d", isa, w, h, got, wantIntra)
+			}
+			restore()
+		}
+	})
+}
+
+// FuzzKernelTiersHalfPel does the same for the fused half-pel kernels:
+// all three phases, capped and uncapped, plus the ring when legal.
+func FuzzKernelTiersHalfPel(f *testing.F) {
+	f.Add([]byte("halfpelhalfpelhalfpelhalfpel"), uint8(16), uint8(8), uint8(1), uint8(1), uint8(2), uint8(2), uint16(300))
+	f.Add(make([]byte, 96), uint8(8), uint8(8), uint8(0), uint8(0), uint8(1), uint8(1), uint16(0))
+	f.Fuzz(func(t *testing.T, pix []byte, wSel, hSel, cxSel, cySel, rxSel, rySel uint8, cap16 uint16) {
+		widths := []int{8, 16, 24}
+		w := widths[int(wSel)%len(widths)]
+		h := 1 + int(hSel)%16
+		pw, ph := w+10, h+10
+		need := pw * ph
+		buf := make([]uint8, 2*need)
+		for i := range buf {
+			if len(pix) > 0 {
+				buf[i] = pix[i%len(pix)]
+			}
+		}
+		cur := &frame.Plane{W: pw, H: ph, Stride: pw, Pix: buf[:need]}
+		ref := &frame.Plane{W: pw, H: ph, Stride: pw, Pix: buf[need:]}
+		cx, cy := int(cxSel)%(pw-w+1), int(cySel)%(ph-h+1)
+		rx, ry := 1+int(rxSel)%(pw-w-1), 1+int(rySel)%(ph-h-1)
+		cap := int(cap16)
+		for _, isa := range KernelISAs() {
+			restore, err := SetKernelISA(isa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range [][2]int{{1, 0}, {0, 1}, {1, 1}} {
+				hx, hy := 2*rx+d[0], 2*ry+d[1]
+				if got, want := SADHalfPelPlane(cur, cx, cy, ref, hx, hy, w, h), sadHalfPelPlaneScalar(cur, cx, cy, ref, hx, hy, w, h); got != want {
+					t.Errorf("%s hp phase=%v w=%d h=%d: got %d want %d", isa, d, w, h, got, want)
+				}
+				if got, want := SADHalfPelPlaneCapped(cur, cx, cy, ref, hx, hy, w, h, cap), sadHalfPelPlaneCappedScalar(cur, cx, cy, ref, hx, hy, w, h, cap); got != want {
+					t.Errorf("%s hpCapped phase=%v w=%d h=%d cap=%d: got %d want %d", isa, d, w, h, cap, got, want)
+				}
+			}
+			if w%8 == 0 && w*h <= 256 && rx+w <= ref.W-1 && ry+h <= ref.H-1 {
+				var ring [9]int
+				SADHalfPelRing(cur, cx, cy, ref, rx, ry, w, h, &ring)
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						want := sadHalfPelPlaneScalar(cur, cx, cy, ref, 2*rx+dx, 2*ry+dy, w, h)
+						if got := ring[(dy+1)*3+dx+1]; got != want {
+							t.Errorf("%s ring (%d,%d): got %d want %d", isa, dx, dy, got, want)
+						}
+					}
+				}
+			}
+			restore()
+		}
+	})
+}

@@ -4,10 +4,14 @@
 // Fig. 4 study, and the Lagrangian cost J = D + λ·R used to compare motion
 // estimators.
 //
-// The SAD family runs on word-parallel (SWAR) kernels that process 8
-// pixels per uint64 load when the block width is a multiple of 8; other
-// widths use the scalar loops, which also serve as the reference
-// implementations for the differential tests in swar_test.go.
+// The SAD family dispatches through a per-ISA kernel table (dispatch.go):
+// architecture-specific assembly where available (PSADBW/VPSADBW on
+// amd64), word-parallel SWAR kernels (8 pixels per uint64 load) as the
+// portable vector tier, and the scalar loops as the reference
+// implementations the differential tests in swar_test.go and
+// dispatch_test.go compare every tier against. Blocks whose width is not
+// a multiple of 8 run the vector kernels over the widest multiple-of-8
+// body and finish the trailing columns scalar.
 package metrics
 
 import (
@@ -29,10 +33,25 @@ func swarRowGroup(w int) int {
 // anchored at (cx, cy) and the block of ref anchored at (rx, ry). Both
 // blocks must lie inside their planes.
 func SAD(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
-	if w%8 != 0 || w > 256 {
+	if w > 256 {
 		// Beyond 256 samples a single row overflows the 16-bit lane fold.
 		return sadScalar(cur, cx, cy, ref, rx, ry, w, h)
 	}
+	if wv := w &^ 7; wv != w {
+		if wv == 0 {
+			return sadScalar(cur, cx, cy, ref, rx, ry, w, h)
+		}
+		// Vector body over the widest multiple-of-8 prefix, scalar over
+		// the trailing columns (chroma edge blocks: 4/12/20 wide). The
+		// sum is exact either way, so the split cannot change values.
+		return kernels().sad(cur, cx, cy, ref, rx, ry, wv, h) +
+			sadScalar(cur, cx+wv, cy, ref, rx+wv, ry, w-wv, h)
+	}
+	return kernels().sad(cur, cx, cy, ref, rx, ry, w, h)
+}
+
+// sadSWAR is the SWAR tier of SAD: w%8 == 0, w ≤ 256.
+func sadSWAR(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) int {
 	sum := 0
 	group := swarRowGroup(w)
 	for y0 := 0; y0 < h; y0 += group {
@@ -78,13 +97,45 @@ func sadScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int)
 // SADCapped is SAD with early termination: it returns a value > cap (not
 // necessarily the exact SAD) as soon as the running sum exceeds cap after
 // any row. Using it never changes which candidate wins a minimisation,
-// only how much work losing candidates cost.
+// only how much work losing candidates cost. The early-termination value
+// itself is pinned: every tier returns the exact cumulative sum at the
+// row the cap was crossed, equal to sadCappedScalar's.
 func SADCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
-	if w == 16 && h <= 16 {
-		return sadCapped16(cur, cx, cy, ref, rx, ry, h, cap)
+	if w%8 == 0 && w*h <= 256 {
+		return kernels().sadCapped(cur, cx, cy, ref, rx, ry, w, h, cap)
 	}
-	if w%8 != 0 || w*h > 256 {
+	wv := w &^ 7
+	if wv == 0 || w > 256 || wv*h > 256 {
 		return sadCappedScalar(cur, cx, cy, ref, rx, ry, w, h, cap)
+	}
+	// Mixed width: vector body plus scalar trailing columns, row by row,
+	// folding the cumulative sum at every full row — the same early-exit
+	// points and values as the scalar reference.
+	k := kernels()
+	sum := 0
+	for y := 0; y < h; y++ {
+		sum += k.sad(cur, cx, cy+y, ref, rx, ry+y, wv, 1)
+		c := cur.Pix[(cy+y)*cur.Stride+cx+wv : (cy+y)*cur.Stride+cx+w]
+		r := ref.Pix[(ry+y)*ref.Stride+rx+wv : (ry+y)*ref.Stride+rx+w]
+		for x, cv := range c {
+			d := int(cv) - int(r[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if sum > cap {
+			return sum
+		}
+	}
+	return sum
+}
+
+// sadCappedSWAR is the SWAR tier of SADCapped: w%8 == 0, w·h ≤ 256. The
+// dominant 16-wide macroblock shape takes the unrolled path.
+func sadCappedSWAR(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h, cap int) int {
+	if w == 16 {
+		return sadCapped16(cur, cx, cy, ref, rx, ry, h, cap)
 	}
 	// The whole block fits one lane accumulator, so the running sum is one
 	// fold away at every row — same early-exit points as the scalar code.
@@ -219,13 +270,14 @@ func SADHalfPelPlane(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, hy, w, 
 			return SAD(cur, cx, cy, ref, x0, y0, w, h)
 		}
 		if w%8 == 0 && w <= 256 {
+			k := kernels()
 			switch {
 			case py == 0:
-				return sadHalfPelH(cur, cx, cy, ref, x0, y0, w, h)
+				return k.hpH(cur, cx, cy, ref, x0, y0, w, h)
 			case px == 0:
-				return sadHalfPelV(cur, cx, cy, ref, x0, y0, w, h)
+				return k.hpV(cur, cx, cy, ref, x0, y0, w, h)
 			default:
-				return sadHalfPelD(cur, cx, cy, ref, x0, y0, w, h)
+				return k.hpD(cur, cx, cy, ref, x0, y0, w, h)
 			}
 		}
 	}
@@ -341,13 +393,14 @@ func SADHalfPelPlaneCapped(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx, h
 		// running sum is one fold away at every row — the same early-exit
 		// points as the scalar reference.
 		if w%8 == 0 && w*h <= 256 {
+			k := kernels()
 			switch {
 			case py == 0:
-				return sadHalfPelHCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+				return k.hpHCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
 			case px == 0:
-				return sadHalfPelVCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+				return k.hpVCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
 			default:
-				return sadHalfPelDCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
+				return k.hpDCapped(cur, cx, cy, ref, x0, y0, w, h, cap)
 			}
 		}
 	}
@@ -463,6 +516,16 @@ func sadHalfPelPlaneCappedScalar(cur *frame.Plane, cx, cy int, ref *frame.Plane,
 // (rx ≥ 1, ry ≥ 1, rx+w ≤ ref.W-1, ry+h ≤ ref.H-1 — implied by all eight
 // probes being legal).
 func SADHalfPelRing(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int, out *[9]int) {
+	// The table kernels return by value: passing out through the
+	// indirect call would make the caller's stack array escape to the
+	// heap on every refinement. Preserve the caller's centre slot.
+	centre := out[4]
+	*out = kernels().ring(cur, cx, cy, ref, rx, ry, w, h)
+	out[4] = centre
+}
+
+// sadHalfPelRingSWAR is the SWAR tier of SADHalfPelRing.
+func sadHalfPelRingSWAR(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h int) (out [9]int) {
 	var aTL, aT, aTR, aL, aR, aBL, aB, aBR uint64
 	for y := 0; y < h; y++ {
 		co := (cy+y)*cur.Stride + cx
@@ -505,6 +568,7 @@ func SADHalfPelRing(cur *frame.Plane, cx, cy int, ref *frame.Plane, rx, ry, w, h
 	out[0], out[1], out[2] = foldLanes(aTL), foldLanes(aT), foldLanes(aTR)
 	out[3], out[5] = foldLanes(aL), foldLanes(aR)
 	out[6], out[7], out[8] = foldLanes(aBL), foldLanes(aB), foldLanes(aBR)
+	return out
 }
 
 // halfPelAtPlane computes one half-pel grid sample directly from the
@@ -606,16 +670,27 @@ func SADHalfPelPlaneDecimated(cur *frame.Plane, cx, cy int, ref *frame.Plane, hx
 // Mean returns the average sample value of the w×h block of p anchored at
 // (x, y), rounded to nearest.
 func Mean(p *frame.Plane, x, y, w, h int) int {
-	sum := 0
 	if w%8 != 0 || w > 256 {
-		for yy := 0; yy < h; yy++ {
-			row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
-			for _, v := range row {
-				sum += int(v)
-			}
-		}
-		return (sum + w*h/2) / (w * h)
+		return (planeSumScalar(p, x, y, w, h) + w*h/2) / (w * h)
 	}
+	return (kernels().planeSum(p, x, y, w, h) + w*h/2) / (w * h)
+}
+
+// planeSumScalar is the scalar reference for the block sample sum.
+func planeSumScalar(p *frame.Plane, x, y, w, h int) int {
+	sum := 0
+	for yy := 0; yy < h; yy++ {
+		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+		for _, v := range row {
+			sum += int(v)
+		}
+	}
+	return sum
+}
+
+// planeSumSWAR is the SWAR tier of the block sample sum: w%8 == 0, w ≤ 256.
+func planeSumSWAR(p *frame.Plane, x, y, w, h int) int {
+	sum := 0
 	group := swarRowGroup(w)
 	for y0 := 0; y0 < h; y0 += group {
 		y1 := y0 + group
@@ -633,7 +708,7 @@ func Mean(p *frame.Plane, x, y, w, h int) int {
 		}
 		sum += foldLanes(acc)
 	}
-	return (sum + w*h/2) / (w * h)
+	return sum
 }
 
 // IntraSAD returns Σ|p−µ| over the w×h block of p anchored at (x, y),
@@ -641,20 +716,31 @@ func Mean(p *frame.Plane, x, y, w, h int) int {
 // the paper. High values indicate highly textured blocks.
 func IntraSAD(p *frame.Plane, x, y, w, h int) int {
 	mu := Mean(p, x, y, w, h)
-	sum := 0
 	if w%8 != 0 || w > 256 {
-		for yy := 0; yy < h; yy++ {
-			row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
-			for _, v := range row {
-				d := int(v) - mu
-				if d < 0 {
-					d = -d
-				}
-				sum += d
-			}
-		}
-		return sum
+		return intraSADMuScalar(p, x, y, w, h, mu)
 	}
+	return kernels().intraSAD(p, x, y, w, h, mu)
+}
+
+// intraSADMuScalar is the scalar reference for Σ|p−µ| at a given µ.
+func intraSADMuScalar(p *frame.Plane, x, y, w, h, mu int) int {
+	sum := 0
+	for yy := 0; yy < h; yy++ {
+		row := p.Pix[(y+yy)*p.Stride+x : (y+yy)*p.Stride+x+w]
+		for _, v := range row {
+			d := int(v) - mu
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+	}
+	return sum
+}
+
+// intraSADSWAR is the SWAR tier of Σ|p−µ|: w%8 == 0, w ≤ 256.
+func intraSADSWAR(p *frame.Plane, x, y, w, h, mu int) int {
+	sum := 0
 	mub := uint64(mu) * laneOnes
 	group := swarRowGroup(w)
 	for y0 := 0; y0 < h; y0 += group {

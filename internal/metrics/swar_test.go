@@ -34,7 +34,7 @@ func TestAbsDiffLanesExhaustive(t *testing.T) {
 	}
 }
 
-// TestSWARMatchesScalar sweeps block widths 4/8/12/16, several heights,
+// TestSWARMatchesScalar sweeps block widths 4/8/12/16/20, several heights,
 // every block offset, and strides from tight to 17 bytes of padding,
 // comparing all SWAR kernels against the scalar references.
 func TestSWARMatchesScalar(t *testing.T) {
@@ -43,7 +43,7 @@ func TestSWARMatchesScalar(t *testing.T) {
 		cur := paddedPlane(rng, 48, 24, pad)
 		ref := paddedPlane(rng, 48, 24, 2*pad+1)
 		ip := frame.Interpolate(ref)
-		for _, w := range []int{4, 8, 12, 16} {
+		for _, w := range []int{4, 8, 12, 16, 20} {
 			for _, h := range []int{4, 8, 16} {
 				for cy := 0; cy+h <= cur.H; cy += 3 {
 					for cx := 0; cx+w <= cur.W; cx++ {
@@ -112,7 +112,7 @@ func FuzzSADSWAR(f *testing.F) {
 	f.Add([]byte("seedseedseedseedseedseedseedseed"), uint8(16), uint8(8), uint8(1), uint8(2), uint8(0), uint8(0), uint8(3))
 	f.Add(make([]byte, 64), uint8(4), uint8(4), uint8(0), uint8(0), uint8(1), uint8(1), uint8(0))
 	f.Fuzz(func(t *testing.T, pix []byte, wSel, hSel, cxSel, cySel, rxSel, rySel, pad8 uint8) {
-		widths := []int{4, 8, 12, 16}
+		widths := []int{4, 8, 12, 16, 20}
 		w := widths[int(wSel)%len(widths)]
 		h := 1 + int(hSel)%16
 		pad := int(pad8) % 9

@@ -1,0 +1,58 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/mvfield"
+)
+
+// TestSearchWinnersIdenticalAcrossKernelISAs certifies the dispatch
+// invariant at the search layer: because every kernel tier returns
+// bit-identical SADs, every searcher must pick the same winning vector,
+// report the same SAD, and probe the same number of candidates no
+// matter which ISA is active — including the half-pel refinement that
+// goes through the fused ring kernel.
+func TestSearchWinnersIdenticalAcrossKernelISAs(t *testing.T) {
+	searchers := []Searcher{&FSBM{}, &PBM{}, &TSS{}, &FSS{}, &Diamond{}, &CrossDiamond{}}
+	cur := texturedPlane(96, 96, 81)
+	ref := texturedPlane(96, 96, 82)
+	anchors := [][2]int{{0, 0}, {16, 48}, {40, 40}, {80, 80}}
+
+	run := func() []Result {
+		var out []Result
+		for _, s := range searchers {
+			for _, a := range anchors {
+				in := newInput(cur, ref, a[0], a[1], 15, 16)
+				in.CurField = mvfield.NewField(6, 6)
+				out = append(out, s.Search(in))
+			}
+		}
+		return out
+	}
+
+	restore, err := metrics.SetKernelISA("scalar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run()
+	restore()
+
+	for _, isa := range metrics.KernelISAs() {
+		if isa == "scalar" {
+			continue
+		}
+		restore, err := metrics.SetKernelISA(isa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := run()
+		restore()
+		for i := range want {
+			if got[i].MV != want[i].MV || got[i].SAD != want[i].SAD || got[i].Points != want[i].Points {
+				t.Errorf("%s: result %d = {MV %v SAD %d Points %d}, scalar reference {MV %v SAD %d Points %d}",
+					isa, i, got[i].MV, got[i].SAD, got[i].Points, want[i].MV, want[i].SAD, want[i].Points)
+			}
+		}
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	vmetrics "repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -83,6 +86,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g := func(name, typ, help string, v any) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", name, help, name, typ, name, v)
 	}
+	// Build/host context as labels (value always 1, the Prometheus
+	// *_info convention): which SAD kernel tier this process dispatches
+	// to, so a fleet dashboard can spot a node that silently fell back
+	// to scalar — a 5–10× throughput cliff with no error anywhere.
+	fmt.Fprintf(w, "# HELP vcodecd_build_info build and host context, value is always 1\n# TYPE vcodecd_build_info gauge\n")
+	fmt.Fprintf(w, "vcodecd_build_info{goarch=%q,gomaxprocs=\"%d\",kernel_isa=%q,kernel_isas=%q} 1\n",
+		runtime.GOARCH, runtime.GOMAXPROCS(0),
+		vmetrics.ActiveKernelISA(), strings.Join(vmetrics.KernelISAs(), ","))
 	g("vcodecd_sessions_active", "gauge", "sessions currently encoding", active)
 	g("vcodecd_sessions_queued", "gauge", "sessions waiting for admission", queued)
 	g("vcodecd_sessions_total", "counter", "sessions admitted since start", s.m.sessionsTotal.Load())
