@@ -46,10 +46,19 @@
 #                       flight-recorder trace by its trailer ID, assert
 #                       the per-frame timeline matches the stream, check
 #                       the /metrics histograms, clean drain
+#   make ladder-smoke — boot vcodecd, run one /encode?ladder= session,
+#                       split the interleaved stream and require every
+#                       rung to byte-match a pinned offline
+#                       `vcodec encode -ladder` run and decode cleanly,
+#                       check the plane-pool counters, clean drain
+#   make bench-ladder — regenerate BENCH_ladder.json (simulcast ladder
+#                       vs N independent encodes: wall-clock speedup,
+#                       per-rung points/MB with and without cross-layer
+#                       seeding, rung-0 bit-identity gate)
 
 GO ?= go
 
-.PHONY: build test bench-smoke bench-speed bench-matrix bench-rate ratchet-pin serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos obs-smoke ci
+.PHONY: build test bench-smoke bench-speed bench-matrix bench-rate ratchet-pin serve-smoke bench-serve cluster-smoke bench-cluster qos-smoke bench-qos obs-smoke ladder-smoke bench-ladder ci
 
 build:
 	$(GO) vet ./...
@@ -115,4 +124,14 @@ obs-smoke:
 	$(GO) build -o bin/vload ./cmd/vload
 	BIN=bin sh scripts/obs_smoke.sh
 
-ci: test bench-smoke serve-smoke cluster-smoke qos-smoke obs-smoke
+ladder-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/vcodecd ./cmd/vcodecd
+	$(GO) build -o bin/vcodec ./cmd/vcodec
+	$(GO) build -o bin/seqgen ./cmd/seqgen
+	BIN=bin sh scripts/ladder_smoke.sh
+
+bench-ladder:
+	$(GO) run ./cmd/vload -ladder -json BENCH_ladder.json
+
+ci: test bench-smoke serve-smoke cluster-smoke qos-smoke obs-smoke ladder-smoke

@@ -8,8 +8,14 @@
 //	vcodec encode -i in.y4m -o out.acbm -qp 16 -me acbm -entropy arith
 //	vcodec encode -i in.y4m -o out.acbm -workers 4 -pipeline
 //	vcodec encode -i in.y4m -o out.acbm -kbps 80 -workers 4 -pipeline
+//	vcodec encode -i in.y4m -o out.acbm -ladder 128x96@300,64x48@100
 //	vcodec decode -i out.acbm -o roundtrip.y4m
 //	vcodec info   -i out.acbm
+//	vcodec ladder-split -i session.bin -o out.acbm
+//
+// ladder-split demultiplexes a saved /encode?ladder= session stream
+// (interleaved per-rung records) into one plain packetized artifact per
+// rung — byte-identical to what `encode -ladder` writes offline.
 //
 // -workers spreads macroblock analysis across a wavefront worker pool and
 // -pipeline overlaps entropy coding of each frame with analysis of the
@@ -68,8 +74,10 @@ func main() {
 		err = runDecode(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
+	case "ladder-split":
+		err = runLadderSplit(os.Args[2:])
 	default:
-		err = fmt.Errorf("unknown subcommand %q (want encode, decode or info)", os.Args[1])
+		err = fmt.Errorf("unknown subcommand %q (want encode, decode, info or ladder-split)", os.Args[1])
 	}
 	if err != nil {
 		fatal(err)
@@ -93,6 +101,7 @@ func runEncode(args []string) error {
 		kbps    = fs.Float64("kbps", 0, "target bitrate in kbit/s (0 = constant -qp; frame-lag rate control, composes with -workers/-pipeline)")
 		budget  = fs.Float64("budget", 0, "target motion-search positions/MB (0 = off; ACBM only, composes with -workers/-pipeline)")
 		packets = fs.Bool("packets", false, "write the packetized transport (independently parseable frame records) instead of the contiguous stream")
+		ladder  = fs.String("ladder", "", "simulcast ladder spec WxH@kbps,... (top rung first, each rung half the previous; writes one packetized artifact per rung, -o gaining a .rN suffix)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +145,14 @@ func runEncode(args []string) error {
 		FPS: fps, IntraPeriod: *gop, Entropy: mode,
 		Workers: *workers, Pipeline: *pipe, TargetKbps: *kbps,
 	}
+	if *ladder != "" {
+		if *kbps > 0 {
+			return fmt.Errorf("encode: -kbps is per-rung in a ladder (use -ladder WxH@kbps)")
+		}
+		return encodeLadder(cfg, *ladder, *out, stream.Frames, func() (search.Searcher, error) {
+			return makeSearcher(*me, *alpha, *beta, *budget)
+		})
+	}
 	var (
 		stats *codec.SequenceStats
 		bs    []byte
@@ -175,6 +192,131 @@ func runEncode(args []string) error {
 	if *kbps > 0 {
 		fmt.Printf("  rate control: target %.1f kbit/s (%.0f%% achieved)\n",
 			*kbps, 100*stats.BitrateKbps() / *kbps)
+	}
+	return nil
+}
+
+// encodeLadder runs the simulcast path: one EncodeLadder pass over the
+// source, one packetized artifact per rung (out.rN.ext), each decodable
+// by `vcodec decode -packets` with no ladder awareness.
+func encodeLadder(cfg codec.Config, spec, out string, frames []*frame.Frame, newSearcher func() (search.Searcher, error)) error {
+	specs, err := codec.ParseLadderSpec(spec)
+	if err != nil {
+		return err
+	}
+	if sz := frames[0].Size(); sz != specs[0].Size {
+		return fmt.Errorf("encode: source is %v but ladder top rung is %v", sz, specs[0].Size)
+	}
+	rungs := make([]codec.Rung, len(specs))
+	for i, s := range specs {
+		rcfg := cfg
+		rcfg.TargetKbps = s.TargetKbps
+		// Fresh searcher per rung: the rungs analyse concurrently and
+		// stateful searchers (budgeted ACBM) must not be shared.
+		if rcfg.Searcher, err = newSearcher(); err != nil {
+			return err
+		}
+		rungs[i] = codec.Rung{Size: s.Size, Cfg: rcfg}
+	}
+	packets, stats, err := codec.EncodeLadder(rungs, frames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("encoded %d frames into a %d-rung ladder\n", len(frames), len(specs))
+	for r, pkts := range packets {
+		var buf bytes.Buffer
+		pw := codec.NewPacketWriter(&buf)
+		for i, pkt := range pkts {
+			if err := pw.WritePacket(i, pkt); err != nil {
+				return err
+			}
+		}
+		path := rungPath(out, r)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		target := ""
+		if specs[r].TargetKbps > 0 {
+			target = fmt.Sprintf(", target %.1f kbit/s", specs[r].TargetKbps)
+		}
+		fmt.Printf("  rung %d %v: %s, %d bytes, %.1f kbit/s%s, PSNR-Y %.2f dB, %.0f positions/MB\n",
+			r, specs[r].Size, path, buf.Len(), stats[r].BitrateKbps(), target,
+			stats[r].AvgPSNRY(), stats[r].AvgSearchPointsPerMB())
+	}
+	return nil
+}
+
+// rungPath derives rung r's artifact path from the -o path: the ".rN"
+// tag slots in ahead of the extension (out.acbm → out.r1.acbm).
+func rungPath(out string, r int) string {
+	if dot := strings.LastIndexByte(out, '.'); dot > strings.LastIndexByte(out, '/') {
+		return fmt.Sprintf("%s.r%d%s", out[:dot], r, out[dot:])
+	}
+	return fmt.Sprintf("%s.r%d", out, r)
+}
+
+// runLadderSplit demultiplexes an interleaved ladder stream (the wire
+// format vcodecd's /encode?ladder= sessions emit: uvarint rung, index,
+// length, payload) into one plain packetized artifact per rung — byte
+// for byte what `encode -ladder` writes, so a saved session can be
+// compared against or decoded by the offline tools.
+func runLadderSplit(args []string) error {
+	fs := flag.NewFlagSet("ladder-split", flag.ExitOnError)
+	var (
+		in  = fs.String("i", "", "input interleaved ladder stream path")
+		out = fs.String("o", "", "output path stem (rung r lands at stem.rN.ext)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("ladder-split: -i and -o are required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	type rungOut struct {
+		buf  bytes.Buffer
+		pw   *codec.PacketWriter
+		next int
+	}
+	var rungs []*rungOut
+	pr := codec.NewLadderPacketReader(bytes.NewReader(data))
+	for {
+		rung, idx, pkt, err := pr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("ladder-split: %w", err)
+		}
+		for len(rungs) <= rung {
+			r := &rungOut{}
+			r.pw = codec.NewPacketWriter(&r.buf)
+			rungs = append(rungs, r)
+		}
+		ro := rungs[rung]
+		// Rungs interleave freely, but within one rung the stream is
+		// strictly in order — a gap means the capture lost data, which
+		// a split must refuse rather than silently paper over.
+		if idx != ro.next {
+			return fmt.Errorf("ladder-split: rung %d packet index %d, want %d", rung, idx, ro.next)
+		}
+		if err := ro.pw.WritePacket(idx, pkt); err != nil {
+			return err
+		}
+		ro.next++
+	}
+	if len(rungs) == 0 {
+		return fmt.Errorf("ladder-split: %s contains no packets", *in)
+	}
+	for r, ro := range rungs {
+		path := rungPath(*out, r)
+		if err := os.WriteFile(path, ro.buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("rung %d: %d packets, %d bytes → %s\n", r, ro.next, ro.buf.Len(), path)
 	}
 	return nil
 }

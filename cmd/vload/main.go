@@ -75,30 +75,32 @@ import (
 
 func main() {
 	var (
-		url      = flag.String("url", "", "endpoint base URL(s), comma-separated (e.g. http://127.0.0.1:8323)")
-		selfhost = flag.Bool("selfhost", false, "boot an in-process daemon on a loopback port and drive it")
-		pool     = flag.Int("pool", 0, "selfhost: analysis pool workers (0 = GOMAXPROCS)")
-		sessions = flag.String("sessions", "1,4,8", "comma-separated session counts to sweep")
-		frames   = flag.Int("frames", 30, "frames per session")
-		sizeName = flag.String("size", "qcif", "clip size: sqcif|qcif|cif")
-		profName = flag.String("profile", "foreman", "clip profile: carphone|foreman|missamerica|table")
-		qp       = flag.Int("qp", 16, "quantiser parameter")
-		me       = flag.String("me", "acbm", "motion estimator")
-		entropy  = flag.String("entropy", "", "entropy backend: expgolomb|arith")
-		kbps     = flag.Float64("kbps", 0, "per-session rate-control target in kbit/s (0 = constant Qp)")
-		seed     = flag.Uint64("seed", 0, "clip seed (0 = experiment default)")
-		verify   = flag.Bool("verify", false, "byte-compare one session per point against the offline encoder")
-		retryA   = flag.Bool("retry-after", false, "on 503, honor Retry-After and re-submit (bounded)")
-		retryMax = flag.Int("retry-max", 4, "max 503 re-submissions per session with -retry-after")
-		priority = flag.String("priority", "", "session scheduling tier: live|batch|mixed (default live)")
-		qosPin   = flag.String("qoslevel", "", "pin sessions at this QoS level 0..3 (default adaptive)")
-		chaosRun = flag.Bool("chaos", false, "run the cluster chaos benchmark instead of the serve sweep")
-		qosRun   = flag.Bool("qos", false, "run the closed-loop QoS overload benchmark instead of the serve sweep")
-		qosBin   = flag.String("daemon", "", "qos: exec this vcodecd binary as a separate process (honest gap percentiles on a saturated machine)")
-		scens    = flag.String("scenarios", "", "chaos: comma-separated scenario subset (default all)")
-		backends = flag.Int("backends", 2, "chaos: self-hosted backend count")
-		jsonPath = flag.String("json", "", "write the report to this path (BENCH_serve.json / BENCH_cluster.json)")
-		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for /healthz before starting")
+		url       = flag.String("url", "", "endpoint base URL(s), comma-separated (e.g. http://127.0.0.1:8323)")
+		selfhost  = flag.Bool("selfhost", false, "boot an in-process daemon on a loopback port and drive it")
+		pool      = flag.Int("pool", 0, "selfhost: analysis pool workers (0 = GOMAXPROCS)")
+		sessions  = flag.String("sessions", "1,4,8", "comma-separated session counts to sweep")
+		frames    = flag.Int("frames", 30, "frames per session")
+		sizeName  = flag.String("size", "qcif", "clip size: sqcif|qcif|cif")
+		profName  = flag.String("profile", "foreman", "clip profile: carphone|foreman|missamerica|table")
+		qp        = flag.Int("qp", 16, "quantiser parameter")
+		me        = flag.String("me", "acbm", "motion estimator")
+		entropy   = flag.String("entropy", "", "entropy backend: expgolomb|arith")
+		kbps      = flag.Float64("kbps", 0, "per-session rate-control target in kbit/s (0 = constant Qp)")
+		seed      = flag.Uint64("seed", 0, "clip seed (0 = experiment default)")
+		verify    = flag.Bool("verify", false, "byte-compare one session per point against the offline encoder")
+		retryA    = flag.Bool("retry-after", false, "on 503, honor Retry-After and re-submit (bounded)")
+		retryMax  = flag.Int("retry-max", 4, "max 503 re-submissions per session with -retry-after")
+		priority  = flag.String("priority", "", "session scheduling tier: live|batch|mixed (default live)")
+		qosPin    = flag.String("qoslevel", "", "pin sessions at this QoS level 0..3 (default adaptive)")
+		chaosRun  = flag.Bool("chaos", false, "run the cluster chaos benchmark instead of the serve sweep")
+		ladderRun = flag.Bool("ladder", false, "run the simulcast ladder benchmark (offline EncodeLadder vs independent encodes) instead of the serve sweep")
+		rungs     = flag.Int("rungs", 0, "ladder: rung count (default 3)")
+		qosRun    = flag.Bool("qos", false, "run the closed-loop QoS overload benchmark instead of the serve sweep")
+		qosBin    = flag.String("daemon", "", "qos: exec this vcodecd binary as a separate process (honest gap percentiles on a saturated machine)")
+		scens     = flag.String("scenarios", "", "chaos: comma-separated scenario subset (default all)")
+		backends  = flag.Int("backends", 2, "chaos: self-hosted backend count")
+		jsonPath  = flag.String("json", "", "write the report to this path (BENCH_serve.json / BENCH_cluster.json)")
+		wait      = flag.Duration("wait", 10*time.Second, "how long to wait for /healthz before starting")
 	)
 	flag.Parse()
 
@@ -125,6 +127,40 @@ func main() {
 	case "", "live", "batch", "mixed":
 	default:
 		fatal(fmt.Errorf("bad -priority %q (want live, batch or mixed)", *priority))
+	}
+
+	if *ladderRun {
+		if *selfhost || len(urls) > 0 {
+			fatal(fmt.Errorf("-ladder is an offline benchmark; drop -selfhost/-url"))
+		}
+		// Ladder defaults differ from the serve sweep's (TableTennis for
+		// its seeding-friendly motion, a 16-aligned 2:1 top size): honor a
+		// flag only when the user set it explicitly.
+		lcfg := experiment.LadderConfig{Profile: video.TableTennis, Rungs: *rungs, Seed: *seed}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "frames":
+				lcfg.Frames = *frames
+			case "qp":
+				lcfg.Qp = *qp
+			case "size":
+				lcfg.Size = size
+			case "profile":
+				lcfg.Profile = prof
+			}
+		})
+		res, err := experiment.RunLadder(lcfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiment.FormatLadder(res))
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		return
 	}
 
 	if *qosRun {

@@ -235,4 +235,31 @@
 //     by session. vload names each point's slowest session by trace ID
 //     and dumps its timeline; `make obs-smoke` gates CI on burst →
 //     fetch-trace-by-ID → timeline-matches-stream → clean drain.
+//   - codec.EncodeLadder (vcodecd /encode?ladder=WxH@kbps,..., vcodec
+//     encode -ladder) is the simulcast ABR path: one upload fans out to
+//     N renditions that share ingest, the 2:1 downscale chain
+//     (frame.Downscale — exact box filter, SWAR fast path pinned to the
+//     scalar reference by differential+fuzz tests, pooled outputs) and
+//     cross-layer motion analysis. Rungs encode concurrently, one
+//     goroutine per rung chained by cap-1 channels with a one-frame lag:
+//     each lower rung's searcher receives the rung above's final motion
+//     field scaled down as a search.LayerSeed — up to four extra
+//     candidate probes on the PBM predictor path, replacing the temporal
+//     predictors. Seeds never constrain the search, so every rung is
+//     independently decodable, rung 0 (never seeded) is byte-identical
+//     to a plain single encode, and the whole ladder is byte-identical
+//     across Workers × Pipeline × Pool (pinned under -race). Per-rung
+//     TargetKbps reuses the frame-lag rate controller unchanged. On the
+//     wire, sessions interleave uvarint (rung, index, length, payload)
+//     records; `vcodec ladder-split` demultiplexes a saved session into
+//     per-rung packet artifacts, the X-Vcodec-Rungs trailer carries
+//     per-rung frames/PSNR/kbps, the flight recorder tags events by
+//     rung, and /metrics exports plane-pool hit/miss counters per size
+//     class (ladder sessions churn downscaled planes hardest). `make
+//     bench-ladder` writes BENCH_ladder.json — ladder vs N independent
+//     encodes (wall-clock speedup, bounded by 1 + Σ4⁻ʳ on one core;
+//     rung concurrency lifts it on multicore hosts) plus per-rung
+//     seeded-vs-unseeded points/MB — and `make ladder-smoke` gates CI
+//     on serve → split → byte-match the offline ladder → decode every
+//     rung → clean drain.
 package repro

@@ -95,6 +95,12 @@ type Encoder struct {
 	// frame's analysis, forcing that frame intra so the swap never reads
 	// another searcher's motion-field assumptions.
 	pendingSearcher search.Searcher
+	// curSeed is the cross-layer motion seed for the current frame's
+	// analysis (simulcast ladder: the rung above's scaled field). Set by
+	// the ladder driver on the analysis goroutine before analyzeFrameJob
+	// and cleared after; nil everywhere else, so single-rung encodes are
+	// untouched. Workers read it only through the per-MB scratch Input.
+	curSeed search.LayerSeed
 	// rcPrevJob is the last job whose write phase began: frameHandoff
 	// settles its wroteBits at the next hand-off. One field serves the
 	// serial and pipelined drivers alike (see frameHandoff for the memory
@@ -601,6 +607,7 @@ func (e *Encoder) analyzeInterMB(s search.Searcher, in *search.Input, src, recon
 		Range: e.cfg.SearchRange, Qp: e.curQp,
 		CurField: curField, PrevField: e.prevField,
 		MBX: mbx, MBY: mby,
+		Seed:            e.curSeed,
 		PixelDecimation: e.cfg.PixelDecimation,
 	}
 	res := s.Search(in)

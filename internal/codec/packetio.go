@@ -88,3 +88,92 @@ func (pr *PacketReader) ReadPacket() (index int, data []byte, err error) {
 	}
 	return int(idx), data, nil
 }
+
+// Ladder framing: a simulcast session interleaves the packet streams of
+// its rungs over one byte stream, so each record carries the rung index
+// up front:
+//
+//	uvarint rung | uvarint packet index | uvarint payload length | payload
+//
+// Per-rung records appear in packet order; the interleaving across rungs
+// is arbitrary. Splitting a ladder stream back into per-rung plain packet
+// streams is a pure reframing — payloads are identical to what the rung's
+// standalone PacketWriter would carry.
+
+// maxLadderRung bounds the rung index a reader trusts: real ladders halve
+// per rung, so even 4CIF bottoms out after a handful.
+const maxLadderRung = 1 << 10
+
+// LadderPacketWriter frames rung-tagged packets onto an io.Writer. Like
+// PacketWriter it never buffers: one record is at most two Write calls.
+type LadderPacketWriter struct {
+	w io.Writer
+}
+
+// NewLadderPacketWriter returns a ladder-framing writer onto w.
+func NewLadderPacketWriter(w io.Writer) *LadderPacketWriter {
+	return &LadderPacketWriter{w: w}
+}
+
+// WritePacket appends one rung-tagged record.
+func (pw *LadderPacketWriter) WritePacket(rung, index int, data []byte) error {
+	if rung < 0 || index < 0 {
+		return fmt.Errorf("codec: negative ladder record coordinates (%d, %d)", rung, index)
+	}
+	var hdr [3 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(rung))
+	n += binary.PutUvarint(hdr[n:], uint64(index))
+	n += binary.PutUvarint(hdr[n:], uint64(len(data)))
+	if _, err := pw.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(data)
+	return err
+}
+
+// LadderPacketReader parses a ladder-framed packet stream.
+type LadderPacketReader struct {
+	br *bufio.Reader
+}
+
+// NewLadderPacketReader returns a reader over r.
+func NewLadderPacketReader(r io.Reader) *LadderPacketReader {
+	return &LadderPacketReader{br: bufio.NewReader(r)}
+}
+
+// ReadPacket returns the next rung-tagged record, or io.EOF at a clean
+// end of stream.
+func (pr *LadderPacketReader) ReadPacket() (rung, index int, data []byte, err error) {
+	rg, err := binary.ReadUvarint(pr.br)
+	if err == io.EOF {
+		return 0, 0, nil, io.EOF
+	}
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("codec: reading ladder rung: %w", err)
+	}
+	idx, err := binary.ReadUvarint(pr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, fmt.Errorf("codec: reading ladder packet index: %w", err)
+	}
+	size, err := binary.ReadUvarint(pr.br)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, fmt.Errorf("codec: reading ladder packet length: %w", err)
+	}
+	if rg > maxLadderRung || idx > 1<<32 || size > maxFramedPacket {
+		return 0, 0, nil, fmt.Errorf("codec: implausible ladder record (rung %d, index %d, %d bytes)", rg, idx, size)
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(pr.br, data); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, fmt.Errorf("codec: reading ladder packet payload: %w", err)
+	}
+	return int(rg), int(idx), data, nil
+}

@@ -7,6 +7,8 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/entropy"
 	"repro/internal/frame"
+	"repro/internal/mvfield"
+	"repro/internal/search"
 )
 
 // Packet is one unit of the packetized transport: Index 0 carries the
@@ -104,46 +106,62 @@ func NewEncodeStream(cfg Config, emit func(Packet) error) *EncodeStream {
 // mode) its packet. In pipeline mode it returns when analysis is done;
 // the packet may still be in flight on the writer goroutine.
 func (s *EncodeStream) EncodeFrame(f *frame.Frame) error {
+	_, err := s.encodeFrame(f, nil)
+	return err
+}
+
+// EncodeFrameSeeded is EncodeFrame with a cross-layer motion seed for
+// this frame's analysis, returning the frame's final motion field (nil
+// for intra frames) so a ladder driver can seed the rung below. The
+// returned field is read-only and remains valid: the encoder only ever
+// reads it (as the next frame's PrevField) after this call returns.
+func (s *EncodeStream) EncodeFrameSeeded(f *frame.Frame, seed search.LayerSeed) (*mvfield.Field, error) {
+	return s.encodeFrame(f, seed)
+}
+
+func (s *EncodeStream) encodeFrame(f *frame.Frame, seed search.LayerSeed) (*mvfield.Field, error) {
 	if s.closed {
-		return fmt.Errorf("codec: encode stream closed")
+		return nil, fmt.Errorf("codec: encode stream closed")
 	}
 	if s.overlap {
 		select {
 		case <-s.failed:
-			return s.werr
+			return nil, s.werr
 		default:
 		}
 	}
 	if a := s.pending.Swap(nil); a != nil {
 		s.e.applyActuation(*a)
 	}
+	s.e.curSeed = seed
 	j, err := s.e.analyzeFrameJob(f)
+	s.e.curSeed = nil
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if !s.overlap {
 		if s.werr != nil {
 			putMBResults(j.results)
 			j.results = nil
-			return s.werr
+			return nil, s.werr
 		}
 		if _, err := s.emitJob(j); err != nil {
 			s.werr = err
-			return err
+			return nil, err
 		}
 		// Frame-lag protocol even though j's bits are already known: the
 		// controller must see exactly what a pipelined session would.
 		s.e.frameHandoff(j)
-		return nil
+		return j.curField, nil
 	}
 	select {
 	case s.jobs <- j:
 		s.e.frameHandoff(j)
-		return nil
+		return j.curField, nil
 	case <-s.failed:
 		putMBResults(j.results)
 		j.results = nil
-		return s.werr
+		return nil, s.werr
 	}
 }
 

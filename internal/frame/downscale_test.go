@@ -1,0 +1,140 @@
+package frame
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomPlane(w, h int, seed int64) *Plane {
+	p := NewPlane(w, h)
+	r := rand.New(rand.NewSource(seed))
+	for i := range p.Pix {
+		p.Pix[i] = uint8(r.Intn(256))
+	}
+	return p
+}
+
+func TestDownscaleScalarReference(t *testing.T) {
+	// 3×3 source: odd in both dimensions, so the right column and bottom
+	// row quads clamp (replicate the border sample).
+	src := NewPlane(3, 3)
+	copy(src.Pix, []uint8{
+		10, 20, 30,
+		40, 50, 60,
+		70, 80, 90,
+	})
+	dst := NewPlane(2, 2)
+	downscaleScalar(dst, src)
+	want := []uint8{
+		uint8((10 + 20 + 40 + 50 + 2) >> 2), uint8((30 + 30 + 60 + 60 + 2) >> 2),
+		uint8((70 + 80 + 70 + 80 + 2) >> 2), uint8((90 + 90 + 90 + 90 + 2) >> 2),
+	}
+	for i, w := range want {
+		if dst.Pix[i] != w {
+			t.Errorf("dst[%d] = %d, want %d", i, dst.Pix[i], w)
+		}
+	}
+}
+
+// TestDownscaleSWARMatchesScalar sweeps every width and height up to a few
+// multiples of the 8-byte SWAR step, odd sizes included, and requires the
+// fast path to match the scalar reference bit for bit.
+func TestDownscaleSWARMatchesScalar(t *testing.T) {
+	for h := 1; h <= 33; h++ {
+		for w := 1; w <= 33; w++ {
+			src := randomPlane(w, h, int64(w*100+h))
+			got := NewPlane((w+1)/2, (h+1)/2)
+			want := NewPlane((w+1)/2, (h+1)/2)
+			downscaleSWAR(got, src)
+			downscaleScalar(want, src)
+			if !got.Equal(want) {
+				t.Fatalf("SWAR differs from scalar at %dx%d", w, h)
+			}
+		}
+	}
+}
+
+// TestDownscalePooled checks the exported entry points: pooled output
+// planes/frames with the right geometry, matching the scalar reference.
+func TestDownscalePooled(t *testing.T) {
+	src := randomPlane(176, 144, 7)
+	dst := Downscale(src)
+	if dst.W != 88 || dst.H != 72 {
+		t.Fatalf("Downscale size = %dx%d, want 88x72", dst.W, dst.H)
+	}
+	want := NewPlane(88, 72)
+	downscaleScalar(want, src)
+	if !dst.Equal(want) {
+		t.Fatal("Downscale differs from scalar reference")
+	}
+	ReleasePlane(dst)
+
+	f := NewFrame(Size{W: 64, H: 48})
+	r := rand.New(rand.NewSource(11))
+	for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
+		for i := range p.Pix {
+			p.Pix[i] = uint8(r.Intn(256))
+		}
+	}
+	down := DownscaleFrame(f)
+	if got := down.Size(); got != (Size{W: 32, H: 24}) {
+		t.Fatalf("DownscaleFrame size = %v, want 32x24", got)
+	}
+	wy := NewPlane(32, 24)
+	downscaleScalar(wy, f.Y)
+	if !down.Y.Equal(wy) {
+		t.Fatal("DownscaleFrame luma differs from scalar reference")
+	}
+	down.Release()
+}
+
+// TestDownscaleApron downscales into a padded plane and replicates its
+// apron: every clamped read outside the visible area must equal the edge
+// sample — the contract a downscaled rung's reference plane relies on.
+func TestDownscaleApron(t *testing.T) {
+	src := randomPlane(32, 24, 3)
+	dst := NewPlanePadded(16, 12, 4)
+	DownscaleInto(dst, src)
+	dst.ReplicateApron()
+	for _, pt := range [][2]int{{-4, -4}, {-1, 5}, {20, 5}, {5, -3}, {5, 15}, {19, 15}} {
+		x, y := pt[0], pt[1]
+		cx, cy := x, y
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= dst.W {
+			cx = dst.W - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= dst.H {
+			cy = dst.H - 1
+		}
+		if got, want := dst.AtClamped(x, y), dst.At(cx, cy); got != want {
+			t.Errorf("AtClamped(%d,%d) = %d, want edge sample %d", x, y, got, want)
+		}
+	}
+}
+
+// FuzzDownscaleSWAR cross-checks the SWAR path against the scalar
+// reference on fuzzer-chosen geometry and content.
+func FuzzDownscaleSWAR(f *testing.F) {
+	f.Add(16, 16, int64(1))
+	f.Add(17, 3, int64(2))
+	f.Add(1, 1, int64(3))
+	f.Add(33, 9, int64(4))
+	f.Fuzz(func(t *testing.T, w, h int, seed int64) {
+		if w < 1 || h < 1 || w > 512 || h > 512 {
+			t.Skip()
+		}
+		src := randomPlane(w, h, seed)
+		got := NewPlane((w+1)/2, (h+1)/2)
+		want := NewPlane((w+1)/2, (h+1)/2)
+		downscaleSWAR(got, src)
+		downscaleScalar(want, src)
+		if !got.Equal(want) {
+			t.Fatalf("SWAR differs from scalar at %dx%d seed %d", w, h, seed)
+		}
+	})
+}

@@ -19,8 +19,10 @@ var (
 	FourCIF = Size{704, 576}
 )
 
-// SizeByName parses the CLI vocabulary shared by the tools' -size flags
-// (the inverse of String for the standard formats).
+// SizeByName parses the CLI vocabulary shared by the tools' -size flags:
+// the standard format names (the inverse of String), or an explicit
+// "WxH" — ladder tooling needs power-of-two chains (128x128, …) that no
+// named format covers.
 func SizeByName(name string) (Size, error) {
 	switch strings.ToLower(name) {
 	case "sqcif":
@@ -32,7 +34,11 @@ func SizeByName(name string) (Size, error) {
 	case "4cif", "fourcif":
 		return FourCIF, nil
 	}
-	return Size{}, fmt.Errorf("unknown size %q (want sqcif, qcif, cif or 4cif)", name)
+	var s Size
+	if n, err := fmt.Sscanf(strings.ToLower(name), "%dx%d", &s.W, &s.H); n == 2 && err == nil && s.W > 0 && s.H > 0 {
+		return s, nil
+	}
+	return Size{}, fmt.Errorf("unknown size %q (want sqcif, qcif, cif, 4cif or WxH)", name)
 }
 
 // String returns the conventional name for well-known sizes, else "WxH".

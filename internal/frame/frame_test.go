@@ -17,6 +17,23 @@ func TestSizeNamesAndMacroblocks(t *testing.T) {
 	}
 }
 
+func TestSizeByName(t *testing.T) {
+	for name, want := range map[string]Size{
+		"sqcif": SQCIF, "QCIF": QCIF, "cif": CIF, "4cif": FourCIF,
+		"128x128": {128, 128}, "64x48": {64, 48},
+	} {
+		got, err := SizeByName(name)
+		if err != nil || got != want {
+			t.Errorf("SizeByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "huge", "0x0", "-16x16", "x", "16x"} {
+		if s, err := SizeByName(bad); err == nil {
+			t.Errorf("SizeByName(%q) = %v, want error", bad, s)
+		}
+	}
+}
+
 func TestNewFrameChromaSubsampling(t *testing.T) {
 	f := NewFrame(QCIF)
 	if f.Y.W != 176 || f.Y.H != 144 {

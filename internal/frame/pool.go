@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -52,14 +53,58 @@ func putBuf(b []uint8) {
 // planeKey is the pool bucket for recycled planes.
 type planeKey struct{ w, h, apron int }
 
-var planePools sync.Map // planeKey → *sync.Pool
+// planeBucket is one size class: its pool plus hit/miss counters. The
+// counters are the observable cost of pool misses (a miss is a fresh
+// allocation) — mixed-resolution workloads like the simulcast ladder are
+// exactly where a thrashing bucket would hide without them. One atomic add
+// per plane checkout, nothing on the release path.
+type planeBucket struct {
+	pool   sync.Pool
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
 
-func planePool(k planeKey) *sync.Pool {
+var planePools sync.Map // planeKey → *planeBucket
+
+func planePool(k planeKey) *planeBucket {
 	if p, ok := planePools.Load(k); ok {
-		return p.(*sync.Pool)
+		return p.(*planeBucket)
 	}
-	p, _ := planePools.LoadOrStore(k, &sync.Pool{})
-	return p.(*sync.Pool)
+	p, _ := planePools.LoadOrStore(k, &planeBucket{})
+	return p.(*planeBucket)
+}
+
+// PoolClassStats is one plane-pool size class's cumulative checkout
+// counters since process start.
+type PoolClassStats struct {
+	W, H, Apron  int
+	Hits, Misses uint64
+}
+
+// PoolStats snapshots every plane-pool size class, ordered by (W, H,
+// apron) so metric emission is stable between scrapes.
+func PoolStats() []PoolClassStats {
+	var out []PoolClassStats
+	planePools.Range(func(k, v any) bool {
+		key := k.(planeKey)
+		b := v.(*planeBucket)
+		out = append(out, PoolClassStats{
+			W: key.w, H: key.h, Apron: key.apron,
+			Hits: b.hits.Load(), Misses: b.misses.Load(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.H != b.H {
+			return a.H < b.H
+		}
+		return a.Apron < b.Apron
+	})
+	return out
 }
 
 // GetPlanePadded returns a w×h plane with the given apron drawn from the
@@ -69,10 +114,12 @@ func planePool(k planeKey) *sync.Pool {
 // ReleasePlane once no reference to it (or to sub-slices of its buffer)
 // remains.
 func GetPlanePadded(w, h, apron int) *Plane {
-	k := planeKey{w, h, apron}
-	if v := planePool(k).Get(); v != nil {
+	b := planePool(planeKey{w, h, apron})
+	if v := b.pool.Get(); v != nil {
+		b.hits.Add(1)
 		return v.(*Plane)
 	}
+	b.misses.Add(1)
 	if apron <= 0 {
 		return &Plane{W: w, H: h, Stride: w, Pix: getBuf(w * h)}
 	}
@@ -86,7 +133,7 @@ func ReleasePlane(p *Plane) {
 	if p == nil {
 		return
 	}
-	planePool(planeKey{p.W, p.H, p.apron}).Put(p)
+	planePool(planeKey{p.W, p.H, p.apron}).pool.Put(p)
 }
 
 // GetFramePadded returns a 4:2:0 frame whose luma plane carries lumaApron

@@ -35,9 +35,12 @@ const (
 	flagActuated = 1 << 1
 )
 
-// FrameEvent is one frame's readable flight record.
+// FrameEvent is one frame's readable flight record. For simulcast
+// sessions (Meta.Rungs > 1) each rendition of a source frame is its own
+// event, tagged with its rung index.
 type FrameEvent struct {
 	Index       int     `json:"index"`
+	Rung        int     `json:"rung,omitempty"`
 	ReadMs      float64 `json:"read_ms"`
 	QueueWaitMs float64 `json:"queue_wait_ms"`
 	StallMs     float64 `json:"stall_ms"`
@@ -59,10 +62,12 @@ type Record struct {
 	Priority string `json:"priority,omitempty"`
 	Searcher string `json:"searcher,omitempty"`
 	// PinnedLevel is the session's pinned QoS level, -1 when adaptive.
-	PinnedLevel int    `json:"pinned_level"`
-	StartedAt   string `json:"started_at"`
-	Done        bool   `json:"done"`
-	Frames      int    `json:"frames"`
+	PinnedLevel int `json:"pinned_level"`
+	// Rungs is the simulcast rung count (omitted for single renditions).
+	Rungs     int    `json:"rungs,omitempty"`
+	StartedAt string `json:"started_at"`
+	Done      bool   `json:"done"`
+	Frames    int    `json:"frames"`
 	// DroppedFrames counts frames that aged out of the ring (the
 	// timeline then covers only the most recent RingFrames frames).
 	DroppedFrames int          `json:"dropped_frames,omitempty"`
@@ -78,6 +83,10 @@ type Meta struct {
 	Searcher string
 	// PinnedLevel is the pinned QoS level, -1 for adaptive sessions.
 	PinnedLevel int
+	// Rungs is the simulcast rung count (0 or 1 = single rendition).
+	// When > 1 the recorder's slot keys are frame*Rungs + rung, and
+	// Snapshot decodes them back into per-rung frame events.
+	Rungs int
 }
 
 // FlightRecorder is one session's lock-free frame-event ring. All
@@ -196,7 +205,15 @@ func (r *FlightRecorder) FrameAnalyzed(index int, wall, queueWait, maxStall time
 		f |= flagActuated
 	}
 	s.flags.Store(f)
-	r.frames.Store(int64(index + 1))
+	// Monotonic max, not a plain store: a simulcast session's rungs run
+	// pipelined, so a lower rung's (smaller) slot key can land after a
+	// higher one and must not rewind the count.
+	for {
+		cur := r.frames.Load()
+		if int64(index+1) <= cur || r.frames.CompareAndSwap(cur, int64(index+1)) {
+			break
+		}
+	}
 }
 
 // FrameWritten records frame index's phase-2 (entropy) wall clock and
@@ -244,6 +261,11 @@ func (r *FlightRecorder) Snapshot() Record {
 	if r == nil {
 		return Record{}
 	}
+	rungs := r.meta.Rungs
+	if rungs < 1 {
+		rungs = 1
+	}
+	raw := int(r.frames.Load()) // slot keys recorded: frames × rungs
 	rec := Record{
 		TraceID:     r.traceID,
 		Priority:    r.meta.Priority,
@@ -251,7 +273,10 @@ func (r *FlightRecorder) Snapshot() Record {
 		PinnedLevel: r.meta.PinnedLevel,
 		StartedAt:   r.start.UTC().Format(time.RFC3339Nano),
 		Done:        r.done.Load(),
-		Frames:      int(r.frames.Load()),
+		Frames:      (raw + rungs - 1) / rungs,
+	}
+	if rungs > 1 {
+		rec.Rungs = rungs
 	}
 	if e := r.errMu.Load(); e != nil {
 		rec.Error = *e
@@ -263,18 +288,19 @@ func (r *FlightRecorder) Snapshot() Record {
 		rec.WallMs = float64(ns) / 1e6
 	}
 	lo := 0
-	if n := rec.Frames - len(r.slots); n > 0 {
+	if n := raw - len(r.slots); n > 0 {
 		lo = n
-		rec.DroppedFrames = n
+		rec.DroppedFrames = (n + rungs - 1) / rungs
 	}
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
-	for i := lo; i < rec.Frames; i++ {
+	for i := lo; i < raw; i++ {
 		s := &r.slots[i&r.mask]
 		if s.index.Load() != int64(i) {
 			continue // being overwritten by a wrapping writer right now
 		}
 		ev := FrameEvent{
-			Index:       i,
+			Index:       i / rungs,
+			Rung:        i % rungs,
 			ReadMs:      ms(s.readNs.Load()),
 			QueueWaitMs: ms(s.queueNs.Load()),
 			StallMs:     ms(s.stallNs.Load()),
@@ -315,6 +341,10 @@ func (r *FlightRecorder) Summarize() Summary {
 	if r == nil {
 		return Summary{}
 	}
+	rungs := r.meta.Rungs
+	if rungs < 1 {
+		rungs = 1
+	}
 	s := Summary{
 		TraceID:     r.traceID,
 		Priority:    r.meta.Priority,
@@ -322,7 +352,7 @@ func (r *FlightRecorder) Summarize() Summary {
 		PinnedLevel: r.meta.PinnedLevel,
 		StartedAt:   r.start.UTC().Format(time.RFC3339Nano),
 		Done:        r.done.Load(),
-		Frames:      int(r.frames.Load()),
+		Frames:      (int(r.frames.Load()) + rungs - 1) / rungs,
 	}
 	if e := r.errMu.Load(); e != nil {
 		s.Error = *e

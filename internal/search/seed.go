@@ -1,0 +1,73 @@
+package search
+
+import "repro/internal/mvfield"
+
+// Cross-layer motion seeding for the simulcast ladder: a motion field
+// found at one resolution is a near-free prior for the rung below it. A
+// LayerSeed contributes extra predictor candidates to PBM's step 1; like
+// every predictor they are just probes — clamped, full-pel snapped and
+// evaluated by SAD — so the winning vector (and with it the bitstream)
+// remains a pure function of the pixel data and the candidate set, never
+// of scheduling. When a seed is present PBM drops the temporal predictors
+// (the rung above's field already carries that history at better
+// accuracy), which is where the points/block saving comes from.
+
+// MaxSeeds caps the candidates one LayerSeed may contribute per block.
+const MaxSeeds = 4
+
+// LayerSeed supplies cross-layer motion candidates for block (mbx, mby)
+// of the layer being searched: up to MaxSeeds vectors in mv[:n].
+// Implementations must be safe for concurrent use (wavefront workers call
+// them in parallel). The array-by-value signature keeps the caller's
+// candidate buffer off the heap — an appended-slice variant would escape
+// PBM's stack buffer on every search, seeded or not.
+type LayerSeed interface {
+	Seeds(mbx, mby int) (mv [MaxSeeds]mvfield.MV, n int)
+}
+
+// FieldSeed seeds a layer from the motion field of the rung 2^Shift× its
+// size: the candidates for a macroblock are the (scaled) vectors of the
+// corner blocks of its collocated group in the upper field. The field
+// must be final (fully analysed) — the ladder's one-frame lag guarantees
+// that.
+type FieldSeed struct {
+	Field *mvfield.Field
+	// Shift is the log2 resolution ratio between the seeding layer and
+	// the seeded one (1 for adjacent 2:1 rungs).
+	Shift uint
+}
+
+// Seeds implements LayerSeed. Macroblock (mbx, mby) at the lower
+// resolution covers the 2^Shift × 2^Shift collocated block group of the
+// upper layer; the four corner vectors of that group, divided by the
+// resolution ratio (half-pel components, truncated toward zero like the
+// full-pel snap), cover the group's motion spread with at most four
+// probes. Duplicates within the group are dropped.
+func (s *FieldSeed) Seeds(mbx, mby int) (mv [MaxSeeds]mvfield.MV, n int) {
+	if s == nil || s.Field == nil {
+		return mv, 0
+	}
+	g := 1 << s.Shift
+	x0, y0 := mbx<<s.Shift, mby<<s.Shift
+	div := int(1) << s.Shift
+	for _, c := range [4][2]int{{0, 0}, {g - 1, 0}, {0, g - 1}, {g - 1, g - 1}} {
+		ux, uy := x0+c[0], y0+c[1]
+		if !s.Field.Known(ux, uy) {
+			continue
+		}
+		up := s.Field.At(ux, uy)
+		m := mvfield.MV{X: up.X / div, Y: up.Y / div}
+		dup := false
+		for _, v := range mv[:n] {
+			if v == m {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			mv[n] = m
+			n++
+		}
+	}
+	return mv, n
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/frame"
 	vmetrics "repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -130,6 +131,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "vcodecd_qos_sessions{class=%q,level=\"%d\"} %d\n", name, level, n)
 			}
 		}
+	}
+
+	// Frame-plane pool efficiency per size/apron bucket class. A rising
+	// miss rate on a hot class means plane allocations leaked back into
+	// the steady state — ladder sessions churn downscaled planes hard, so
+	// this is the first gauge to move when recycling regresses.
+	poolStats := frame.PoolStats()
+	fmt.Fprintf(w, "# HELP vcodecd_frame_pool_hits_total plane-pool checkouts served from the pool\n# TYPE vcodecd_frame_pool_hits_total counter\n")
+	for _, c := range poolStats {
+		fmt.Fprintf(w, "vcodecd_frame_pool_hits_total{w=\"%d\",h=\"%d\",apron=\"%d\"} %d\n", c.W, c.H, c.Apron, c.Hits)
+	}
+	fmt.Fprintf(w, "# HELP vcodecd_frame_pool_misses_total plane-pool checkouts that allocated fresh\n# TYPE vcodecd_frame_pool_misses_total counter\n")
+	for _, c := range poolStats {
+		fmt.Fprintf(w, "vcodecd_frame_pool_misses_total{w=\"%d\",h=\"%d\",apron=\"%d\"} %d\n", c.W, c.H, c.Apron, c.Misses)
 	}
 
 	// Latency distributions from the flight-recorder substrate.

@@ -24,6 +24,10 @@ import (
 // returns (codec.PacketWriter records).
 const ContentType = "application/x-vcodec-packets"
 
+// LadderContentType is the media type a simulcast session returns: the
+// rungs' packet streams interleaved as codec.LadderPacketWriter records.
+const LadderContentType = "application/x-vcodec-ladder-packets"
+
 // Trailer names carrying per-session results at the end of the packet
 // stream.
 const (
@@ -35,6 +39,9 @@ const (
 	// trailers alone.
 	TrailerTargetKbps = "X-Vcodec-Target-Kbps"
 	TrailerError      = "X-Vcodec-Error"
+	// TrailerRungs summarises a ladder session per rung as
+	// "WxH:frames:psnrY:kbps" entries joined by ";", in rung order.
+	TrailerRungs = "X-Vcodec-Rungs"
 	// TrailerTrace echoes the session's trace ID (minted here, or
 	// accepted from an inbound X-Vcodec-Trace header — typically the
 	// gateway's), the key into /debug/vcodec/trace.
@@ -219,7 +226,7 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 	if meName == "" {
 		meName = "acbm"
 	}
-	rec := obs.NewFlightRecorder(traceID, obs.Meta{Priority: pri, Searcher: meName, PinnedLevel: opts.pinned}, 0)
+	rec := obs.NewFlightRecorder(traceID, obs.Meta{Priority: pri, Searcher: meName, PinnedLevel: opts.pinned, Rungs: len(opts.ladder)}, 0)
 	s.obs.Add(rec)
 	defer s.obs.Complete(rec)
 
@@ -232,7 +239,11 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		"vcodec_priority", pri,
 		"vcodec_searcher", meName,
 	), func(ctx context.Context) {
-		s.encodeSession(ctx, w, r, cfg, opts, rec, traceID)
+		if len(opts.ladder) > 0 {
+			s.encodeLadderSession(ctx, w, r, cfg, opts, rec, traceID)
+		} else {
+			s.encodeSession(ctx, w, r, cfg, opts, rec, traceID)
+		}
 	})
 }
 
@@ -463,6 +474,13 @@ type sessionOpts struct {
 	// pinned, when ≥ 0, fixes the session's QoS level for its whole
 	// lifetime, exempt from the controller. -1 = adaptive.
 	pinned int
+	// ladder, when non-empty, makes this a simulcast session encoding
+	// every rung of the chain (top rung first).
+	ladder []codec.RungSpec
+	// newSearcher builds a fresh motion-searcher instance; set for ladder
+	// sessions, where each rung needs its own (stateful searchers would
+	// race across rung goroutines).
+	newSearcher func() (search.Searcher, error)
 }
 
 // parseSessionConfig maps /encode query parameters onto a codec.Config:
@@ -552,6 +570,33 @@ func parseSessionConfig(q url.Values) (codec.Config, sessionOpts, error) {
 		cfg.Entropy = codec.EntropyArith
 	default:
 		return cfg, opts, fmt.Errorf("unknown entropy backend %q", q.Get("entropy"))
+	}
+	if v := q.Get("ladder"); v != "" {
+		specs, e := codec.ParseLadderSpec(v)
+		if e != nil {
+			return cfg, opts, e
+		}
+		if cfg.TargetKbps > 0 {
+			return cfg, opts, fmt.Errorf("kbps is per-rung in a ladder session (use ladder=WxH@kbps)")
+		}
+		opts.ladder = specs
+		// Rebuild the searcher per rung from the same query parameters the
+		// single-session path used — fresh instances, identical config.
+		meName, budgetV := q.Get("me"), q.Get("budget")
+		opts.newSearcher = func() (search.Searcher, error) {
+			if budgetV != "" {
+				target, e := strconv.ParseFloat(budgetV, 64)
+				if e != nil {
+					return nil, fmt.Errorf("bad budget=%q", budgetV)
+				}
+				b, e := core.NewBudgeted(target, core.DefaultParams)
+				if e != nil {
+					return nil, e
+				}
+				return b, nil
+			}
+			return core.SearcherByName(meName)
+		}
 	}
 	return cfg, opts, nil
 }

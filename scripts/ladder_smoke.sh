@@ -1,0 +1,80 @@
+#!/bin/sh
+# ladder-smoke: boot vcodecd on a random loopback port, upload one clip
+# to /encode?ladder=, split the interleaved session stream into per-rung
+# artifacts, and require every rung to (a) byte-match a pinned offline
+# `vcodec encode -ladder` run of the same clip and (b) decode cleanly on
+# its own. Then SIGTERM the daemon and require a clean drain.
+# Expects the vcodecd, vcodec and seqgen binaries in $BIN (default ./bin).
+set -eu
+
+BIN=${BIN:-bin}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+ladder="128x128,64x64,32x32"
+qp=14
+me=pbm
+frames=6
+
+# One synthetic clip sized to the ladder's top rung, and the pinned
+# offline ladder encode every served rung must byte-match.
+"$BIN/seqgen" -profile foreman -size 128x128 -frames $frames -seed 7 -o "$tmp/in.y4m"
+"$BIN/vcodec" encode -i "$tmp/in.y4m" -o "$tmp/off.acbm" -qp $qp -me $me -ladder "$ladder"
+
+"$BIN/vcodecd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -max-sessions 4 &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "ladder-smoke: vcodecd never wrote its address" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "ladder-smoke: daemon on $addr"
+
+# One ladder session: upload the clip, save the interleaved stream.
+curl -sf --data-binary "@$tmp/in.y4m" \
+	"http://$addr/encode?qp=$qp&me=$me&ladder=$ladder" >"$tmp/stream.bin"
+
+# Split the session into per-rung artifacts; each must byte-match the
+# pinned offline run and decode cleanly with no ladder awareness.
+"$BIN/vcodec" ladder-split -i "$tmp/stream.bin" -o "$tmp/srv.acbm"
+for r in 0 1 2; do
+	if ! cmp -s "$tmp/off.r$r.acbm" "$tmp/srv.r$r.acbm"; then
+		echo "ladder-smoke: rung $r differs from the offline encode" >&2
+		exit 1
+	fi
+	"$BIN/vcodec" decode -packets -i "$tmp/srv.r$r.acbm" -o "$tmp/dec.r$r.y4m"
+done
+echo "ladder-smoke: 3 rungs byte-match the offline ladder and decode cleanly"
+
+# The plane pool's per-class counters must be live on /metrics — ladder
+# sessions churn downscaled planes, so the hits series must be present.
+curl -sf "http://$addr/metrics" >"$tmp/metrics"
+for fam in vcodecd_frame_pool_hits_total vcodecd_frame_pool_misses_total; do
+	if ! grep -q "^# TYPE $fam counter\$" "$tmp/metrics"; then
+		echo "ladder-smoke: /metrics missing 'TYPE $fam counter'" >&2
+		exit 1
+	fi
+done
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+if wait "$pid"; then
+	pid=""
+	echo "ladder-smoke: clean shutdown"
+else
+	rc=$?
+	pid=""
+	echo "ladder-smoke: vcodecd exited with status $rc" >&2
+	exit 1
+fi
